@@ -1,0 +1,53 @@
+// Design-choice ablation: per-VL buffer depth.
+//
+// The paper models VL buffers "large enough to store four whole packets".
+// This bench sweeps the depth: shallow buffers throttle the pipeline
+// (credits bound the in-flight data per VL), deep buffers add nothing once
+// the bandwidth-delay product is covered.
+#include <iostream>
+
+#include "paper_runner.hpp"
+#include "util/table_printer.hpp"
+
+using namespace ibarb;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto base = bench::config_from_cli(cli);
+
+  std::cout << "=== Ablation: per-VL buffer depth (packets) ===\n\n";
+
+  util::TablePrinter table({"buffers", "delivered (B/cyc/node)",
+                            "switch util (%)", "QoS miss frac",
+                            "mean delay (us)"});
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    auto cfg = base;
+    cfg.buffer_packets = depth;
+    const auto run = bench::run_paper_experiment(cfg);
+    const auto& m = run->sim->metrics();
+    std::uint64_t rx = 0, miss = 0;
+    double delay = 0.0;
+    for (const auto& c : m.connections) {
+      if (!c.qos) continue;
+      rx += c.rx_packets;
+      miss += c.deadline_misses;
+      delay += c.delay.mean() * static_cast<double>(c.rx_packets);
+    }
+    const auto t2 = run->table2();
+    table.add_row(
+        {std::to_string(depth),
+         util::TablePrinter::num(t2.delivered_bytes_per_cycle_per_node, 4),
+         util::TablePrinter::num(t2.switch_utilization * 100.0, 2),
+         util::TablePrinter::pct(rx ? double(miss) / double(rx) : 0.0, 3),
+         util::TablePrinter::num(
+             rx ? delay / double(rx) * iba::kNsPerCycle / 1000.0 : 0.0, 1)});
+    std::cerr << "[depth " << depth
+              << "] window=" << run->summary.window_cycles
+              << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: throughput saturates around the paper's\n"
+               "4-packet depth; deadline compliance holds at every depth\n"
+               "(credits only slow sources down, they never drop packets).\n";
+  return 0;
+}

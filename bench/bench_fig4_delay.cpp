@@ -1,0 +1,64 @@
+// Experiment E2 — reproduces Figure 4: the distribution of packet delay per
+// Service Level, printed as the percentage of packets received before a
+// threshold relative to each connection's guaranteed deadline D, for small
+// (a) and large (b) packet sizes.
+//
+// Expected shape (paper §4.3): every SL reaches 100% at D (all packets meet
+// their deadline); SLs with stricter deadlines (smaller distances, SL 0-3)
+// cross later — their packets arrive nearer to the deadline — while lax SLs
+// saturate at very tight thresholds already.
+#include <iostream>
+
+#include "paper_runner.hpp"
+#include "util/table_printer.hpp"
+
+using namespace ibarb;
+
+namespace {
+
+void print_panel(const char* title, const bench::PaperRun& run) {
+  std::cout << title << "\n";
+  std::vector<std::string> headers{"SL", "conns", "packets"};
+  for (std::size_t k = 0; k < sim::kDelayThresholds; ++k)
+    headers.push_back(bench::threshold_label(k));
+  util::TablePrinter table(headers);
+  for (const auto& s : run.per_sl()) {
+    std::vector<std::string> row{std::to_string(int(s.sl)),
+                                 std::to_string(s.connections),
+                                 std::to_string(s.rx_packets)};
+    for (std::size_t k = 0; k < sim::kDelayThresholds; ++k)
+      row.push_back(util::TablePrinter::num(s.within[k] * 100.0, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::uint64_t misses = 0;
+  for (const auto& s : run.per_sl()) misses += s.deadline_misses;
+  std::cout << "deadline misses across all QoS packets: " << misses << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto base = bench::config_from_cli(cli);
+
+  std::cout << "=== Figure 4: distribution of packet delay "
+               "(% received before Deadline/k) ===\n\n";
+
+  {
+    auto cfg = base;
+    cfg.mtu = iba::Mtu::kMtu256;
+    const auto run = bench::run_paper_experiment(cfg);
+    print_panel("(a) small packet size (256 B)", *run);
+  }
+  {
+    auto cfg = base;
+    cfg.mtu = iba::Mtu::kMtu4096;
+    const auto run = bench::run_paper_experiment(cfg);
+    print_panel("(b) large packet size (4 KB)", *run);
+  }
+
+  const auto unused = cli.unused_flags();
+  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment E3 — reproduces Figure 5: average packet jitter per Service
+// Level, as the percentage of packets whose inter-arrival deviation falls in
+// each interval relative to the connection's nominal inter-arrival time
+// (IAT). Panels (a) SLs 0-4 and (b) SLs 5-9, small packets (the paper notes
+// large packets behave the same; pass --mtu large to check).
+//
+// Expected shape (paper §4.3): small-bandwidth SLs put essentially all
+// packets in the central [-IAT/8, +IAT/8) interval; the big-bandwidth SLs
+// (5 and 9) show a Gaussian-like spread that never exceeds +-IAT.
+#include <iostream>
+
+#include "paper_runner.hpp"
+#include "util/table_printer.hpp"
+
+using namespace ibarb;
+
+namespace {
+
+void print_panel(const char* title,
+                 const std::vector<bench::PaperRun::SlSeries>& series,
+                 unsigned sl_lo, unsigned sl_hi) {
+  std::cout << title << "\n";
+  std::vector<std::string> headers{"interval"};
+  for (unsigned sl = sl_lo; sl <= sl_hi; ++sl)
+    headers.push_back("SL " + std::to_string(sl));
+  util::TablePrinter table(headers);
+  for (std::size_t b = 0; b < sim::kJitterBins; ++b) {
+    std::vector<std::string> row{bench::jitter_label(b)};
+    for (unsigned sl = sl_lo; sl <= sl_hi; ++sl)
+      row.push_back(util::TablePrinter::num(series[sl].jitter[b] * 100.0, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::config_from_cli(cli);
+
+  std::cout << "=== Figure 5: average packet jitter (% of packets per "
+               "interval, relative to IAT) ===\n";
+  std::cout << "packet size: "
+            << (cfg.mtu == iba::Mtu::kMtu256 ? "small (256 B)" : "other")
+            << "\n\n";
+
+  const auto run = bench::run_paper_experiment(cfg);
+  const auto series = run->per_sl();
+  print_panel("(a) SLs 0-4", series, 0, 4);
+  print_panel("(b) SLs 5-9", series, 5, 9);
+
+  double outside = 0.0;
+  for (const auto& s : series)
+    outside += s.jitter[0] + s.jitter[sim::kJitterBins - 1];
+  std::cout << "fraction of deviations beyond +-IAT (all SLs summed): "
+            << util::TablePrinter::num(outside * 100.0, 3) << "%\n";
+
+  const auto unused = cli.unused_flags();
+  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Extension of Table 2: all four IBA MTUs rather than only the paper's
+// small/large pair. Shows the overhead/serialization trade across the whole
+// range the specification permits.
+#include <iostream>
+
+#include "paper_runner.hpp"
+#include "util/table_printer.hpp"
+
+using namespace ibarb;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto base = bench::config_from_cli(cli);
+
+  std::cout << "=== MTU sweep: Table 2 across every IBA MTU ===\n\n";
+
+  util::TablePrinter table({"MTU", "efficiency", "connections",
+                            "injected (B/cyc/node)", "delivered (B/cyc/node)",
+                            "host util (%)", "switch util (%)", "misses"});
+  for (const auto mtu : {iba::Mtu::kMtu256, iba::Mtu::kMtu1024,
+                         iba::Mtu::kMtu2048, iba::Mtu::kMtu4096}) {
+    auto cfg = base;
+    cfg.mtu = mtu;
+    const auto run = bench::run_paper_experiment(cfg);
+    const auto t2 = run->table2();
+    std::uint64_t misses = 0;
+    for (const auto& c : run->sim->metrics().connections)
+      misses += c.deadline_misses;
+    table.add_row(
+        {std::to_string(iba::mtu_bytes(mtu)),
+         util::TablePrinter::pct(iba::mtu_efficiency(mtu), 1),
+         std::to_string(run->workload.accepted),
+         util::TablePrinter::num(t2.injected_bytes_per_cycle_per_node, 4),
+         util::TablePrinter::num(t2.delivered_bytes_per_cycle_per_node, 4),
+         util::TablePrinter::num(t2.host_utilization * 100.0, 2),
+         util::TablePrinter::num(t2.switch_utilization * 100.0, 2),
+         std::to_string(misses)});
+    std::cerr << "[MTU " << iba::mtu_bytes(mtu)
+              << "] window=" << run->summary.window_cycles
+              << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+  }
+  table.print(std::cout);
+  return 0;
+}

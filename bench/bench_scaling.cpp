@@ -1,0 +1,67 @@
+// Experiment E6 — the paper's §4.1 claim: "We have evaluated networks with
+// sizes ranging from 8 to 64 switches ... for all cases, the results are
+// similar." This bench sweeps the network size and reports, per size, the
+// admission outcome and the QoS headline numbers; the expected shape is a
+// flat row of 100% deadline compliance across sizes.
+//
+// 64 switches is expensive; it runs only with --full.
+#include <iostream>
+
+#include "paper_runner.hpp"
+#include "util/table_printer.hpp"
+
+using namespace ibarb;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  auto base = bench::config_from_cli(cli);
+  const bool full = cli.get_bool("full", false);
+
+  std::cout << "=== Scaling: 8..64 switches, small packets ===\n\n";
+
+  util::TablePrinter table({"switches", "hosts", "connections",
+                            "acceptance (%)", "mean hops", "switch util (%)",
+                            "meet deadline (%)", "misses"});
+
+  std::vector<unsigned> sizes{8, 16, 32};
+  if (full) sizes.push_back(64);
+  for (const auto n : sizes) {
+    auto cfg = base;
+    cfg.switches = n;
+    const auto run = bench::run_paper_experiment(cfg);
+
+    std::uint64_t rx = 0, misses = 0;
+    double hops = 0.0;
+    for (const auto& ec : run->workload.connections) {
+      const auto& c = run->sim->metrics().connections[ec.flow];
+      rx += c.rx_packets;
+      misses += c.deadline_misses;
+      hops += ec.stages - 1;
+    }
+    const double meet =
+        rx ? 100.0 * (1.0 - double(misses) / double(rx)) : 0.0;
+    const auto t2 = run->table2();
+    table.add_row(
+        {std::to_string(n), std::to_string(run->graph.hosts().size()),
+         std::to_string(run->workload.accepted),
+         util::TablePrinter::num(100.0 * double(run->workload.accepted) /
+                                     double(run->workload.offered),
+                                 1),
+         util::TablePrinter::num(
+             run->workload.connections.empty()
+                 ? 0.0
+                 : hops / double(run->workload.connections.size()),
+             2),
+         util::TablePrinter::num(t2.switch_utilization * 100.0, 2),
+         util::TablePrinter::num(meet, 3), std::to_string(misses)});
+    std::cerr << "[" << n << " switches] window=" << run->summary.window_cycles
+              << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: deadline compliance stays at 100% across\n"
+               "sizes (pass --full to include the 64-switch network).\n";
+
+  const auto unused = cli.unused_flags();
+  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Scenario: what the subnet-management plane actually computes — a dump of
+// the discovery sweep, LID assignment, the up*/down* routing decisions and
+// the arbitration table the fill-in algorithm produced for one output port.
+// Useful for understanding the system and as a debugging aid.
+#include <cstdio>
+
+#include "arbtable/entry_set.hpp"
+#include "network/topology.hpp"
+#include "qos/admission.hpp"
+#include "subnet/subnet_manager.hpp"
+
+using namespace ibarb;
+
+int main() {
+  network::IrregularSpec spec;
+  spec.switches = 8;
+  spec.seed = 99;
+  const auto fabric = network::make_irregular(spec);
+  subnet::SubnetManager sm(fabric);
+  std::printf("%s\n", sm.describe().c_str());
+
+  std::printf("discovery sweep order (first 12 nodes): ");
+  for (std::size_t i = 0; i < 12 && i < sm.sweep_order().size(); ++i)
+    std::printf("%u ", sm.sweep_order()[i]);
+  std::printf("\n\n");
+
+  // Route between the two most distant hosts found.
+  const auto hosts = fabric.hosts();
+  iba::NodeId src = hosts.front(), dst = hosts.back();
+  unsigned best = 0;
+  for (const auto a : hosts)
+    for (const auto b : hosts) {
+      if (a == b) continue;
+      const auto h = sm.routes().hops(a, b);
+      if (h > best) {
+        best = h;
+        src = a;
+        dst = b;
+      }
+    }
+  std::printf("longest route: host %u (LID %u) -> host %u (LID %u), %u "
+              "stages:\n  ",
+              src, sm.lid(src), dst, sm.lid(dst), best);
+  for (const auto& port : sm.routes().path(src, dst))
+    std::printf("(%u:p%u) ", port.node, port.port);
+  std::printf("\n\n");
+
+  // Fill some connections in, then dump the first hop's arbitration table.
+  qos::AdmissionControl admission(fabric, sm.routes(), qos::paper_catalogue(),
+                                  {});
+  const struct {
+    iba::ServiceLevel sl;
+    unsigned distance;
+    double mbps;
+  } mix[] = {{0, 2, 1.5}, {2, 8, 6.0}, {5, 32, 20.0}, {7, 64, 3.0},
+             {7, 64, 3.0}, {9, 64, 25.0}};
+  for (const auto& m : mix) {
+    qos::ConnectionRequest req;
+    req.src_host = src;
+    req.dst_host = dst;
+    req.sl = m.sl;
+    req.max_distance = m.distance;
+    req.wire_mbps = m.mbps;
+    const auto id = admission.request(req);
+    std::printf("request SL%u d=%-2u %5.1f Mbps -> %s\n", m.sl, m.distance,
+                m.mbps, id ? "admitted" : "rejected");
+  }
+
+  const auto first_hop = sm.routes().path(src, dst)[0];
+  const auto& manager =
+      admission.port_manager(first_hop.node, first_hop.port);
+  const auto& table = manager.table();
+  std::printf("\nhigh-priority table of host %u's interface "
+              "(slot: VL/weight, '.' = free):\n",
+              src);
+  for (unsigned row = 0; row < 4; ++row) {
+    std::printf("  ");
+    for (unsigned col = 0; col < 16; ++col) {
+      const auto& e = table.high()[row * 16 + col];
+      if (e.active())
+        std::printf("%2u/%-3u ", e.vl, e.weight);
+      else
+        std::printf("  .    ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nlow-priority table entries (best-effort classes): ");
+  for (const auto& e : table.low())
+    if (e.active()) std::printf("VL%u/w%u ", e.vl, e.weight);
+  std::printf("\n\nper-VL worst-case gaps (latency guarantee): ");
+  for (iba::VirtualLane vl = 0; vl < 10; ++vl) {
+    const auto gap = arbtable::max_gap_for_vl(table.high(), vl);
+    if (gap < iba::kArbTableEntries || table.vl_weight_high(vl) > 0)
+      std::printf("VL%u<=%u ", vl, gap);
+  }
+  std::printf("\nreserved on this port: %.1f of %.1f Mbps\n",
+              manager.reserved_mbps(), manager.reservable_mbps());
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "arbtable/baselines.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ibarb::arbtable {
+
+namespace {
+
+constexpr unsigned kDistances[] = {2, 4, 8, 16, 32, 64};
+
+unsigned draw_distance(util::Xoshiro256& rng,
+                       const std::vector<double>& mix) {
+  assert(mix.size() == std::size(kDistances));
+  const double total = std::accumulate(mix.begin(), mix.end(), 0.0);
+  double x = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    x -= mix[i];
+    if (x <= 0.0) return kDistances[i];
+  }
+  return kDistances[std::size(kDistances) - 1];
+}
+
+struct LiveConnection {
+  SeqHandle handle;
+  Requirement req;
+  double mbps;
+};
+
+}  // namespace
+
+AcceptanceResult run_acceptance_experiment(FillPolicy policy, bool defrag,
+                                           const AcceptanceWorkload& workload) {
+  TableManager::Config cfg;
+  cfg.link_data_mbps = workload.link_mbps;
+  cfg.reservable_fraction = workload.reservable_fraction;
+  cfg.policy = policy;
+  cfg.defrag_on_release = defrag;
+  cfg.seed = workload.seed ^ 0x5eedface;
+  TableManager manager(cfg);
+
+  // The arrival/departure trace is produced by a dedicated RNG so every
+  // policy sees exactly the same offered load.
+  util::Xoshiro256 trace(workload.seed);
+
+  AcceptanceResult result;
+  result.policy = policy;
+  result.defrag = defrag;
+
+  std::vector<LiveConnection> live;
+  for (unsigned n = 0; n < workload.requests; ++n) {
+    if (!live.empty() && trace.chance(workload.departure_probability)) {
+      const auto idx = trace.below(live.size());
+      const LiveConnection gone = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      manager.release(gone.handle, gone.req, gone.mbps);
+    }
+
+    const unsigned distance = draw_distance(trace, workload.distance_mix);
+    const double mbps = trace.uniform(workload.min_mbps, workload.max_mbps);
+    const auto req =
+        compute_requirement(mbps, workload.link_mbps, distance);
+    assert(req.has_value());
+    // One VL per distance class, mirroring the paper's SL→VL assignment.
+    const auto vl = static_cast<iba::VirtualLane>(log2_pow2(distance));
+
+    ++result.offered;
+    const unsigned needed = req->entries;
+    const bool enough_bandwidth =
+        manager.reserved_mbps() + mbps <= manager.reservable_mbps();
+    const unsigned free_before = manager.free_entries();
+
+    if (const auto handle = manager.allocate(vl, *req, mbps)) {
+      ++result.accepted;
+      live.push_back(LiveConnection{*handle, *req, mbps});
+    } else if (!enough_bandwidth) {
+      ++result.rejected_bandwidth;
+    } else {
+      ++result.rejected_entries;
+      // Sharing could also have absorbed it, so "free entries were
+      // sufficient" is a conservative lower bound on avoidability.
+      if (free_before >= needed) ++result.avoidable_rejections;
+    }
+  }
+  result.defrag_moves = manager.stats().defrag_moves;
+  return result;
+}
+
+}  // namespace ibarb::arbtable

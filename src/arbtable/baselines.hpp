@@ -1,0 +1,57 @@
+// Randomized allocate/release driver comparing fill policies — the ablation
+// behind bench_fill_ablation (experiment E7).
+//
+// Requests mimic the paper's SL mix: a maximum distance drawn from
+// {2,4,8,16,32,64} and a bandwidth drawn from a per-distance range. Between
+// arrivals, live connections may depart. The figure of merit is the
+// acceptance ratio, and in particular the number of *avoidable* rejections:
+// rejections that happened although enough free entries existed (the paper's
+// algorithm, with defragmentation, provably has none).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arbtable/fill_algorithm.hpp"
+#include "arbtable/table_manager.hpp"
+
+namespace ibarb::arbtable {
+
+struct AcceptanceWorkload {
+  std::uint64_t seed = 42;
+  unsigned requests = 2000;
+  /// Probability, per arrival, that one random live connection departs first.
+  double departure_probability = 0.45;
+  /// Weight of choosing each distance 2,4,8,16,32,64 (uniform by default).
+  std::vector<double> distance_mix = {1, 1, 1, 1, 1, 1};
+  double min_mbps = 1.0;
+  double max_mbps = 32.0;
+  double link_mbps = iba::kBaseLinkMbps;
+  double reservable_fraction = 0.8;
+};
+
+struct AcceptanceResult {
+  FillPolicy policy = FillPolicy::kBitReversal;
+  bool defrag = false;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_bandwidth = 0;  ///< Hit the 80 % cap — unavoidable.
+  std::uint64_t rejected_entries = 0;    ///< No placeable sequence found.
+  /// Rejections where >= 64/d entries were free — fragmentation failures
+  /// that the paper's algorithm avoids by construction.
+  std::uint64_t avoidable_rejections = 0;
+  std::uint64_t defrag_moves = 0;
+
+  double acceptance_ratio() const {
+    return offered ? static_cast<double>(accepted) /
+                         static_cast<double>(offered)
+                   : 0.0;
+  }
+};
+
+/// Runs the workload against a fresh TableManager with the given policy.
+/// All policies see the identical arrival/departure trace (same seed).
+AcceptanceResult run_acceptance_experiment(FillPolicy policy, bool defrag,
+                                           const AcceptanceWorkload& workload);
+
+}  // namespace ibarb::arbtable

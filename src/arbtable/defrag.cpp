@@ -1,0 +1,75 @@
+#include "arbtable/defrag.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "arbtable/entry_set.hpp"
+#include "arbtable/table_manager.hpp"
+
+namespace ibarb::arbtable {
+
+unsigned defragment_sequences(TableManager& manager) {
+  auto& sequences = manager.sequences_;
+  auto& high = manager.table_.high();
+
+  // Collect live spaced sequences, largest first; ties broken by current
+  // buddy address so already-packed layouts stay untouched (stability keeps
+  // the number of live reconfigurations minimal).
+  std::vector<SeqHandle> order;
+  std::vector<unsigned> scattered_blocks;  // buddy slots pinned by kScattered
+  for (SeqHandle h = 0; h < sequences.size(); ++h) {
+    const Sequence& s = sequences[h];
+    if (!s.live) continue;
+    if (s.distance == 0) {
+      return 0;  // scattered baseline in play: no defrag defined
+    }
+    order.push_back(h);
+  }
+  (void)scattered_blocks;
+  std::sort(order.begin(), order.end(), [&](SeqHandle a, SeqHandle b) {
+    const Sequence& sa = sequences[a];
+    const Sequence& sb = sequences[b];
+    if (sa.positions.size() != sb.positions.size())
+      return sa.positions.size() > sb.positions.size();
+    const EntrySet ea{sa.distance, sa.positions.empty() ? 0u : sa.positions[0]};
+    const EntrySet eb{sb.distance, sb.positions.empty() ? 0u : sb.positions[0]};
+    return ea.buddy_block_index() < eb.buddy_block_index();
+  });
+
+  // Assign target blocks first; apply moves in two phases (clear every
+  // mover's old slots, then write every mover's new slots). One-phase
+  // relocation would corrupt the table whenever a target region overlaps a
+  // later mover's current slots.
+  struct Move {
+    SeqHandle handle;
+    EntrySet target;
+  };
+  std::vector<Move> moving;
+  unsigned cursor = 0;  // next free buddy-space address
+  for (const SeqHandle h : order) {
+    Sequence& seq = sequences[h];
+    const unsigned size = static_cast<unsigned>(seq.positions.size());
+    assert(cursor % size == 0 && "decreasing sizes keep the cursor aligned");
+    const unsigned new_block = cursor / size;
+    cursor += size;
+
+    const EntrySet target = EntrySet::from_buddy_block(seq.distance, new_block);
+    const unsigned old_offset = seq.positions.empty() ? 0 : seq.positions[0];
+    if (target.offset != old_offset) moving.push_back(Move{h, target});
+  }
+
+  for (const auto& mv : moving)
+    for (const auto p : sequences[mv.handle].positions)
+      high[p] = iba::ArbTableEntry{};
+  for (const auto& mv : moving) {
+    Sequence& seq = sequences[mv.handle];
+    seq.positions = mv.target.positions();
+    for (const auto p : seq.positions)
+      high[p] = iba::ArbTableEntry{
+          seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)};
+  }
+  return static_cast<unsigned>(moving.size());
+}
+
+}  // namespace ibarb::arbtable

@@ -1,0 +1,26 @@
+// Defragmentation of the high-priority table (paper §3.3, companion TR [1]).
+//
+// The paper's description — "it puts together free small sets to form a
+// larger free set" — is implemented here through the buddy-space view (see
+// entry_set.hpp): every spaced sequence E_{i,j} is an aligned power-of-two
+// block in bit-reversed index space. Compaction re-places all live blocks
+// left-to-right in order of decreasing size; because each size is a power of
+// two and sizes are non-increasing, every placement lands aligned and the
+// occupied region becomes one contiguous prefix. Consequently a request for
+// 64/d entries succeeds afterwards IFF at least 64/d entries are free —
+// exactly the optimality property the paper claims for the pair
+// (fill algorithm, defragmenter). The property tests verify this
+// exhaustively against randomized allocate/release traces.
+#pragma once
+
+namespace ibarb::arbtable {
+
+class TableManager;
+
+/// Compacts all live spaced sequences of `manager`. Returns the number of
+/// sequences that changed position. Sequences allocated by the kScattered
+/// baseline (distance 0) are left untouched — the baseline deliberately has
+/// no structure to restore.
+unsigned defragment_sequences(TableManager& manager);
+
+}  // namespace ibarb::arbtable

@@ -1,0 +1,45 @@
+#include "arbtable/entry_set.hpp"
+
+#include <cassert>
+
+namespace ibarb::arbtable {
+
+std::vector<std::uint8_t> EntrySet::positions() const {
+  assert(valid());
+  std::vector<std::uint8_t> out;
+  out.reserve(size());
+  for (unsigned p = offset; p < iba::kArbTableEntries; p += distance)
+    out.push_back(static_cast<std::uint8_t>(p));
+  return out;
+}
+
+bool set_is_free(const iba::ArbTable& table, const EntrySet& set) {
+  assert(set.valid());
+  for (unsigned p = set.offset; p < iba::kArbTableEntries; p += set.distance)
+    if (table[p].active()) return false;
+  return true;
+}
+
+unsigned free_entries(const iba::ArbTable& table) {
+  unsigned n = 0;
+  for (const auto& e : table)
+    if (!e.active()) ++n;
+  return n;
+}
+
+unsigned max_gap_for_vl(const iba::ArbTable& table, iba::VirtualLane vl) {
+  std::vector<unsigned> hits;
+  for (unsigned p = 0; p < iba::kArbTableEntries; ++p)
+    if (table[p].active() && table[p].vl == vl) hits.push_back(p);
+  if (hits.size() <= 1) return iba::kArbTableEntries;
+  unsigned max_gap = 0;
+  for (std::size_t k = 0; k < hits.size(); ++k) {
+    const unsigned next = hits[(k + 1) % hits.size()];
+    const unsigned gap = (next + iba::kArbTableEntries - hits[k]) %
+                         iba::kArbTableEntries;
+    if (gap > max_gap) max_gap = gap;
+  }
+  return max_gap == 0 ? iba::kArbTableEntries : max_gap;
+}
+
+}  // namespace ibarb::arbtable

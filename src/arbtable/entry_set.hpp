@@ -1,0 +1,71 @@
+// The entry-set algebra of the paper (§3.3).
+//
+// For a 64-entry table T = t_0..t_63 and a distance d = 2^i, the set
+//   E_{i,j} = { t_{j + n·2^i} : n = 0 .. 64/2^i - 1 },  0 <= j < d
+// contains the equally spaced entries able to serve a request of maximum
+// distance d starting at offset j. A set is *free* when all its entries are
+// free (weight 0).
+//
+// Buddy-space view (used by the defragmenter and by the correctness proofs
+// in tests): mapping each position p to q = rev_6(p) sends E_{i,j} to the
+// aligned contiguous block [rev_i(j)·2^{6-i}, (rev_i(j)+1)·2^{6-i}) — so the
+// paper's bit-reversal scan is exactly a left-to-right first-fit over
+// aligned power-of-two blocks, i.e. a binary buddy allocator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arbtable/bit_reversal.hpp"
+#include "iba/types.hpp"
+#include "iba/vl_arbitration.hpp"
+
+namespace ibarb::arbtable {
+
+/// Distances the paper admits in practice (distance 1 — every entry — is
+/// considered "too strict to be practical" and excluded from the SL
+/// catalogue, though the algebra supports it).
+inline constexpr unsigned kMinPracticalDistance = 2;
+inline constexpr unsigned kMaxDistance = iba::kArbTableEntries;
+
+/// Identifies one E_{i,j}: distance = 2^i, offset = j.
+struct EntrySet {
+  unsigned distance = kMaxDistance;  ///< Power of two in [1, 64].
+  unsigned offset = 0;               ///< In [0, distance).
+
+  bool valid() const noexcept {
+    return is_pow2(distance) && distance <= kMaxDistance && offset < distance;
+  }
+
+  unsigned size() const noexcept { return iba::kArbTableEntries / distance; }
+
+  /// The table positions j, j+d, j+2d, ...
+  std::vector<std::uint8_t> positions() const;
+
+  /// Buddy-space address of the block this set maps to (see header comment).
+  unsigned buddy_block_index() const noexcept {
+    return reverse_bits(offset, log2_pow2(distance));
+  }
+
+  /// Inverse of buddy_block_index for a given distance.
+  static EntrySet from_buddy_block(unsigned distance, unsigned block) noexcept {
+    return EntrySet{distance,
+                    reverse_bits(block, log2_pow2(distance))};
+  }
+
+  friend bool operator==(const EntrySet&, const EntrySet&) = default;
+};
+
+/// True when every entry of the set is free (weight 0) in `table`.
+bool set_is_free(const iba::ArbTable& table, const EntrySet& set);
+
+/// Number of free (weight 0) entries in the whole table.
+unsigned free_entries(const iba::ArbTable& table);
+
+/// Largest gap, in table slots, between consecutive *active* entries of one
+/// VL in cyclic order — this is the quantity a latency guarantee bounds.
+/// Returns kArbTableEntries when the VL has at most one active entry (a
+/// single entry still recurs every 64 slots).
+unsigned max_gap_for_vl(const iba::ArbTable& table, iba::VirtualLane vl);
+
+}  // namespace ibarb::arbtable

@@ -1,0 +1,71 @@
+#include "arbtable/fill_algorithm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ibarb::arbtable {
+
+const char* to_string(FillPolicy policy) {
+  switch (policy) {
+    case FillPolicy::kBitReversal: return "bit-reversal";
+    case FillPolicy::kSequential: return "sequential";
+    case FillPolicy::kRandom: return "random";
+    case FillPolicy::kScattered: return "scattered";
+  }
+  return "?";
+}
+
+std::vector<unsigned> scan_order(unsigned distance, FillPolicy policy,
+                                 util::Xoshiro256* rng) {
+  assert(is_pow2(distance) && distance <= kMaxDistance);
+  const unsigned bits = log2_pow2(distance);
+  std::vector<unsigned> order(distance);
+  switch (policy) {
+    case FillPolicy::kBitReversal:
+      for (unsigned j = 0; j < distance; ++j)
+        order[j] = reverse_bits(j, bits);
+      break;
+    case FillPolicy::kSequential:
+      std::iota(order.begin(), order.end(), 0u);
+      break;
+    case FillPolicy::kRandom: {
+      std::iota(order.begin(), order.end(), 0u);
+      assert(rng != nullptr);
+      for (unsigned j = distance; j > 1; --j)
+        std::swap(order[j - 1], order[rng->below(j)]);
+      break;
+    }
+    case FillPolicy::kScattered:
+      order.clear();
+      break;
+  }
+  return order;
+}
+
+std::optional<EntrySet> find_free_set(const iba::ArbTable& table,
+                                      unsigned distance, FillPolicy policy,
+                                      util::Xoshiro256* rng) {
+  assert(is_pow2(distance) && distance <= kMaxDistance);
+  if (policy == FillPolicy::kScattered) {
+    // No spaced structure; the caller should use find_scattered instead.
+    return std::nullopt;
+  }
+  for (const unsigned j : scan_order(distance, policy, rng)) {
+    const EntrySet candidate{distance, j};
+    if (set_is_free(table, candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> find_scattered(
+    const iba::ArbTable& table, unsigned count) {
+  std::vector<std::uint8_t> picks;
+  picks.reserve(count);
+  for (unsigned p = 0; p < iba::kArbTableEntries && picks.size() < count; ++p)
+    if (!table[p].active()) picks.push_back(static_cast<std::uint8_t>(p));
+  if (picks.size() < count) return std::nullopt;
+  return picks;
+}
+
+}  // namespace ibarb::arbtable

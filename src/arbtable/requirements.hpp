@@ -1,0 +1,44 @@
+// Translation of a connection's QoS request into arbitration-table terms
+// (paper §3.1–3.2).
+//
+//  * A mean bandwidth B on a link of data rate L becomes a weight
+//    w = ceil(B/L × 16320) in 64-byte units — 16320 = 64 entries × 255 is the
+//    weight moved by one full round of a completely occupied table.
+//  * A maximum distance d between consecutive entries (derived from the
+//    latency deadline, see qos/deadline.hpp) requires 64/d entries.
+//  * The number of entries needed is max(64/d, ceil(w/255)), rounded up to a
+//    power of two so the sequence tiles the table; the effective distance is
+//    64/entries (never larger than requested — latency only improves).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "iba/types.hpp"
+
+namespace ibarb::arbtable {
+
+struct Requirement {
+  unsigned distance = 0;          ///< Effective distance (power of two).
+  unsigned entries = 0;           ///< 64 / distance.
+  unsigned weight_per_entry = 0;  ///< Added to each entry of the sequence.
+  unsigned total_weight = 0;      ///< entries × weight_per_entry.
+
+  friend bool operator==(const Requirement&, const Requirement&) = default;
+};
+
+/// Raw weight for a bandwidth share (64-byte units per full table round).
+unsigned bandwidth_to_weight(double bandwidth_mbps, double link_data_mbps);
+
+/// Bandwidth share represented by a raw weight (inverse of the above, exact
+/// on the continuous relaxation).
+double weight_to_bandwidth(unsigned weight, double link_data_mbps);
+
+/// Computes the table requirement. Returns std::nullopt when the request is
+/// infeasible on this link (needs more weight than a full table provides).
+/// `max_distance` is rounded down to a power of two in [1, 64].
+std::optional<Requirement> compute_requirement(double bandwidth_mbps,
+                                               double link_data_mbps,
+                                               unsigned max_distance);
+
+}  // namespace ibarb::arbtable

@@ -1,0 +1,250 @@
+#include "arbtable/table_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "arbtable/defrag.hpp"
+
+namespace ibarb::arbtable {
+
+TableManager::TableManager(Config cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  assert(cfg_.link_data_mbps > 0.0);
+  assert(cfg_.reservable_fraction > 0.0 && cfg_.reservable_fraction <= 1.0);
+}
+
+void TableManager::configure_low_priority(
+    std::span<const std::pair<iba::VirtualLane, std::uint8_t>> entries) {
+  low_static_.assign(entries.begin(), entries.end());
+  const bool ok = render_low_table();
+  assert(ok && "static low-priority config must fit the table");
+  (void)ok;
+}
+
+bool TableManager::render_low_table() {
+  iba::ArbTable fresh{};
+  std::size_t slot = 0;
+  for (const auto& [vl, weight] : low_static_) {
+    if (slot >= fresh.size()) return false;
+    fresh[slot++] = iba::ArbTableEntry{vl, weight};
+  }
+  for (unsigned vl = 0; vl < low_dynamic_weight_.size(); ++vl) {
+    unsigned remaining = low_dynamic_weight_[vl];
+    while (remaining > 0) {
+      if (slot >= fresh.size()) return false;
+      const auto chunk =
+          static_cast<std::uint8_t>(std::min(remaining, iba::kMaxEntryWeight));
+      fresh[slot++] =
+          iba::ArbTableEntry{static_cast<iba::VirtualLane>(vl), chunk};
+      remaining -= chunk;
+    }
+  }
+  table_.low() = fresh;
+  return true;
+}
+
+std::optional<SeqHandle> TableManager::try_share(iba::VirtualLane vl,
+                                                 const Requirement& req,
+                                                 double mbps) {
+  for (SeqHandle h = 0; h < sequences_.size(); ++h) {
+    Sequence& seq = sequences_[h];
+    if (!seq.live || seq.vl != vl) continue;
+    // Spaced sequences share per distance class; scattered (baseline)
+    // sequences share per entry count.
+    const bool compatible =
+        seq.distance != 0
+            ? seq.distance == req.distance
+            : seq.positions.size() == req.entries;
+    if (!compatible) continue;
+    if (seq.weight_per_entry + req.weight_per_entry > iba::kMaxEntryWeight)
+      continue;
+    seq.weight_per_entry += req.weight_per_entry;
+    seq.connections += 1;
+    seq.reserved_mbps += mbps;
+    write_sequence(seq);
+    reserved_mbps_ += mbps;
+    ++stats_.shares;
+    return h;
+  }
+  return std::nullopt;
+}
+
+SeqHandle TableManager::create_sequence(iba::VirtualLane vl, unsigned distance,
+                                        std::vector<std::uint8_t> positions,
+                                        const Requirement& req, double mbps) {
+  SeqHandle h;
+  if (!free_handles_.empty()) {
+    h = free_handles_.back();
+    free_handles_.pop_back();
+  } else {
+    h = static_cast<SeqHandle>(sequences_.size());
+    sequences_.emplace_back();
+  }
+  Sequence& seq = sequences_[h];
+  seq.vl = vl;
+  seq.distance = distance;
+  seq.positions = std::move(positions);
+  seq.weight_per_entry = req.weight_per_entry;
+  seq.connections = 1;
+  seq.reserved_mbps = mbps;
+  seq.live = true;
+  write_sequence(seq);
+  reserved_mbps_ += mbps;
+  ++stats_.allocations;
+  return h;
+}
+
+void TableManager::write_sequence(const Sequence& seq) {
+  assert(seq.weight_per_entry <= iba::kMaxEntryWeight);
+  for (const auto p : seq.positions)
+    table_.high()[p] = iba::ArbTableEntry{
+        seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)};
+}
+
+void TableManager::erase_sequence(Sequence& seq) {
+  for (const auto p : seq.positions) table_.high()[p] = iba::ArbTableEntry{};
+  seq.live = false;
+  seq.positions.clear();
+}
+
+std::optional<SeqHandle> TableManager::allocate(iba::VirtualLane vl,
+                                                const Requirement& req,
+                                                double mbps) {
+  assert(vl < iba::kManagementVl);
+  assert(req.entries > 0 && req.weight_per_entry > 0);
+  if (reserved_mbps_ + mbps > reservable_mbps() * (1.0 + 1e-12)) {
+    ++stats_.reject_bandwidth;
+    return std::nullopt;
+  }
+  if (const auto shared = try_share(vl, req, mbps)) return shared;
+
+  if (cfg_.policy == FillPolicy::kScattered) {
+    if (auto picks = find_scattered(table_.high(), req.entries)) {
+      return create_sequence(vl, /*distance=*/0, std::move(*picks), req, mbps);
+    }
+    ++stats_.reject_entries;
+    return std::nullopt;
+  }
+
+  if (const auto set =
+          find_free_set(table_.high(), req.distance, cfg_.policy, &rng_)) {
+    return create_sequence(vl, set->distance, set->positions(), req, mbps);
+  }
+  ++stats_.reject_entries;
+  return std::nullopt;
+}
+
+void TableManager::release(SeqHandle handle, const Requirement& req,
+                           double mbps) {
+  assert(handle < sequences_.size());
+  Sequence& seq = sequences_[handle];
+  assert(seq.live && seq.connections > 0);
+  assert(seq.weight_per_entry >= req.weight_per_entry);
+  seq.weight_per_entry -= req.weight_per_entry;
+  seq.connections -= 1;
+  seq.reserved_mbps -= mbps;
+  reserved_mbps_ -= mbps;
+  ++stats_.releases;
+
+  if (seq.connections == 0) {
+    assert(seq.weight_per_entry == 0);
+    erase_sequence(seq);
+    free_handles_.push_back(handle);
+    if (cfg_.defrag_on_release) defragment();
+  } else {
+    write_sequence(seq);
+  }
+}
+
+bool TableManager::add_low_weight(iba::VirtualLane vl, unsigned weight,
+                                  double mbps) {
+  if (reserved_mbps_ + mbps > reservable_mbps() * (1.0 + 1e-12)) {
+    ++stats_.reject_bandwidth;
+    return false;
+  }
+  low_dynamic_weight_[vl] += weight;
+  if (!render_low_table()) {
+    low_dynamic_weight_[vl] -= weight;
+    ++stats_.reject_entries;
+    return false;
+  }
+  reserved_mbps_ += mbps;
+  low_reserved_mbps_ += mbps;
+  return true;
+}
+
+void TableManager::remove_low_weight(iba::VirtualLane vl, unsigned weight,
+                                     double mbps) {
+  assert(low_dynamic_weight_[vl] >= weight);
+  low_dynamic_weight_[vl] -= weight;
+  const bool ok = render_low_table();
+  assert(ok && "shrinking the low table cannot fail");
+  (void)ok;
+  reserved_mbps_ -= mbps;
+  low_reserved_mbps_ -= mbps;
+}
+
+unsigned TableManager::free_entries() const {
+  return arbtable::free_entries(table_.high());
+}
+
+unsigned TableManager::live_sequences() const {
+  unsigned n = 0;
+  for (const auto& s : sequences_)
+    if (s.live) ++n;
+  return n;
+}
+
+void TableManager::defragment() {
+  ++stats_.defrag_runs;
+  stats_.defrag_moves += defragment_sequences(*this);
+}
+
+bool TableManager::check_invariants(std::string* why) const {
+  const auto fail = [&](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+
+  iba::ArbTable expected{};
+  std::array<bool, iba::kArbTableEntries> used{};
+  for (const auto& seq : sequences_) {
+    if (!seq.live) continue;
+    if (seq.connections == 0) return fail("live sequence with 0 connections");
+    if (seq.weight_per_entry == 0 ||
+        seq.weight_per_entry > iba::kMaxEntryWeight)
+      return fail("sequence weight out of range");
+    if (seq.distance != 0) {
+      if (!is_pow2(seq.distance) || seq.distance > kMaxDistance)
+        return fail("sequence distance not a valid power of two");
+      if (seq.positions.size() != iba::kArbTableEntries / seq.distance)
+        return fail("sequence entry count mismatch");
+      const unsigned offset = seq.positions.empty() ? 0 : seq.positions[0];
+      for (std::size_t k = 0; k < seq.positions.size(); ++k)
+        if (seq.positions[k] != offset + k * seq.distance)
+          return fail("sequence positions not equally spaced");
+    }
+    for (const auto p : seq.positions) {
+      if (p >= iba::kArbTableEntries) return fail("position out of range");
+      if (used[p]) return fail("overlapping sequences");
+      used[p] = true;
+      expected[p] = iba::ArbTableEntry{
+          seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)};
+    }
+  }
+  for (unsigned p = 0; p < iba::kArbTableEntries; ++p)
+    if (!(expected[p] == table_.high()[p]))
+      return fail("table weight does not match sequence bookkeeping at slot " +
+                  std::to_string(p));
+
+  double sum_mbps = low_reserved_mbps_;
+  for (const auto& seq : sequences_)
+    if (seq.live) sum_mbps += seq.reserved_mbps;
+  if (std::abs(sum_mbps - reserved_mbps_) > 1e-6)
+    return fail("reserved bandwidth accounting drift");
+  if (reserved_mbps_ > reservable_mbps() * (1.0 + 1e-9))
+    return fail("reserved bandwidth exceeds the reservable cap");
+  return true;
+}
+
+}  // namespace ibarb::arbtable

@@ -1,0 +1,142 @@
+// Per-output-port manager of the VLArbitrationTable: sequence allocation,
+// sharing, release and defragmentation (paper §3.2–3.3).
+//
+// Connections of the same SL (hence same VL and same distance) share an
+// already-allocated sequence, accumulating per-entry weight up to 255, so
+// admission is bounded by bandwidth rather than by the 64 entries. When a
+// sequence's accumulated weight drops to zero its entries are freed and the
+// defragmenter restores the invariant the filling algorithm relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arbtable/fill_algorithm.hpp"
+#include "arbtable/requirements.hpp"
+#include "iba/vl_arbitration.hpp"
+#include "util/rng.hpp"
+
+namespace ibarb::arbtable {
+
+/// Handle to a live sequence inside one TableManager.
+using SeqHandle = std::uint32_t;
+
+struct Sequence {
+  iba::VirtualLane vl = 0;
+  unsigned distance = 0;                 ///< Power of two; 0 for scattered.
+  std::vector<std::uint8_t> positions;   ///< Table slots, ascending.
+  unsigned weight_per_entry = 0;         ///< Accumulated across sharers.
+  unsigned connections = 0;              ///< Sharing count.
+  double reserved_mbps = 0.0;            ///< Accumulated bandwidth.
+  bool live = false;
+};
+
+class TableManager {
+ public:
+  struct Config {
+    double link_data_mbps = iba::kBaseLinkMbps;
+    /// Fraction of the link reservable by QoS traffic; the paper keeps 20 %
+    /// for best-effort/challenged traffic served from the low table.
+    double reservable_fraction = 0.8;
+    FillPolicy policy = FillPolicy::kBitReversal;
+    bool defrag_on_release = true;
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t allocations = 0;     ///< New sequences created.
+    std::uint64_t shares = 0;          ///< Requests joined to a live sequence.
+    std::uint64_t reject_bandwidth = 0;
+    std::uint64_t reject_entries = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t defrag_runs = 0;
+    std::uint64_t defrag_moves = 0;    ///< Sequences relocated by defrag.
+  };
+
+  explicit TableManager(Config cfg);
+
+  /// Installs the static low-priority table used for best-effort traffic:
+  /// one entry per (VL, weight) pair, round-robin.
+  void configure_low_priority(
+      std::span<const std::pair<iba::VirtualLane, std::uint8_t>> entries);
+
+  void set_limit_of_high_priority(std::uint8_t limit) {
+    table_.set_limit_of_high_priority(limit);
+  }
+
+  /// Admits one connection's requirement onto `vl`. Tries sharing first,
+  /// then a fresh sequence under the configured fill policy. Returns the
+  /// sequence handle, or std::nullopt (rejection) when either the bandwidth
+  /// cap or the table would be exceeded.
+  std::optional<SeqHandle> allocate(iba::VirtualLane vl, const Requirement& req,
+                                    double mbps);
+
+  /// Releases one connection previously admitted with exactly (req, mbps).
+  void release(SeqHandle handle, const Requirement& req, double mbps);
+
+  /// Legacy-scheme support (the prior-work configuration the paper argues
+  /// against): dedicated-bandwidth connections are given weight in the
+  /// *low-priority* table — accumulated per VL and spread over as many
+  /// entries of up to 255 as needed — where nothing shields them from
+  /// misbehaving high-priority sources. Returns false when the low table
+  /// runs out of entries or the bandwidth cap is hit.
+  bool add_low_weight(iba::VirtualLane vl, unsigned weight, double mbps);
+  void remove_low_weight(iba::VirtualLane vl, unsigned weight, double mbps);
+
+  const iba::VlArbitrationTable& table() const noexcept { return table_; }
+  const Config& config() const noexcept { return cfg_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  double reserved_mbps() const noexcept { return reserved_mbps_; }
+  double reservable_mbps() const noexcept {
+    return cfg_.link_data_mbps * cfg_.reservable_fraction;
+  }
+  unsigned free_entries() const;
+  unsigned live_sequences() const;
+
+  const Sequence& sequence(SeqHandle handle) const {
+    return sequences_.at(handle);
+  }
+
+  /// Audits internal consistency: the high table's weights must equal the
+  /// sum over live sequences, positions must not overlap, per-entry weights
+  /// must respect the 255 cap, spaced sequences must match their E_{i,j}.
+  /// On failure `why` (if given) describes the first violation.
+  bool check_invariants(std::string* why = nullptr) const;
+
+  /// Runs the defragmenter immediately (normally triggered by release).
+  void defragment();
+
+ private:
+  friend unsigned defragment_sequences(TableManager& manager);
+
+  std::optional<SeqHandle> try_share(iba::VirtualLane vl,
+                                     const Requirement& req, double mbps);
+  SeqHandle create_sequence(iba::VirtualLane vl, unsigned distance,
+                            std::vector<std::uint8_t> positions,
+                            const Requirement& req, double mbps);
+  void write_sequence(const Sequence& seq);
+  void erase_sequence(Sequence& seq);
+
+  /// Re-renders the low table from the static best-effort entries plus the
+  /// dynamic per-VL weights. Returns false (leaving the table unchanged)
+  /// when more than 64 entries would be needed.
+  bool render_low_table();
+
+  Config cfg_;
+  util::Xoshiro256 rng_;
+  iba::VlArbitrationTable table_;
+  std::vector<std::pair<iba::VirtualLane, std::uint8_t>> low_static_;
+  std::array<unsigned, iba::kMaxVirtualLanes> low_dynamic_weight_{};
+  std::vector<Sequence> sequences_;
+  std::vector<SeqHandle> free_handles_;
+  double reserved_mbps_ = 0.0;      ///< High + low reservations together.
+  double low_reserved_mbps_ = 0.0;  ///< Legacy low-table share of the above.
+  Stats stats_;
+};
+
+}  // namespace ibarb::arbtable

@@ -1,0 +1,99 @@
+#include "iba/arbiter.hpp"
+
+#include <algorithm>
+
+namespace ibarb::iba {
+
+void VlArbiter::set_table(const VlArbitrationTable& table) {
+  table_ = table;
+  high_cur_.index %= kArbTableEntries;
+  low_cur_.index %= kArbTableEntries;
+  // Reloading gives the current entry its (possibly new) programmed weight;
+  // an entry mid-consumption keeps its remaining share, clamped to the new
+  // weight. A fresh or exhausted cursor starts with the full entry weight.
+  const auto reload = [](Cursor& cur, const ArbTable& t) {
+    const int programmed = t[cur.index].weight;
+    cur.remaining = cur.remaining <= 0 ? programmed
+                                       : std::min(cur.remaining, programmed);
+  };
+  reload(high_cur_, table_.high());
+  reload(low_cur_, table_.low());
+}
+
+bool VlArbiter::any_ready(const ArbTable& t, const ReadyBytes& head_bytes) {
+  for (const auto& e : t)
+    if (e.active() && head_bytes[e.vl] > 0) return true;
+  return false;
+}
+
+std::optional<VirtualLane> VlArbiter::pick(const ArbTable& t, Cursor& cur,
+                                           const ReadyBytes& head_bytes) {
+  const auto advance = [&] {
+    cur.index = (cur.index + 1) % kArbTableEntries;
+    cur.remaining = t[cur.index].weight;
+  };
+
+  // One full pass over the table is enough: if no entry matches in 64+1
+  // steps (the current entry may be revisited with a fresh weight), nothing
+  // is eligible.
+  for (unsigned step = 0; step <= kArbTableEntries; ++step) {
+    const ArbTableEntry& e = t[cur.index];
+    if (!e.active() || cur.remaining <= 0 || head_bytes[e.vl] == 0) {
+      advance();
+      continue;
+    }
+    const auto units = static_cast<int>(
+        (head_bytes[e.vl] + kWeightUnitBytes - 1) / kWeightUnitBytes);
+    cur.remaining -= units;  // whole-packet charge; overdraft forfeited
+    const VirtualLane vl = e.vl;
+    if (cur.remaining <= 0) advance();
+    return vl;
+  }
+  return std::nullopt;
+}
+
+std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
+  // VL15 absolute priority, outside both tables.
+  if (head_bytes[kManagementVl] > 0)
+    return ArbDecision{kManagementVl, false, true};
+
+  const bool high_ready = any_ready(table_.high(), head_bytes);
+  const bool low_ready = any_ready(table_.low(), head_bytes);
+
+  const unsigned limit = table_.limit_of_high_priority();
+  const bool limit_exhausted =
+      limit != kUnlimitedHighPriority &&
+      high_bytes_since_low_ >=
+          static_cast<std::uint64_t>(limit) * kHighPriorityLimitUnitBytes;
+
+  if (high_ready && !(limit_exhausted && low_ready)) {
+    if (const auto vl = pick(table_.high(), high_cur_, head_bytes)) {
+      if (!low_ready) {
+        // Spec: the limit only meters high-priority data sent while low
+        // packets wait; with no low packet pending the meter stays reset.
+        high_bytes_since_low_ = 0;
+      } else {
+        high_bytes_since_low_ += head_bytes[*vl];
+      }
+      return ArbDecision{*vl, true, false};
+    }
+  }
+  if (low_ready) {
+    if (const auto vl = pick(table_.low(), low_cur_, head_bytes)) {
+      high_bytes_since_low_ = 0;
+      return ArbDecision{*vl, false, false};
+    }
+  }
+  // high_ready might still hold if the limit blocked it but the low pick
+  // failed (cannot happen: low_ready implies pick succeeds) — retry high for
+  // robustness anyway.
+  if (high_ready) {
+    if (const auto vl = pick(table_.high(), high_cur_, head_bytes)) {
+      high_bytes_since_low_ += head_bytes[*vl];
+      return ArbDecision{*vl, true, false};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ibarb::iba

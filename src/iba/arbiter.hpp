@@ -1,0 +1,80 @@
+// Output-port VL arbiter executing a VLArbitrationTable with IBA semantics:
+//
+//  * VL15 (subnet management) always wins over data traffic.
+//  * Two weighted-round-robin tables; the high-priority table may send
+//    LimitOfHighPriority × 4096 bytes while low-priority packets are pending
+//    before one low-priority packet must be let through (255 = unlimited).
+//  * If the high table has nothing ready, the low table transmits
+//    (work-conserving), and vice versa.
+//  * Within a table, up to 64 entries are cycled; the current entry keeps
+//    transmitting from its VL while it has data and remaining weight. Weights
+//    count units of 64 bytes and are always charged whole packets (a packet
+//    may overdraw the entry; the overdraft is forfeited, not carried over).
+//  * When the current entry's VL has no eligible packet, the arbiter advances
+//    and the entry's unused weight is forfeited (it is restored to the full
+//    programmed weight the next time the round-robin reaches it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "iba/types.hpp"
+#include "iba/vl_arbitration.hpp"
+
+namespace ibarb::iba {
+
+/// Per-VL view the port gives the arbiter each decision: wire size of the
+/// packet at the head of each VL's queue, or 0 when the VL has nothing
+/// eligible (empty, or not enough downstream credits).
+using ReadyBytes = std::array<std::uint32_t, kMaxVirtualLanes>;
+
+struct ArbDecision {
+  VirtualLane vl = kInvalidVl;
+  bool from_high = false;       ///< Chosen from the high-priority table.
+  bool management = false;      ///< VL15 bypass.
+};
+
+class VlArbiter {
+ public:
+  VlArbiter() = default;
+  explicit VlArbiter(const VlArbitrationTable& table) { set_table(table); }
+
+  /// Installs a (possibly updated) table. Round-robin positions are kept so
+  /// that live reconfiguration by the subnet manager does not reset service
+  /// order; the current entry's remaining weight is clamped to its new
+  /// programmed weight.
+  void set_table(const VlArbitrationTable& table);
+
+  const VlArbitrationTable& table() const noexcept { return table_; }
+
+  /// Picks the VL to transmit next, charging weights/limits as if the caller
+  /// transmits that VL's head packet. Returns std::nullopt when nothing is
+  /// eligible.
+  std::optional<ArbDecision> arbitrate(const ReadyBytes& head_bytes);
+
+  /// Bytes of high-priority data sent since the last low-priority packet
+  /// (diagnostics; meaningful only when the limit is bounded).
+  std::uint64_t high_bytes_since_low() const noexcept {
+    return high_bytes_since_low_;
+  }
+
+ private:
+  struct Cursor {
+    unsigned index = 0;
+    int remaining = 0;  ///< Weight units left in the current entry.
+  };
+
+  /// Tries to pick from one table; on success charges the entry's weight.
+  std::optional<VirtualLane> pick(const ArbTable& t, Cursor& cur,
+                                  const ReadyBytes& head_bytes);
+
+  static bool any_ready(const ArbTable& t, const ReadyBytes& head_bytes);
+
+  VlArbitrationTable table_{};
+  Cursor high_cur_{};
+  Cursor low_cur_{};
+  std::uint64_t high_bytes_since_low_ = 0;
+};
+
+}  // namespace ibarb::iba

@@ -1,0 +1,19 @@
+#include "iba/flow_control.hpp"
+
+#include <cassert>
+
+namespace ibarb::iba {
+
+void CreditTracker::consume(VirtualLane vl, std::uint32_t wire_bytes) noexcept {
+  const auto blocks = bytes_to_blocks(wire_bytes);
+  assert(credits_[vl] >= blocks && "flow-control overdraw");
+  credits_[vl] -= blocks;
+}
+
+void CreditTracker::release(VirtualLane vl, std::uint32_t wire_bytes) noexcept {
+  const auto blocks = bytes_to_blocks(wire_bytes);
+  credits_[vl] += blocks;
+  assert(credits_[vl] <= capacity_[vl] && "credit release beyond capacity");
+}
+
+}  // namespace ibarb::iba

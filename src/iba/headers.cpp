@@ -1,0 +1,180 @@
+#include "iba/headers.hpp"
+
+#include <cstring>
+
+#include "iba/crc.hpp"
+
+namespace ibarb::iba {
+
+namespace {
+
+void put16(std::uint8_t* at, std::uint16_t v) {
+  at[0] = static_cast<std::uint8_t>(v >> 8);  // IBA wire order: big endian
+  at[1] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get16(const std::uint8_t* at) {
+  return static_cast<std::uint16_t>((at[0] << 8) | at[1]);
+}
+
+void put24(std::uint8_t* at, std::uint32_t v) {
+  at[0] = static_cast<std::uint8_t>(v >> 16);
+  at[1] = static_cast<std::uint8_t>(v >> 8);
+  at[2] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get24(const std::uint8_t* at) {
+  return (static_cast<std::uint32_t>(at[0]) << 16) |
+         (static_cast<std::uint32_t>(at[1]) << 8) | at[2];
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kLrhBytes> encode(const Lrh& lrh) {
+  std::array<std::uint8_t, kLrhBytes> out{};
+  out[0] = static_cast<std::uint8_t>((lrh.vl & 0x0F) << 4 |
+                                     (lrh.lver & 0x0F));
+  out[1] = static_cast<std::uint8_t>(
+      (lrh.sl & 0x0F) << 4 | (static_cast<std::uint8_t>(lrh.lnh) & 0x03));
+  put16(&out[2], lrh.dlid);
+  put16(&out[4], lrh.packet_length & 0x07FF);
+  put16(&out[6], lrh.slid);
+  return out;
+}
+
+std::array<std::uint8_t, kBthBytes> encode(const Bth& bth) {
+  std::array<std::uint8_t, kBthBytes> out{};
+  out[0] = bth.opcode;
+  out[1] = static_cast<std::uint8_t>(
+      (bth.solicited_event ? 0x80 : 0) | (bth.mig_req ? 0x40 : 0) |
+      (bth.pad_count & 0x03) << 4 | (bth.tver & 0x0F));
+  put16(&out[2], bth.p_key);
+  put24(&out[5], bth.dest_qp & 0x00FFFFFF);
+  out[8] = static_cast<std::uint8_t>(bth.ack_req ? 0x80 : 0);
+  put24(&out[9], bth.psn & 0x00FFFFFF);
+  return out;
+}
+
+std::optional<Lrh> decode_lrh(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kLrhBytes) return std::nullopt;
+  Lrh lrh;
+  lrh.vl = bytes[0] >> 4;
+  lrh.lver = bytes[0] & 0x0F;
+  if (lrh.lver != 0) return std::nullopt;  // only IBA 1.0 link version
+  lrh.sl = bytes[1] >> 4;
+  if ((bytes[1] & 0x0C) != 0) return std::nullopt;  // reserved bits
+  lrh.lnh = static_cast<Lnh>(bytes[1] & 0x03);
+  lrh.dlid = get16(&bytes[2]);
+  if ((bytes[4] & 0xF8) != 0) return std::nullopt;  // 5 reserved bits
+  lrh.packet_length = get16(&bytes[4]) & 0x07FF;
+  lrh.slid = get16(&bytes[6]);
+  return lrh;
+}
+
+std::optional<Bth> decode_bth(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kBthBytes) return std::nullopt;
+  Bth bth;
+  bth.opcode = bytes[0];
+  bth.solicited_event = (bytes[1] & 0x80) != 0;
+  bth.mig_req = (bytes[1] & 0x40) != 0;
+  bth.pad_count = (bytes[1] >> 4) & 0x03;
+  bth.tver = bytes[1] & 0x0F;
+  if (bth.tver != 0) return std::nullopt;  // only transport version 0
+  bth.p_key = get16(&bytes[2]);
+  if (bytes[4] != 0) return std::nullopt;  // reserved byte
+  bth.dest_qp = get24(&bytes[5]);
+  bth.ack_req = (bytes[8] & 0x80) != 0;
+  if ((bytes[8] & 0x7F) != 0) return std::nullopt;  // 7 reserved bits
+  bth.psn = get24(&bytes[9]);
+  return bth;
+}
+
+std::vector<std::uint8_t> serialize_packet(
+    Lrh lrh, Bth bth, std::span<const std::uint8_t> payload) {
+  const auto pad =
+      static_cast<std::uint8_t>((4 - payload.size() % 4) % 4);
+  bth.pad_count = pad;
+  lrh.lnh = Lnh::kBth;
+  const std::size_t body =
+      kLrhBytes + kBthBytes + payload.size() + pad + 4 /*ICRC*/;
+  lrh.packet_length = static_cast<std::uint16_t>(body / 4);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(body + 2);
+  const auto lrh_bytes = encode(lrh);
+  out.insert(out.end(), lrh_bytes.begin(), lrh_bytes.end());
+  const auto bth_bytes = encode(bth);
+  out.insert(out.end(), bth_bytes.begin(), bth_bytes.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  out.insert(out.end(), pad, 0);
+
+  // ICRC covers the invariant fields; per spec the variant LRH fields (VL)
+  // are masked. We compute it over the packet with the VL nibble forced to
+  // 1s, as the spec prescribes for LRH:VL.
+  std::vector<std::uint8_t> masked(out);
+  masked[0] |= 0xF0;
+  const auto ic = icrc(masked);
+  out.push_back(static_cast<std::uint8_t>(ic >> 24));
+  out.push_back(static_cast<std::uint8_t>(ic >> 16));
+  out.push_back(static_cast<std::uint8_t>(ic >> 8));
+  out.push_back(static_cast<std::uint8_t>(ic));
+
+  const auto vc = vcrc(out);
+  out.push_back(static_cast<std::uint8_t>(vc >> 8));
+  out.push_back(static_cast<std::uint8_t>(vc));
+  return out;
+}
+
+std::optional<WirePacket> parse_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kLrhBytes + kBthBytes + 4 + 2) return std::nullopt;
+
+  // VCRC covers everything before it.
+  const auto vcrc_at = bytes.size() - 2;
+  if (vcrc(bytes.first(vcrc_at)) !=
+      static_cast<std::uint16_t>((bytes[vcrc_at] << 8) | bytes[vcrc_at + 1]))
+    return std::nullopt;
+
+  const auto lrh = decode_lrh(bytes);
+  if (!lrh || lrh->lnh != Lnh::kBth) return std::nullopt;
+  // Length field: LRH..ICRC inclusive, in 4-byte words.
+  if (static_cast<std::size_t>(lrh->packet_length) * 4 + 2 != bytes.size())
+    return std::nullopt;
+
+  const auto bth = decode_bth(bytes.subspan(kLrhBytes));
+  if (!bth) return std::nullopt;
+
+  const auto icrc_at = bytes.size() - 2 - 4;
+  std::vector<std::uint8_t> masked(bytes.begin(), bytes.begin() + icrc_at);
+  masked[0] |= 0xF0;
+  const std::uint32_t want =
+      (static_cast<std::uint32_t>(bytes[icrc_at]) << 24) |
+      (static_cast<std::uint32_t>(bytes[icrc_at + 1]) << 16) |
+      (static_cast<std::uint32_t>(bytes[icrc_at + 2]) << 8) |
+      bytes[icrc_at + 3];
+  if (icrc(masked) != want) return std::nullopt;
+
+  WirePacket packet;
+  packet.lrh = *lrh;
+  packet.bth = *bth;
+  const auto payload_begin = kLrhBytes + kBthBytes;
+  const auto payload_len = icrc_at - payload_begin;
+  if (payload_len < bth->pad_count) return std::nullopt;
+  packet.payload.assign(bytes.begin() + payload_begin,
+                        bytes.begin() + payload_begin + payload_len -
+                            bth->pad_count);
+  return packet;
+}
+
+std::vector<std::uint8_t> to_wire(const Packet& p) {
+  Lrh lrh;
+  lrh.vl = 0;  // assigned per link by the output port; 0 as a placeholder
+  lrh.sl = p.sl;
+  lrh.dlid = p.destination;
+  lrh.slid = p.source;
+  Bth bth;
+  bth.psn = p.sequence & 0x00FFFFFF;
+  const std::vector<std::uint8_t> payload(p.payload_bytes, 0);
+  return serialize_packet(lrh, bth, payload);
+}
+
+}  // namespace ibarb::iba

@@ -1,0 +1,89 @@
+// Bit-exact wire headers of the IBA link and transport layers (IBA 1.0
+// §7.7, §9.2): the Local Route Header and the Base Transport Header, plus
+// whole-packet serialization with ICRC/VCRC trailers.
+//
+// The simulator itself works at packet granularity and never touches these
+// bytes on its hot path; they exist so the library is usable as a protocol
+// substrate (wire dumps, conformance tests, fuzzable parser) and so that
+// header sizes/overheads come from the real formats rather than constants
+// plucked from the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "iba/packet.hpp"
+#include "iba/types.hpp"
+
+namespace ibarb::iba {
+
+/// Link Next Header field: what follows the LRH.
+enum class Lnh : std::uint8_t {
+  kRaw = 0,        ///< Raw (non-IBA) payload.
+  kIpV6 = 1,       ///< Raw IPv6.
+  kBth = 2,        ///< IBA transport without GRH — what this library sends.
+  kGrhBth = 3,     ///< Global route header, then BTH.
+};
+
+/// Local Route Header — 8 bytes on the wire.
+struct Lrh {
+  VirtualLane vl = 0;          ///< 4 bits.
+  std::uint8_t lver = 0;       ///< Link version, 4 bits (0 for IBA 1.0).
+  ServiceLevel sl = 0;         ///< 4 bits.
+  Lnh lnh = Lnh::kBth;         ///< 2 bits.
+  Lid dlid = kInvalidLid;      ///< 16 bits.
+  std::uint16_t packet_length = 0;  ///< 11 bits, in 4-byte words.
+  Lid slid = kInvalidLid;      ///< 16 bits.
+
+  friend bool operator==(const Lrh&, const Lrh&) = default;
+};
+inline constexpr std::size_t kLrhBytes = 8;
+
+/// Base Transport Header — 12 bytes on the wire.
+struct Bth {
+  std::uint8_t opcode = 0x04;  ///< RC SEND-only by default.
+  bool solicited_event = false;
+  bool mig_req = false;
+  std::uint8_t pad_count = 0;   ///< 2 bits: pad bytes to 4-byte alignment.
+  std::uint8_t tver = 0;        ///< Transport version, 4 bits.
+  std::uint16_t p_key = 0xFFFF; ///< Default partition.
+  std::uint32_t dest_qp = 0;    ///< 24 bits.
+  bool ack_req = false;
+  std::uint32_t psn = 0;        ///< Packet sequence number, 24 bits.
+
+  friend bool operator==(const Bth&, const Bth&) = default;
+};
+inline constexpr std::size_t kBthBytes = 12;
+
+std::array<std::uint8_t, kLrhBytes> encode(const Lrh& lrh);
+std::array<std::uint8_t, kBthBytes> encode(const Bth& bth);
+
+/// Decoding validates reserved bits are zero and the version fields are 0.
+std::optional<Lrh> decode_lrh(std::span<const std::uint8_t> bytes);
+std::optional<Bth> decode_bth(std::span<const std::uint8_t> bytes);
+
+/// A fully parsed wire packet.
+struct WirePacket {
+  Lrh lrh;
+  Bth bth;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes LRH + BTH + payload + ICRC + VCRC into wire bytes. The LRH
+/// packet_length field is filled in (it covers LRH..ICRC in 4-byte words);
+/// the payload is padded to a 4-byte boundary with bth.pad_count set.
+std::vector<std::uint8_t> serialize_packet(Lrh lrh, Bth bth,
+                                           std::span<const std::uint8_t> payload);
+
+/// Parses and validates a wire packet (structure, length field and both
+/// CRCs). Returns std::nullopt on any inconsistency — safe on hostile input.
+std::optional<WirePacket> parse_packet(std::span<const std::uint8_t> bytes);
+
+/// Bridges the simulator's Packet metadata to wire headers (payload bytes
+/// are synthesized as zeros; the simulator doesn't track contents).
+std::vector<std::uint8_t> to_wire(const Packet& p);
+
+}  // namespace ibarb::iba

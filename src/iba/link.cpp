@@ -1,0 +1,25 @@
+#include "iba/link.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ibarb::iba {
+
+LinkRate parse_link_rate(const std::string& s) {
+  if (s == "1x") return LinkRate::k1x;
+  if (s == "4x") return LinkRate::k4x;
+  if (s == "12x") return LinkRate::k12x;
+  throw std::invalid_argument("unknown link rate '" + s +
+                              "' (expected 1x, 4x or 12x)");
+}
+
+std::string to_string(LinkRate r) {
+  switch (r) {
+    case LinkRate::k1x: return "1x";
+    case LinkRate::k4x: return "4x";
+    case LinkRate::k12x: return "12x";
+  }
+  return "?";
+}
+
+}  // namespace ibarb::iba

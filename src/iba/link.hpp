@@ -1,0 +1,53 @@
+// Physical link model: 1x / 4x / 12x widths (IBA 1.0 §5).
+//
+// All rates share the 2.5 GHz signalling clock; wider links move 4 or 12
+// bits per signal time in parallel. In simulator cycles (1 byte per cycle on
+// 1x), a 4x link moves 4 bytes per cycle and a 12x link 12.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "iba/types.hpp"
+
+namespace ibarb::iba {
+
+enum class LinkRate : std::uint8_t {
+  k1x = 1,
+  k4x = 4,
+  k12x = 12,
+};
+
+inline constexpr unsigned link_width(LinkRate r) noexcept {
+  return static_cast<unsigned>(r);
+}
+
+/// Data bandwidth in Mbps (after 8b/10b coding).
+inline constexpr double link_mbps(LinkRate r) noexcept {
+  return kBaseLinkMbps * static_cast<double>(link_width(r));
+}
+
+/// Cycles to serialize `bytes` onto a link of rate `r` (rounded up).
+inline constexpr Cycle serialization_cycles(std::uint32_t bytes,
+                                            LinkRate r) noexcept {
+  const unsigned w = link_width(r);
+  return (static_cast<Cycle>(bytes) + w - 1) / w;
+}
+
+/// Point-to-point full-duplex link attributes. Propagation delay models the
+/// cable/backplane flight time (the paper's networks are single-room NOWs;
+/// a handful of cycles).
+struct Link {
+  LinkRate rate = LinkRate::k1x;
+  Cycle propagation_delay = 2;
+
+  Cycle transfer_cycles(std::uint32_t wire_bytes) const noexcept {
+    return serialization_cycles(wire_bytes, rate) + propagation_delay;
+  }
+};
+
+/// Parses "1x" / "4x" / "12x"; throws std::invalid_argument otherwise.
+LinkRate parse_link_rate(const std::string& s);
+std::string to_string(LinkRate r);
+
+}  // namespace ibarb::iba

@@ -1,0 +1,33 @@
+#include "iba/sl_to_vl.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ibarb::iba {
+
+SlToVlMappingTable::SlToVlMappingTable() { table_.fill(0); }
+
+SlToVlMappingTable SlToVlMappingTable::identity(unsigned data_vls) {
+  if (data_vls == 0 || data_vls > kManagementVl)
+    throw std::invalid_argument("data_vls must be in 1..15");
+  SlToVlMappingTable t;
+  for (unsigned sl = 0; sl < kMaxServiceLevels; ++sl)
+    t.table_[sl] = static_cast<VirtualLane>(sl % data_vls);
+  return t;
+}
+
+void SlToVlMappingTable::set(ServiceLevel sl, VirtualLane vl) {
+  if (sl >= kMaxServiceLevels)
+    throw std::invalid_argument("SL out of range");
+  if (vl != kInvalidVl && vl >= kManagementVl)
+    throw std::invalid_argument("data SLs cannot map to VL15");
+  table_[sl] = vl;
+}
+
+bool SlToVlMappingTable::valid_for(unsigned data_vls) const noexcept {
+  for (const auto vl : table_)
+    if (vl == kInvalidVl || vl >= data_vls) return false;
+  return true;
+}
+
+}  // namespace ibarb::iba

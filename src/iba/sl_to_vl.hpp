@@ -1,0 +1,38 @@
+// SLtoVLMappingTable (IBA 1.0 §7.6.6).
+//
+// At the input of every link, packets marked with a Service Level are mapped
+// to the Virtual Lane they will occupy in the next device. The table is
+// programmed by the subnet manager and may fold several SLs onto one VL when
+// a device implements fewer data VLs than there are SLs in use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "iba/types.hpp"
+
+namespace ibarb::iba {
+
+class SlToVlMappingTable {
+ public:
+  /// Identity mapping clipped to `data_vls` operational data lanes:
+  /// SL s → VL (s % data_vls). SL15 maps to VL15 only for management traffic
+  /// (handled outside this table); as a data SL it folds like the others.
+  static SlToVlMappingTable identity(unsigned data_vls);
+
+  SlToVlMappingTable();  ///< All SLs on VL0 (2-VL minimal device).
+
+  /// Programs one mapping. `vl` must be a data VL (0..14) or kInvalidVl to
+  /// mark the SL as not admitted on this link (packets would be dropped).
+  void set(ServiceLevel sl, VirtualLane vl);
+
+  VirtualLane map(ServiceLevel sl) const noexcept { return table_[sl & 0x0F]; }
+
+  /// True when every SL maps to a valid data VL below `data_vls`.
+  bool valid_for(unsigned data_vls) const noexcept;
+
+ private:
+  std::array<VirtualLane, kMaxServiceLevels> table_{};
+};
+
+}  // namespace ibarb::iba

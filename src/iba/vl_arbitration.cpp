@@ -1,0 +1,51 @@
+#include "iba/vl_arbitration.hpp"
+
+namespace ibarb::iba {
+
+unsigned VlArbitrationTable::vl_weight(const ArbTable& t,
+                                       VirtualLane vl) noexcept {
+  unsigned sum = 0;
+  for (const auto& e : t)
+    if (e.active() && e.vl == vl) sum += e.weight;
+  return sum;
+}
+
+unsigned VlArbitrationTable::total_weight(const ArbTable& t) noexcept {
+  unsigned sum = 0;
+  for (const auto& e : t)
+    if (e.active()) sum += e.weight;
+  return sum;
+}
+
+unsigned VlArbitrationTable::vl_weight_high(VirtualLane vl) const noexcept {
+  return vl_weight(high_, vl);
+}
+
+unsigned VlArbitrationTable::vl_weight_low(VirtualLane vl) const noexcept {
+  return vl_weight(low_, vl);
+}
+
+unsigned VlArbitrationTable::total_weight_high() const noexcept {
+  return total_weight(high_);
+}
+
+unsigned VlArbitrationTable::total_weight_low() const noexcept {
+  return total_weight(low_);
+}
+
+unsigned VlArbitrationTable::active_entries_high() const noexcept {
+  unsigned n = 0;
+  for (const auto& e : high_)
+    if (e.active()) ++n;
+  return n;
+}
+
+bool VlArbitrationTable::valid() const noexcept {
+  for (const auto& e : high_)
+    if (e.active() && e.vl >= kManagementVl) return false;
+  for (const auto& e : low_)
+    if (e.active() && e.vl >= kManagementVl) return false;
+  return true;
+}
+
+}  // namespace ibarb::iba

@@ -1,0 +1,88 @@
+#include "network/graph.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace ibarb::network {
+
+iba::NodeId FabricGraph::add_switch(unsigned ports) {
+  if (ports == 0) throw std::invalid_argument("switch needs at least 1 port");
+  Node n;
+  n.kind = NodeKind::kSwitch;
+  n.peers.resize(ports);
+  n.links.resize(ports);
+  nodes_.push_back(std::move(n));
+  return static_cast<iba::NodeId>(nodes_.size() - 1);
+}
+
+iba::NodeId FabricGraph::add_host() {
+  Node n;
+  n.kind = NodeKind::kHost;
+  n.peers.resize(1);
+  n.links.resize(1);
+  nodes_.push_back(std::move(n));
+  return static_cast<iba::NodeId>(nodes_.size() - 1);
+}
+
+void FabricGraph::connect(iba::NodeId a, iba::PortIndex port_a, iba::NodeId b,
+                          iba::PortIndex port_b, iba::Link link) {
+  if (a == b) throw std::logic_error("self-links are not allowed");
+  auto& na = nodes_.at(a);
+  auto& nb = nodes_.at(b);
+  if (na.peers.at(port_a).has_value() || nb.peers.at(port_b).has_value())
+    throw std::logic_error("port already wired");
+  na.peers[port_a] = PortRef{b, port_b};
+  na.links[port_a] = link;
+  nb.peers[port_b] = PortRef{a, port_a};
+  nb.links[port_b] = link;
+}
+
+std::vector<iba::NodeId> FabricGraph::switches() const {
+  std::vector<iba::NodeId> out;
+  for (iba::NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].kind == NodeKind::kSwitch) out.push_back(id);
+  return out;
+}
+
+std::vector<iba::NodeId> FabricGraph::hosts() const {
+  std::vector<iba::NodeId> out;
+  for (iba::NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].kind == NodeKind::kHost) out.push_back(id);
+  return out;
+}
+
+PortRef FabricGraph::host_uplink(iba::NodeId host) const {
+  const Node& n = nodes_.at(host);
+  if (n.kind != NodeKind::kHost) throw std::logic_error("not a host");
+  if (!n.peers[0].has_value()) throw std::logic_error("host is unwired");
+  return *n.peers[0];
+}
+
+unsigned FabricGraph::free_ports(iba::NodeId id) const {
+  unsigned n = 0;
+  for (const auto& p : nodes_.at(id).peers)
+    if (!p.has_value()) ++n;
+  return n;
+}
+
+bool FabricGraph::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<iba::NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const auto id = frontier.front();
+    frontier.pop();
+    for (const auto& peer : nodes_[id].peers) {
+      if (!peer.has_value() || seen[peer->node]) continue;
+      seen[peer->node] = true;
+      ++visited;
+      frontier.push(peer->node);
+    }
+  }
+  return visited == nodes_.size();
+}
+
+}  // namespace ibarb::network

@@ -1,0 +1,77 @@
+// Fabric graph: switches and hosts joined by full-duplex point-to-point
+// links. Purely structural — the DES switch/host models live in src/sim/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "iba/link.hpp"
+#include "iba/types.hpp"
+
+namespace ibarb::network {
+
+enum class NodeKind : std::uint8_t { kSwitch, kHost };
+
+/// One end of a link: a (node, port) pair.
+struct PortRef {
+  iba::NodeId node = iba::kInvalidNode;
+  iba::PortIndex port = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+class FabricGraph {
+ public:
+  struct Node {
+    NodeKind kind = NodeKind::kSwitch;
+    /// peer[p] is the far end of the link on port p (nullopt = unwired).
+    std::vector<std::optional<PortRef>> peers;
+    std::vector<iba::Link> links;  ///< Link attributes per wired port.
+  };
+
+  iba::NodeId add_switch(unsigned ports);
+  iba::NodeId add_host();  ///< Hosts have exactly one port (port 0).
+
+  /// Wires a.port_a <-> b.port_b with the given link. Both ports must be
+  /// free; throws std::logic_error otherwise.
+  void connect(iba::NodeId a, iba::PortIndex port_a, iba::NodeId b,
+               iba::PortIndex port_b, iba::Link link = {});
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const Node& node(iba::NodeId id) const { return nodes_.at(id); }
+  NodeKind kind(iba::NodeId id) const { return nodes_.at(id).kind; }
+  bool is_switch(iba::NodeId id) const {
+    return kind(id) == NodeKind::kSwitch;
+  }
+
+  unsigned port_count(iba::NodeId id) const {
+    return static_cast<unsigned>(nodes_.at(id).peers.size());
+  }
+
+  std::optional<PortRef> peer(iba::NodeId id, iba::PortIndex port) const {
+    return nodes_.at(id).peers.at(port);
+  }
+
+  const iba::Link& link(iba::NodeId id, iba::PortIndex port) const {
+    return nodes_.at(id).links.at(port);
+  }
+
+  /// All switch node ids, in id order (likewise hosts).
+  std::vector<iba::NodeId> switches() const;
+  std::vector<iba::NodeId> hosts() const;
+
+  /// The switch a host hangs off, with the switch-side port.
+  PortRef host_uplink(iba::NodeId host) const;
+
+  /// Number of unwired ports on a node.
+  unsigned free_ports(iba::NodeId id) const;
+
+  /// True when every node can reach every other over wired links.
+  bool connected() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ibarb::network

@@ -1,0 +1,194 @@
+#include "network/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ibarb::network {
+
+namespace {
+
+constexpr unsigned kUnreached = std::numeric_limits<unsigned>::max();
+constexpr iba::PortIndex kNoPort = 0xFF;
+
+}  // namespace
+
+iba::PortIndex Routes::out_port(iba::NodeId sw, iba::NodeId dst_host) const {
+  const auto s = dense_.at(sw);
+  const auto h = dense_.at(dst_host);
+  const auto port = table_.at(s).at(h);
+  assert(port != kNoPort);
+  return port;
+}
+
+std::vector<PortRef> Routes::path(iba::NodeId src_host,
+                                  iba::NodeId dst_host) const {
+  assert(graph_ != nullptr);
+  std::vector<PortRef> out;
+  out.push_back(PortRef{src_host, 0});
+  iba::NodeId at = graph_->host_uplink(src_host).node;
+  while (true) {
+    const auto port = out_port(at, dst_host);
+    out.push_back(PortRef{at, port});
+    const auto peer = graph_->peer(at, port);
+    assert(peer.has_value());
+    if (peer->node == dst_host) break;
+    assert(graph_->is_switch(peer->node));
+    at = peer->node;
+    assert(out.size() <= graph_->node_count() && "routing loop");
+  }
+  return out;
+}
+
+unsigned Routes::hops(iba::NodeId src_host, iba::NodeId dst_host) const {
+  return static_cast<unsigned>(path(src_host, dst_host).size()) - 1;
+}
+
+unsigned Routes::level(iba::NodeId sw) const {
+  return switch_level_.at(dense_.at(sw));
+}
+
+bool Routes::is_up_hop(iba::NodeId a, iba::NodeId b) const {
+  const unsigned la = level(a);
+  const unsigned lb = level(b);
+  if (lb != la) return lb < la;
+  return b < a;
+}
+
+Routes compute_updown_routes(const FabricGraph& g) {
+  if (!g.connected()) throw std::runtime_error("fabric is disconnected");
+
+  Routes r;
+  r.graph_ = &g;
+  r.switch_ids_ = g.switches();
+  r.host_ids_ = g.hosts();
+  if (r.switch_ids_.empty()) throw std::runtime_error("no switches in fabric");
+
+  r.dense_.assign(g.node_count(), 0);
+  for (std::uint32_t i = 0; i < r.switch_ids_.size(); ++i)
+    r.dense_[r.switch_ids_[i]] = i;
+  for (std::uint32_t i = 0; i < r.host_ids_.size(); ++i)
+    r.dense_[r.host_ids_[i]] = i;
+
+  const auto n_sw = r.switch_ids_.size();
+  const auto n_host = r.host_ids_.size();
+
+  // Root: the highest-degree switch (ties -> lowest id) gives the shallowest
+  // tree, the usual up*/down* heuristic.
+  r.root_ = r.switch_ids_[0];
+  unsigned best_degree = 0;
+  for (const auto s : r.switch_ids_) {
+    unsigned deg = 0;
+    for (unsigned p = 0; p < g.port_count(s); ++p) {
+      const auto peer = g.peer(s, static_cast<iba::PortIndex>(p));
+      if (peer && g.is_switch(peer->node)) ++deg;
+    }
+    if (deg > best_degree) {
+      best_degree = deg;
+      r.root_ = s;
+    }
+  }
+
+  // BFS levels over the switch-only graph.
+  r.switch_level_.assign(n_sw, kUnreached);
+  {
+    std::queue<iba::NodeId> frontier;
+    r.switch_level_[r.dense_[r.root_]] = 0;
+    frontier.push(r.root_);
+    while (!frontier.empty()) {
+      const auto at = frontier.front();
+      frontier.pop();
+      for (unsigned p = 0; p < g.port_count(at); ++p) {
+        const auto peer = g.peer(at, static_cast<iba::PortIndex>(p));
+        if (!peer || !g.is_switch(peer->node)) continue;
+        auto& lvl = r.switch_level_[r.dense_[peer->node]];
+        if (lvl == kUnreached) {
+          lvl = r.switch_level_[r.dense_[at]] + 1;
+          frontier.push(peer->node);
+        }
+      }
+    }
+    for (const auto lvl : r.switch_level_)
+      if (lvl == kUnreached)
+        throw std::runtime_error("switch graph is disconnected");
+  }
+
+  r.table_.assign(n_sw, std::vector<iba::PortIndex>(n_host, kNoPort));
+
+  // Per destination host: its switch is the sink; build legal next hops.
+  for (std::uint32_t h = 0; h < n_host; ++h) {
+    const auto host = r.host_ids_[h];
+    const PortRef uplink = g.host_uplink(host);
+    const auto sink = uplink.node;
+    r.table_[r.dense_[sink]][h] = uplink.port;
+
+    // down_dist[s]: shortest all-down path s -> sink. BFS climbing from the
+    // sink: predecessor s reaches x via a down hop iff x -> s is an up hop.
+    std::vector<unsigned> down_dist(n_sw, kUnreached);
+    std::vector<iba::PortIndex> down_port(n_sw, kNoPort);
+    {
+      std::queue<iba::NodeId> frontier;
+      down_dist[r.dense_[sink]] = 0;
+      frontier.push(sink);
+      while (!frontier.empty()) {
+        const auto x = frontier.front();
+        frontier.pop();
+        for (unsigned p = 0; p < g.port_count(x); ++p) {
+          const auto peer = g.peer(x, static_cast<iba::PortIndex>(p));
+          if (!peer || !g.is_switch(peer->node)) continue;
+          const auto s = peer->node;
+          if (!r.is_up_hop(x, s)) continue;  // need hop s->x to be down
+          if (down_dist[r.dense_[s]] != kUnreached) continue;
+          down_dist[r.dense_[s]] = down_dist[r.dense_[x]] + 1;
+          down_port[r.dense_[s]] = peer->port;
+          frontier.push(s);
+        }
+      }
+    }
+
+    // dist[s]: shortest legal (up* then down*) path length. Multi-source
+    // uniform-weight Dijkstra seeded with the all-down distances, expanding
+    // backwards over up hops (s -> m up).
+    std::vector<unsigned> dist(down_dist);
+    std::vector<iba::PortIndex> up_port(n_sw, kNoPort);
+    using Item = std::pair<unsigned, iba::NodeId>;  // (dist, switch)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (std::uint32_t s = 0; s < n_sw; ++s)
+      if (dist[s] != kUnreached) pq.emplace(dist[s], r.switch_ids_[s]);
+    while (!pq.empty()) {
+      const auto [d, m] = pq.top();
+      pq.pop();
+      if (d != dist[r.dense_[m]]) continue;  // stale
+      for (unsigned p = 0; p < g.port_count(m); ++p) {
+        const auto peer = g.peer(m, static_cast<iba::PortIndex>(p));
+        if (!peer || !g.is_switch(peer->node)) continue;
+        const auto s = peer->node;
+        if (!r.is_up_hop(s, m)) continue;  // expanding s -> m up hops only
+        if (dist[r.dense_[s]] <= d + 1) continue;
+        dist[r.dense_[s]] = d + 1;
+        up_port[r.dense_[s]] = peer->port;
+        pq.emplace(d + 1, s);
+      }
+    }
+
+    for (std::uint32_t s = 0; s < n_sw; ++s) {
+      const auto sw = r.switch_ids_[s];
+      if (sw == sink) continue;
+      if (dist[s] == kUnreached)
+        throw std::runtime_error("no legal up*/down* path to a destination");
+      // Prefer the all-down continuation when it is optimal; once a packet
+      // descends, every later switch also satisfies this and keeps
+      // descending, so chained paths stay legal.
+      if (down_dist[s] == dist[s]) {
+        r.table_[s][h] = down_port[s];
+      } else {
+        r.table_[s][h] = up_port[s];
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ibarb::network

@@ -1,0 +1,56 @@
+// Deadlock-free up*/down* routing for irregular networks.
+//
+// A BFS spanning tree from a root switch assigns every link an "up" end
+// (closer to the root; ties broken by node id). Legal paths traverse zero or
+// more up hops followed by zero or more down hops — the classical condition
+// that breaks every cyclic channel dependency. Forwarding is destination
+// based (as in IBA switches): one output port per (switch, destination
+// host); the tables are built so that every chained path is legal and
+// shortest among legal paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/graph.hpp"
+
+namespace ibarb::network {
+
+class Routes {
+ public:
+  /// Output port at switch `sw` for packets addressed to `dst_host`.
+  iba::PortIndex out_port(iba::NodeId sw, iba::NodeId dst_host) const;
+
+  /// Output ports traversed from source host to destination host, in order:
+  /// the host's own port 0 first, then one output port per switch crossed.
+  std::vector<PortRef> path(iba::NodeId src_host, iba::NodeId dst_host) const;
+
+  /// Switches crossed between the two hosts (path length minus the host).
+  unsigned hops(iba::NodeId src_host, iba::NodeId dst_host) const;
+
+  /// BFS level of a switch in the up*/down* tree (root = 0). Exposed for
+  /// tests that verify path legality.
+  unsigned level(iba::NodeId sw) const;
+
+  /// True when hop a→b climbs toward the root (defines link direction).
+  bool is_up_hop(iba::NodeId a, iba::NodeId b) const;
+
+  iba::NodeId root() const noexcept { return root_; }
+
+ private:
+  friend Routes compute_updown_routes(const FabricGraph& g);
+
+  const FabricGraph* graph_ = nullptr;
+  iba::NodeId root_ = iba::kInvalidNode;
+  std::vector<std::uint32_t> dense_;        ///< node id -> dense index
+  std::vector<unsigned> switch_level_;      ///< dense switch -> BFS level
+  std::vector<std::vector<iba::PortIndex>> table_;  ///< [sw][host] -> port
+  std::vector<iba::NodeId> host_ids_;
+  std::vector<iba::NodeId> switch_ids_;
+};
+
+/// Builds the forwarding tables. Throws std::runtime_error if the fabric is
+/// disconnected.
+Routes compute_updown_routes(const FabricGraph& g);
+
+}  // namespace ibarb::network

@@ -1,0 +1,244 @@
+#include "network/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ibarb::network {
+
+namespace {
+
+iba::PortIndex first_free_port(const FabricGraph& g, iba::NodeId id) {
+  for (unsigned p = 0; p < g.port_count(id); ++p)
+    if (!g.peer(id, static_cast<iba::PortIndex>(p)).has_value())
+      return static_cast<iba::PortIndex>(p);
+  throw std::logic_error("no free port");
+}
+
+}  // namespace
+
+FabricGraph make_irregular(const IrregularSpec& spec) {
+  if (spec.hosts_per_switch >= spec.ports_per_switch)
+    throw std::invalid_argument("need at least one inter-switch port");
+  if (spec.switches < 2)
+    throw std::invalid_argument("irregular networks need >= 2 switches");
+  const unsigned trunk_ports = spec.ports_per_switch - spec.hosts_per_switch;
+  if ((static_cast<std::uint64_t>(trunk_ports) * spec.switches) % 2 != 0)
+    throw std::invalid_argument("odd total trunk port count cannot be paired");
+  if (trunk_ports * spec.switches < 2 * (spec.switches - 1))
+    throw std::invalid_argument("not enough trunk ports for a spanning tree");
+
+  util::Xoshiro256 rng(spec.seed);
+  const iba::Link link{spec.rate, spec.propagation_delay};
+
+  FabricGraph g;
+  std::vector<iba::NodeId> sw(spec.switches);
+  for (auto& s : sw) s = g.add_switch(spec.ports_per_switch);
+
+  // Random spanning tree (random-permutation Prim variant): attach each new
+  // switch to a uniformly chosen already-connected one with free ports.
+  std::vector<iba::NodeId> order = sw;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<iba::NodeId> in_tree{order[0]};
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    std::vector<iba::NodeId> candidates;
+    for (const auto t : in_tree)  // keep host ports out of the tree wiring
+      if (g.free_ports(t) > spec.hosts_per_switch) candidates.push_back(t);
+    assert(!candidates.empty());
+    const auto anchor = candidates[rng.below(candidates.size())];
+    g.connect(order[i], first_free_port(g, order[i]), anchor,
+              first_free_port(g, anchor), link);
+    in_tree.push_back(order[i]);
+  }
+
+  // Pair the leftover trunk ports at random. Try to avoid duplicating an
+  // existing parallel link; fall back to accepting one after a few attempts
+  // (tightly wired small fabrics may force it).
+  std::vector<iba::NodeId> loose;
+  for (const auto s : sw) {
+    const unsigned frees = g.free_ports(s) - spec.hosts_per_switch;
+    for (unsigned k = 0; k < frees; ++k) loose.push_back(s);
+  }
+  const auto already_linked = [&](iba::NodeId a, iba::NodeId b) {
+    for (unsigned p = 0; p < g.port_count(a); ++p) {
+      const auto peer = g.peer(a, static_cast<iba::PortIndex>(p));
+      if (peer && peer->node == b) return true;
+    }
+    return false;
+  };
+  while (loose.size() >= 2) {
+    for (std::size_t i = loose.size(); i > 1; --i)
+      std::swap(loose[i - 1], loose[rng.below(i)]);
+    const iba::NodeId a = loose.back();
+    loose.pop_back();
+    bool wired = false;
+    for (unsigned attempt = 0; attempt < 8 && !wired; ++attempt) {
+      const auto j = rng.below(loose.size());
+      const iba::NodeId b = loose[j];
+      if (b == a) continue;
+      if (attempt < 7 && already_linked(a, b)) continue;
+      g.connect(a, first_free_port(g, a), b, first_free_port(g, b), link);
+      loose[j] = loose.back();
+      loose.pop_back();
+      wired = true;
+    }
+    if (!wired) {
+      // Everything left pairs a with itself or duplicates; take any partner
+      // that is not a (parallel links are legal in IBA).
+      for (std::size_t j = 0; j < loose.size(); ++j) {
+        if (loose[j] == a) continue;
+        g.connect(a, first_free_port(g, a), loose[j],
+                  first_free_port(g, loose[j]), link);
+        loose[j] = loose.back();
+        loose.pop_back();
+        wired = true;
+        break;
+      }
+      if (!wired) break;  // only same-switch ports remain: leave them unwired
+    }
+  }
+
+  // Hosts last so host ports occupy the tail port indices of each switch.
+  for (const auto s : sw) {
+    for (unsigned h = 0; h < spec.hosts_per_switch; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s, first_free_port(g, s), link);
+    }
+  }
+
+  assert(g.connected());
+  return g;
+}
+
+FabricGraph make_single_switch(unsigned hosts, unsigned ports,
+                               iba::LinkRate rate) {
+  if (hosts > ports) throw std::invalid_argument("more hosts than ports");
+  FabricGraph g;
+  const auto s = g.add_switch(ports);
+  const iba::Link link{rate, 2};
+  for (unsigned h = 0; h < hosts; ++h) {
+    const auto host = g.add_host();
+    g.connect(host, 0, s, static_cast<iba::PortIndex>(h), link);
+  }
+  return g;
+}
+
+FabricGraph make_line(unsigned switches, unsigned hosts_per_switch,
+                      iba::LinkRate rate) {
+  if (switches == 0) throw std::invalid_argument("empty line");
+  FabricGraph g;
+  const unsigned ports = 2 + hosts_per_switch;
+  const iba::Link link{rate, 2};
+  std::vector<iba::NodeId> sw(switches);
+  for (auto& s : sw) s = g.add_switch(ports);
+  for (unsigned i = 1; i < switches; ++i)
+    g.connect(sw[i - 1], 1, sw[i], 0, link);
+  for (const auto s : sw)
+    for (unsigned h = 0; h < hosts_per_switch; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s, static_cast<iba::PortIndex>(2 + h), link);
+    }
+  return g;
+}
+
+}  // namespace ibarb::network
+
+namespace ibarb::network {
+
+FabricGraph make_mesh2d(unsigned cols, unsigned rows,
+                        unsigned hosts_per_switch, iba::LinkRate rate) {
+  if (cols == 0 || rows == 0) throw std::invalid_argument("empty mesh");
+  FabricGraph g;
+  const iba::Link link{rate, 2};
+  const unsigned ports = 4 + hosts_per_switch;
+  std::vector<iba::NodeId> sw(static_cast<std::size_t>(cols) * rows);
+  for (auto& s : sw) s = g.add_switch(ports);
+  const auto at = [&](unsigned x, unsigned y) { return sw[y * cols + x]; };
+  // Ports: 0 = west, 1 = east, 2 = north, 3 = south.
+  for (unsigned y = 0; y < rows; ++y)
+    for (unsigned x = 0; x + 1 < cols; ++x)
+      g.connect(at(x, y), 1, at(x + 1, y), 0, link);
+  for (unsigned y = 0; y + 1 < rows; ++y)
+    for (unsigned x = 0; x < cols; ++x)
+      g.connect(at(x, y), 3, at(x, y + 1), 2, link);
+  for (const auto s : sw)
+    for (unsigned h = 0; h < hosts_per_switch; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s, static_cast<iba::PortIndex>(4 + h), link);
+    }
+  return g;
+}
+
+FabricGraph make_torus2d(unsigned cols, unsigned rows,
+                         unsigned hosts_per_switch, iba::LinkRate rate) {
+  if (cols < 3 || rows < 3)
+    throw std::invalid_argument("torus needs at least 3x3 switches");
+  FabricGraph g;
+  const iba::Link link{rate, 2};
+  const unsigned ports = 4 + hosts_per_switch;
+  std::vector<iba::NodeId> sw(static_cast<std::size_t>(cols) * rows);
+  for (auto& s : sw) s = g.add_switch(ports);
+  const auto at = [&](unsigned x, unsigned y) { return sw[y * cols + x]; };
+  for (unsigned y = 0; y < rows; ++y)
+    for (unsigned x = 0; x < cols; ++x)
+      g.connect(at(x, y), 1, at((x + 1) % cols, y), 0, link);
+  for (unsigned y = 0; y < rows; ++y)
+    for (unsigned x = 0; x < cols; ++x)
+      g.connect(at(x, y), 3, at(x, (y + 1) % rows), 2, link);
+  for (const auto s : sw)
+    for (unsigned h = 0; h < hosts_per_switch; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s, static_cast<iba::PortIndex>(4 + h), link);
+    }
+  return g;
+}
+
+FabricGraph make_fat_tree(unsigned spines, unsigned leaves,
+                          unsigned hosts_per_leaf, iba::LinkRate rate) {
+  if (spines == 0 || leaves == 0)
+    throw std::invalid_argument("fat tree needs spines and leaves");
+  FabricGraph g;
+  const iba::Link link{rate, 2};
+  std::vector<iba::NodeId> spine(spines);
+  for (auto& s : spine) s = g.add_switch(leaves);
+  std::vector<iba::NodeId> leaf(leaves);
+  for (auto& s : leaf) s = g.add_switch(spines + hosts_per_leaf);
+  for (unsigned l = 0; l < leaves; ++l)
+    for (unsigned t = 0; t < spines; ++t)
+      g.connect(leaf[l], static_cast<iba::PortIndex>(t), spine[t],
+                static_cast<iba::PortIndex>(l), link);
+  for (const auto s : leaf)
+    for (unsigned h = 0; h < hosts_per_leaf; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s, static_cast<iba::PortIndex>(spines + h), link);
+    }
+  return g;
+}
+
+std::string to_dot(const FabricGraph& graph) {
+  std::string out = "graph fabric {\n  node [fontsize=10];\n";
+  for (iba::NodeId n = 0; n < graph.node_count(); ++n) {
+    out += "  n" + std::to_string(n);
+    out += graph.is_switch(n)
+               ? " [shape=box, label=\"sw" + std::to_string(n) + "\"];\n"
+               : " [shape=point, xlabel=\"h" + std::to_string(n) + "\"];\n";
+  }
+  for (iba::NodeId n = 0; n < graph.node_count(); ++n)
+    for (unsigned p = 0; p < graph.port_count(n); ++p) {
+      const auto peer = graph.peer(n, static_cast<iba::PortIndex>(p));
+      if (!peer || peer->node < n) continue;  // emit each cable once
+      if (peer->node == n && peer->port < p) continue;
+      out += "  n" + std::to_string(n) + " -- n" +
+             std::to_string(peer->node) + ";\n";
+    }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ibarb::network

@@ -1,0 +1,64 @@
+// Topology generators.
+//
+// The paper evaluates randomly generated irregular networks whose switches
+// all have 8 ports — 4 with a host attached, 4 for switch-to-switch wiring —
+// with sizes from 8 to 64 switches (32 to 256 hosts). The generator below
+// reproduces that family; a couple of small fixed topologies support unit
+// tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "network/graph.hpp"
+
+namespace ibarb::network {
+
+struct IrregularSpec {
+  unsigned switches = 16;
+  unsigned ports_per_switch = 8;
+  unsigned hosts_per_switch = 4;  ///< Remaining ports interconnect switches.
+  iba::LinkRate rate = iba::LinkRate::k1x;
+  iba::Cycle propagation_delay = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Randomly wires an irregular network per the spec. Construction: a random
+/// spanning tree over the switches first (guarantees connectivity), then the
+/// remaining switch ports are paired uniformly at random, avoiding self
+/// links and retrying to avoid duplicate parallel links when possible.
+/// Hosts are attached afterwards. Deterministic in `seed`.
+FabricGraph make_irregular(const IrregularSpec& spec);
+
+/// One switch with `hosts` hosts — the smallest QoS-meaningful fabric.
+FabricGraph make_single_switch(unsigned hosts, unsigned ports = 8,
+                               iba::LinkRate rate = iba::LinkRate::k1x);
+
+/// A line of `switches` switches, `hosts_per_switch` hosts on each — handy
+/// for tests that need multi-hop paths with a known hop count.
+FabricGraph make_line(unsigned switches, unsigned hosts_per_switch = 1,
+                      iba::LinkRate rate = iba::LinkRate::k1x);
+
+/// A cols x rows 2-D mesh of switches, `hosts_per_switch` hosts on each.
+/// Switch (x, y) = index y*cols + x; ports 0..3 = W,E,N,S.
+FabricGraph make_mesh2d(unsigned cols, unsigned rows,
+                        unsigned hosts_per_switch = 1,
+                        iba::LinkRate rate = iba::LinkRate::k1x);
+
+/// Same, with wrap-around links (2-D torus). Requires cols, rows >= 3 so no
+/// port is double-wired.
+FabricGraph make_torus2d(unsigned cols, unsigned rows,
+                         unsigned hosts_per_switch = 1,
+                         iba::LinkRate rate = iba::LinkRate::k1x);
+
+/// A two-level fat tree: `spines` top switches, `leaves` edge switches,
+/// every leaf wired to every spine, `hosts_per_leaf` hosts per leaf. This is
+/// the classic server-room shape the paper's NOW setting implies.
+FabricGraph make_fat_tree(unsigned spines, unsigned leaves,
+                          unsigned hosts_per_leaf,
+                          iba::LinkRate rate = iba::LinkRate::k1x);
+
+/// Graphviz dot rendering of a fabric (switches as boxes, hosts as dots).
+std::string to_dot(const FabricGraph& graph);
+
+}  // namespace ibarb::network

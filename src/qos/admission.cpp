@@ -1,0 +1,170 @@
+#include "qos/admission.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ibarb::qos {
+
+namespace {
+
+std::uint64_t port_key(const network::PortRef& port) {
+  return static_cast<std::uint64_t>(port.node) * 256 + port.port;
+}
+
+}  // namespace
+
+AdmissionControl::AdmissionControl(const network::FabricGraph& graph,
+                                   const network::Routes& routes,
+                                   std::vector<SlProfile> catalogue,
+                                   Config cfg)
+    : graph_(graph), routes_(routes), catalogue_(std::move(catalogue)),
+      cfg_(cfg) {
+  // Eagerly create a manager for every wired output port so program() gives
+  // all ports their low-priority (best-effort) configuration even before any
+  // reservation lands on them.
+  for (iba::NodeId node = 0; node < graph_.node_count(); ++node) {
+    const unsigned ports = graph_.is_switch(node) ? graph_.port_count(node) : 1;
+    for (unsigned p = 0; p < ports; ++p) {
+      if (graph_.peer(node, static_cast<iba::PortIndex>(p)))
+        manager_for(network::PortRef{node, static_cast<iba::PortIndex>(p)});
+    }
+  }
+}
+
+arbtable::TableManager& AdmissionControl::manager_for(
+    const network::PortRef& port) {
+  const auto key = port_key(port);
+  const auto it = managers_.find(key);
+  if (it != managers_.end()) return it->second;
+
+  arbtable::TableManager::Config mc;
+  mc.link_data_mbps = iba::link_mbps(graph_.link(port.node, port.port).rate);
+  mc.reservable_fraction = cfg_.reservable_fraction;
+  mc.policy = cfg_.policy;
+  mc.defrag_on_release = cfg_.defrag_on_release;
+  mc.seed = cfg_.seed ^ key;
+  auto [pos, inserted] = managers_.emplace(key, arbtable::TableManager(mc));
+  assert(inserted);
+  // Every port serves the best-effort family from its low table and applies
+  // the configured high-priority limit.
+  const auto low = low_priority_config(catalogue_);
+  pos->second.configure_low_priority(low);
+  pos->second.set_limit_of_high_priority(cfg_.limit_of_high_priority);
+  return pos->second;
+}
+
+const arbtable::TableManager& AdmissionControl::port_manager(
+    iba::NodeId node, iba::PortIndex port) const {
+  const auto it = managers_.find(port_key(network::PortRef{node, port}));
+  if (it == managers_.end())
+    throw std::out_of_range("no reservations on this port yet");
+  return it->second;
+}
+
+std::optional<ConnectionId> AdmissionControl::request(
+    const ConnectionRequest& req) {
+  const SlProfile* profile = find_sl(catalogue_, req.sl);
+  if (profile == nullptr || profile->max_distance == 0)
+    throw std::invalid_argument("SL is not a guaranteed-traffic class");
+
+  const bool legacy_db = cfg_.scheme == Scheme::kLegacy &&
+                         profile->category == TrafficCategory::kDb;
+
+  const auto path = routes_.path(req.src_host, req.dst_host);
+  Connection conn;
+  conn.request = req;
+
+  bool ok = true;
+  for (const auto& port : path) {
+    auto& manager = manager_for(port);
+    const auto requirement = arbtable::compute_requirement(
+        req.wire_mbps, manager.config().link_data_mbps, req.max_distance);
+    if (!requirement) {
+      ok = false;
+      break;
+    }
+    HopReservation hop;
+    hop.port = port;
+    hop.requirement = *requirement;
+    hop.mbps = req.wire_mbps;
+    hop.vl = profile->vl;
+    if (legacy_db) {
+      // Prior-work scheme: DB gets only accumulated low-table weight
+      // (latency structure irrelevant — no guarantee is possible there).
+      hop.low_table = true;
+      if (!manager.add_low_weight(profile->vl, requirement->total_weight,
+                                  req.wire_mbps)) {
+        ok = false;
+        break;
+      }
+    } else {
+      const auto handle =
+          manager.allocate(profile->vl, *requirement, req.wire_mbps);
+      if (!handle) {
+        ok = false;
+        break;
+      }
+      hop.handle = *handle;
+    }
+    conn.hops.push_back(hop);
+  }
+
+  if (!ok) {
+    // Roll back the hops already reserved.
+    for (const auto& hop : conn.hops) {
+      auto& manager = manager_for(hop.port);
+      if (hop.low_table) {
+        manager.remove_low_weight(hop.vl, hop.requirement.total_weight,
+                                  hop.mbps);
+      } else {
+        manager.release(hop.handle, hop.requirement, hop.mbps);
+      }
+    }
+    ++rejected_;
+    return std::nullopt;
+  }
+
+  conn.id = next_id_++;
+  conn.live = true;
+  conn.deadline =
+      end_to_end_guarantee(req.max_distance,
+                           static_cast<unsigned>(path.size()),
+                           cfg_.max_packet_wire_bytes);
+  connections_.emplace(conn.id, std::move(conn));
+  ++accepted_;
+  return connections_.rbegin()->second.id;
+}
+
+void AdmissionControl::release(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end() || !it->second.live)
+    throw std::invalid_argument("unknown or already-released connection");
+  for (const auto& hop : it->second.hops) {
+    auto& manager = manager_for(hop.port);
+    if (hop.low_table) {
+      manager.remove_low_weight(hop.vl, hop.requirement.total_weight,
+                                hop.mbps);
+    } else {
+      manager.release(hop.handle, hop.requirement, hop.mbps);
+    }
+  }
+  it->second.live = false;
+  it->second.hops.clear();
+}
+
+void AdmissionControl::program(sim::Simulator& sim) const {
+  for (const auto& [key, manager] : managers_) {
+    const auto node = static_cast<iba::NodeId>(key / 256);
+    const auto port = static_cast<iba::PortIndex>(key % 256);
+    sim.set_output_arbitration(node, port, manager.table());
+    sim.set_port_reserved_mbps(node, port, manager.reserved_mbps());
+  }
+}
+
+bool AdmissionControl::check_all_invariants(std::string* why) const {
+  for (const auto& [key, manager] : managers_)
+    if (!manager.check_invariants(why)) return false;
+  return true;
+}
+
+}  // namespace ibarb::qos

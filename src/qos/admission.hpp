@@ -1,0 +1,102 @@
+// Path admission control: the paper's "global frame".
+//
+// "Each request is studied in each node in its path, and it is only accepted
+// if there are available resources" (§4.2). For every output port along the
+// route — the source host interface plus each switch output — the request is
+// translated to table terms (arbtable::compute_requirement) and placed by
+// the TableManager; any failure rolls the whole request back.
+//
+// Two schemes are supported:
+//  * kNewProposal (the paper): every guaranteed connection — DBTS and DB —
+//    lands in the high-priority table, classified by distance.
+//  * kLegacy (prior work, experiment E5): DBTS in the high table, DB as
+//    plain accumulated weight in the low-priority table, where misbehaving
+//    high-priority sources can starve it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "arbtable/table_manager.hpp"
+#include "network/graph.hpp"
+#include "network/routing.hpp"
+#include "qos/connection.hpp"
+#include "qos/deadline.hpp"
+#include "qos/traffic_classes.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibarb::qos {
+
+enum class Scheme : std::uint8_t { kNewProposal, kLegacy };
+
+class AdmissionControl {
+ public:
+  struct Config {
+    arbtable::FillPolicy policy = arbtable::FillPolicy::kBitReversal;
+    bool defrag_on_release = true;
+    double reservable_fraction = 0.8;
+    Scheme scheme = Scheme::kNewProposal;
+    std::uint8_t limit_of_high_priority = iba::kUnlimitedHighPriority;
+    /// Wire size of the largest packet in use: connection deadlines account
+    /// for one whole-packet overdraft per arbitration entry (IBA rounds
+    /// grants up to full packets).
+    std::uint32_t max_packet_wire_bytes = kDefaultMaxWireBytes;
+    std::uint64_t seed = 1;
+  };
+
+  AdmissionControl(const network::FabricGraph& graph,
+                   const network::Routes& routes,
+                   std::vector<SlProfile> catalogue, Config cfg);
+
+  /// Tries to establish a connection. On success the reservation is placed
+  /// on every output port of the path and the id is returned.
+  std::optional<ConnectionId> request(const ConnectionRequest& req);
+
+  /// Tears a connection down, freeing (and defragmenting) each hop's table.
+  void release(ConnectionId id);
+
+  const Connection& connection(ConnectionId id) const {
+    return connections_.at(id);
+  }
+  bool is_live(ConnectionId id) const {
+    const auto it = connections_.find(id);
+    return it != connections_.end() && it->second.live;
+  }
+
+  /// Programs every port's VLArbitrationTable and reservation annotation
+  /// into the simulator. Call after establishing connections (or again
+  /// after any change).
+  void program(sim::Simulator& sim) const;
+
+  const arbtable::TableManager& port_manager(iba::NodeId node,
+                                             iba::PortIndex port) const;
+
+  const std::vector<SlProfile>& catalogue() const noexcept {
+    return catalogue_;
+  }
+
+  std::uint64_t accepted() const noexcept { return accepted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+  /// Consistency audit over every port manager (tests).
+  bool check_all_invariants(std::string* why = nullptr) const;
+
+ private:
+  arbtable::TableManager& manager_for(const network::PortRef& port);
+
+  const network::FabricGraph& graph_;
+  const network::Routes& routes_;
+  std::vector<SlProfile> catalogue_;
+  Config cfg_;
+
+  /// Key: node * 256 + port.
+  std::map<std::uint64_t, arbtable::TableManager> managers_;
+  std::map<ConnectionId, Connection> connections_;
+  ConnectionId next_id_ = 1;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ibarb::qos

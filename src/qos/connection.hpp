@@ -1,0 +1,46 @@
+// Connection objects: what an application requests and what admission
+// control recorded when it said yes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arbtable/requirements.hpp"
+#include "arbtable/table_manager.hpp"
+#include "iba/types.hpp"
+#include "network/graph.hpp"
+
+namespace ibarb::qos {
+
+using ConnectionId = std::uint32_t;
+
+/// What the application asks for. Bandwidth is *wire-level* (payload plus
+/// per-packet overhead) so that reservations cover everything the link must
+/// actually move; traffic/workload.cpp does the payload↔wire conversion.
+struct ConnectionRequest {
+  iba::NodeId src_host = iba::kInvalidNode;
+  iba::NodeId dst_host = iba::kInvalidNode;
+  iba::ServiceLevel sl = 0;
+  unsigned max_distance = 64;  ///< From the SL profile / deadline.
+  double wire_mbps = 1.0;      ///< Mean bandwidth to reserve.
+};
+
+/// One per-hop reservation made on behalf of a connection.
+struct HopReservation {
+  network::PortRef port;       ///< The output port reserved on.
+  arbtable::SeqHandle handle = 0;
+  arbtable::Requirement requirement;
+  double mbps = 0.0;
+  bool low_table = false;      ///< Legacy scheme: DB weight in the low table.
+  iba::VirtualLane vl = 0;
+};
+
+struct Connection {
+  ConnectionId id = 0;
+  ConnectionRequest request;
+  std::vector<HopReservation> hops;  ///< In path order (source first).
+  iba::Cycle deadline = 0;           ///< End-to-end guarantee, cycles.
+  bool live = false;
+};
+
+}  // namespace ibarb::qos

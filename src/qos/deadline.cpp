@@ -1,0 +1,18 @@
+#include "qos/deadline.hpp"
+
+namespace ibarb::qos {
+
+unsigned distance_for_deadline(iba::Cycle deadline_per_switch) noexcept {
+  unsigned best = 0;
+  for (unsigned d = 2; d <= 64; d *= 2)
+    if (per_switch_deadline(d) <= deadline_per_switch) best = d;
+  return best;
+}
+
+unsigned distance_for_e2e_deadline(iba::Cycle deadline,
+                                   unsigned stages) noexcept {
+  if (stages == 0) return 0;
+  return distance_for_deadline(deadline / stages);
+}
+
+}  // namespace ibarb::qos

@@ -1,0 +1,78 @@
+// Dynamic connection scenarios: admission, traffic and teardown interleaved
+// with the simulation, exercising the paper's *dynamic* claims — releases
+// trigger the defragmentation algorithm while traffic is flowing, and the
+// freed (re-coalesced) entries admit later, stricter requests.
+//
+// The driver keeps a time-ordered script of connection arrivals/departures;
+// run_until() advances the simulator to each event, performs the admission
+// action, reprograms the affected arbitration tables in place (arbiters keep
+// their round-robin position across reprogramming), and wires the traffic
+// generator up or down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "qos/admission.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibarb::qos {
+
+struct ScheduledConnection {
+  iba::Cycle arrive = 0;
+  iba::Cycle depart = iba::kNeverCycle;  ///< kNeverCycle = stays forever.
+  ConnectionRequest request;
+  std::uint32_t payload_bytes = 256;
+  double oversend_factor = 1.0;
+
+  enum class State : std::uint8_t {
+    kPending,   ///< Arrival not reached yet.
+    kActive,    ///< Admitted, traffic running.
+    kRejected,  ///< Admission said no at arrival time.
+    kDeparted,  ///< Released again.
+  };
+  State state = State::kPending;
+  std::optional<ConnectionId> id;
+  std::optional<std::uint32_t> flow;  ///< Simulator flow index.
+};
+
+class DynamicScenario {
+ public:
+  DynamicScenario(sim::Simulator& sim, AdmissionControl& admission)
+      : sim_(sim), admission_(admission) {}
+
+  /// Adds one scripted connection; returns its index. Must be called before
+  /// the first run_until() that passes its arrival time.
+  std::size_t add(ScheduledConnection sc);
+
+  /// Advances simulation and script together up to cycle `t`.
+  void run_until(iba::Cycle t);
+
+  const ScheduledConnection& entry(std::size_t index) const {
+    return script_.at(index);
+  }
+  std::size_t size() const noexcept { return script_.size(); }
+
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t released() const noexcept { return released_; }
+
+ private:
+  struct PendingEvent {
+    iba::Cycle time;
+    std::size_t index;
+    bool is_departure;
+  };
+
+  void process(const PendingEvent& ev);
+
+  sim::Simulator& sim_;
+  AdmissionControl& admission_;
+  std::vector<ScheduledConnection> script_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace ibarb::qos

@@ -1,0 +1,87 @@
+#include "qos/traffic_classes.hpp"
+
+#include <cmath>
+
+namespace ibarb::qos {
+
+const char* to_string(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::kDbts: return "DBTS";
+    case TrafficCategory::kDb: return "DB";
+    case TrafficCategory::kPbe: return "PBE";
+    case TrafficCategory::kBe: return "BE";
+    case TrafficCategory::kCh: return "CH";
+  }
+  return "?";
+}
+
+std::vector<SlProfile> paper_catalogue() {
+  using TC = TrafficCategory;
+  std::vector<SlProfile> v;
+  // SL, VL, category, max distance, bandwidth range (Mbps).
+  // Distances 2..16 carry the strictest deadlines; 32 and 64 are split by
+  // mean bandwidth (2 and 4 subclasses). SLs 5 and 9 hold the big-bandwidth
+  // connections (matches the paper's jitter discussion in §4.3).
+  v.push_back(SlProfile{0, 0, TC::kDbts, 2, 1.0, 2.0});
+  v.push_back(SlProfile{1, 1, TC::kDbts, 4, 1.0, 4.0});
+  v.push_back(SlProfile{2, 2, TC::kDbts, 8, 1.0, 8.0});
+  v.push_back(SlProfile{3, 3, TC::kDbts, 16, 1.0, 8.0});
+  v.push_back(SlProfile{4, 4, TC::kDbts, 32, 1.0, 8.0});
+  v.push_back(SlProfile{5, 5, TC::kDbts, 32, 16.0, 32.0});
+  v.push_back(SlProfile{6, 6, TC::kDb, 64, 1.0, 4.0});
+  v.push_back(SlProfile{7, 7, TC::kDb, 64, 1.0, 8.0});
+  v.push_back(SlProfile{8, 8, TC::kDb, 64, 4.0, 8.0});
+  v.push_back(SlProfile{9, 9, TC::kDb, 64, 16.0, 32.0});
+  // Best-effort family: served from the low-priority table (20 % of the
+  // link is left to them by admission control).
+  v.push_back(SlProfile{10, 10, TC::kPbe, 0, 0.0, 0.0});
+  v.push_back(SlProfile{11, 11, TC::kBe, 0, 0.0, 0.0});
+  v.push_back(SlProfile{12, 12, TC::kCh, 0, 0.0, 0.0});
+  return v;
+}
+
+const SlProfile* pick_sl(const std::vector<SlProfile>& catalogue,
+                         unsigned required_distance, double mbps) {
+  const SlProfile* best = nullptr;
+  double best_gap = 0.0;
+  for (const auto& p : catalogue) {
+    if (p.max_distance == 0) continue;  // best effort
+    if (p.max_distance > required_distance) continue;  // too lax: no guarantee
+    // Prefer the laxest admissible distance (uses fewest entries), then the
+    // closest bandwidth range.
+    const bool in_range = mbps >= p.min_mbps && mbps <= p.max_mbps;
+    const double gap =
+        in_range ? 0.0
+                 : std::min(std::abs(mbps - p.min_mbps),
+                            std::abs(mbps - p.max_mbps));
+    if (best == nullptr || p.max_distance > best->max_distance ||
+        (p.max_distance == best->max_distance && gap < best_gap)) {
+      best = &p;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+const SlProfile* find_sl(const std::vector<SlProfile>& catalogue,
+                         iba::ServiceLevel sl) {
+  for (const auto& p : catalogue)
+    if (p.sl == sl) return &p;
+  return nullptr;
+}
+
+std::vector<std::pair<iba::VirtualLane, std::uint8_t>> low_priority_config(
+    const std::vector<SlProfile>& catalogue) {
+  std::vector<std::pair<iba::VirtualLane, std::uint8_t>> out;
+  for (const auto& p : catalogue) {
+    switch (p.category) {
+      case TrafficCategory::kPbe: out.emplace_back(p.vl, 128); break;
+      case TrafficCategory::kBe: out.emplace_back(p.vl, 64); break;
+      case TrafficCategory::kCh: out.emplace_back(p.vl, 16); break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ibarb::qos

@@ -1,0 +1,68 @@
+#include "qos/vl_planning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibarb::qos {
+
+VlPlan plan_vl_folding(const std::vector<SlProfile>& catalogue,
+                       unsigned data_vls) {
+  if (data_vls == 0 || data_vls >= iba::kManagementVl)
+    throw std::invalid_argument("data_vls must be in 1..14");
+
+  VlPlan plan;
+  plan.data_vls = data_vls;
+  plan.catalogue = catalogue;
+
+  // Enough lanes for every class: keep the catalogue's own assignment.
+  bool fits = true;
+  for (const auto& p : plan.catalogue)
+    if (p.vl >= data_vls) fits = false;
+  if (fits) {
+    plan.mapping = iba::SlToVlMappingTable();
+    for (const auto& p : plan.catalogue) plan.mapping.set(p.sl, p.vl);
+    return plan;
+  }
+
+  std::vector<SlProfile*> qos;
+  std::vector<SlProfile*> best_effort;
+  for (auto& p : plan.catalogue)
+    (p.max_distance != 0 ? qos : best_effort).push_back(&p);
+
+  // Lanes for QoS: all but one when best-effort classes exist and must be
+  // kept apart; if only one lane exists, everything shares it.
+  const unsigned be_lane = data_vls - 1;
+  const unsigned qos_lanes =
+      best_effort.empty() ? data_vls : std::max(1u, data_vls - 1);
+
+  // Most restrictive first, so blocks of adjacent distances share a lane
+  // and the tightening cost is minimal.
+  std::sort(qos.begin(), qos.end(), [](const SlProfile* a, const SlProfile* b) {
+    if (a->max_distance != b->max_distance)
+      return a->max_distance < b->max_distance;
+    return a->sl < b->sl;
+  });
+
+  // Deal in contiguous blocks: ceil-sized prefix blocks keep lane loads even.
+  const auto n = qos.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lane = static_cast<unsigned>(i * qos_lanes / n);
+    qos[i]->vl = static_cast<iba::VirtualLane>(lane);
+  }
+  // Tighten distances: every SL on a lane adopts the lane's minimum.
+  for (unsigned lane = 0; lane < qos_lanes; ++lane) {
+    unsigned min_distance = iba::kArbTableEntries;
+    for (const auto* p : qos)
+      if (p->vl == lane) min_distance = std::min(min_distance, p->max_distance);
+    for (auto* p : qos)
+      if (p->vl == lane) p->max_distance = min_distance;
+  }
+  for (auto* p : best_effort)
+    p->vl = static_cast<iba::VirtualLane>(be_lane);
+
+  plan.mapping = iba::SlToVlMappingTable();
+  for (const auto& p : plan.catalogue) plan.mapping.set(p.sl, p.vl);
+  return plan;
+}
+
+}  // namespace ibarb::qos

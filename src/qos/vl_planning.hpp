@@ -1,0 +1,39 @@
+// SL→VL planning for devices with fewer than 16 virtual lanes (paper §3.2).
+//
+// "If several SLs must share a VL, connections with different latency
+// requirements will coexist in the same VL. In this case we could use less
+// SLs or enforce more restrictive requirements for some SLs." — this module
+// implements that fold: QoS SLs are packed onto the available data VLs in
+// deadline order, and every SL folded onto a VL inherits the *most
+// restrictive* distance among its VL-mates, so the latency guarantee of
+// every connection still holds. Best-effort classes fold onto the last
+// data VL.
+#pragma once
+
+#include <vector>
+
+#include "iba/sl_to_vl.hpp"
+#include "qos/traffic_classes.hpp"
+
+namespace ibarb::qos {
+
+struct VlPlan {
+  /// The catalogue rewritten for the reduced fabric: vl fields remapped,
+  /// max_distance tightened where SLs share a lane.
+  std::vector<SlProfile> catalogue;
+  /// The SLtoVL table every port should be programmed with.
+  iba::SlToVlMappingTable mapping;
+  unsigned data_vls = 0;
+};
+
+/// Folds `catalogue` onto `data_vls` lanes (1..15).
+///
+/// Strategy: QoS SLs sorted by distance (most restrictive first) are dealt
+/// round-robin-by-block onto the QoS lanes so that lane-mates have adjacent
+/// distances; each lane's SLs all adopt the lane's minimum distance.
+/// Best-effort SLs share the last lane (they have no distance to tighten).
+/// With data_vls >= catalogue size the plan is the identity.
+VlPlan plan_vl_folding(const std::vector<SlProfile>& catalogue,
+                       unsigned data_vls);
+
+}  // namespace ibarb::qos

@@ -1,0 +1,106 @@
+// Per-VL packet FIFOs with byte-capacity accounting.
+//
+// Input buffers are finite (their space is what link-level credits
+// advertise); host source queues use kUnbounded. PortBuffers keeps a 16-bit
+// occupancy mask so the crossbar and arbiter hot paths skip empty VLs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "iba/packet.hpp"
+#include "iba/types.hpp"
+
+namespace ibarb::sim {
+
+inline constexpr std::uint32_t kUnbounded =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// FIFO of whole packets sharing one VL's buffer space.
+class VlFifo {
+ public:
+  VlFifo() = default;
+
+  void set_capacity(std::uint32_t capacity_bytes) noexcept {
+    capacity_bytes_ = capacity_bytes;
+  }
+
+  bool empty() const noexcept { return packets_.empty(); }
+  std::size_t size() const noexcept { return packets_.size(); }
+  std::uint32_t used_bytes() const noexcept { return used_bytes_; }
+  std::uint32_t capacity_bytes() const noexcept { return capacity_bytes_; }
+
+  bool can_accept(std::uint32_t wire_bytes) const noexcept {
+    return capacity_bytes_ == kUnbounded ||
+           used_bytes_ + wire_bytes <= capacity_bytes_;
+  }
+
+  void push(iba::Packet p) {
+    used_bytes_ += p.wire_bytes();
+    packets_.push_back(std::move(p));
+  }
+
+  const iba::Packet& front() const { return packets_.front(); }
+
+  iba::Packet pop() {
+    iba::Packet p = std::move(packets_.front());
+    packets_.pop_front();
+    used_bytes_ -= p.wire_bytes();
+    return p;
+  }
+
+ private:
+  std::deque<iba::Packet> packets_;
+  std::uint32_t used_bytes_ = 0;
+  std::uint32_t capacity_bytes_ = kUnbounded;
+};
+
+/// The 16 per-VL FIFOs of one port side (input or output).
+class PortBuffers {
+ public:
+  void set_capacity_all(std::uint32_t capacity_bytes) {
+    for (auto& f : fifos_) f.set_capacity(capacity_bytes);
+  }
+
+  bool empty(iba::VirtualLane v) const noexcept { return fifos_[v].empty(); }
+  bool all_empty() const noexcept { return occupancy_ == 0; }
+
+  /// Bit v set when VL v holds at least one packet.
+  std::uint16_t occupancy() const noexcept { return occupancy_; }
+
+  bool can_accept(iba::VirtualLane v, std::uint32_t wire_bytes) const {
+    return fifos_[v].can_accept(wire_bytes);
+  }
+
+  void push(iba::VirtualLane v, iba::Packet p) {
+    fifos_[v].push(std::move(p));
+    occupancy_ |= static_cast<std::uint16_t>(1u << v);
+  }
+
+  const iba::Packet& front(iba::VirtualLane v) const {
+    return fifos_[v].front();
+  }
+
+  iba::Packet pop(iba::VirtualLane v) {
+    iba::Packet p = fifos_[v].pop();
+    if (fifos_[v].empty())
+      occupancy_ &= static_cast<std::uint16_t>(~(1u << v));
+    return p;
+  }
+
+  const VlFifo& vl(iba::VirtualLane v) const { return fifos_[v]; }
+
+  std::size_t total_packets() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : fifos_) n += f.size();
+    return n;
+  }
+
+ private:
+  std::array<VlFifo, iba::kMaxVirtualLanes> fifos_;
+  std::uint16_t occupancy_ = 0;
+};
+
+}  // namespace ibarb::sim

@@ -1,0 +1,64 @@
+// Discrete-event core: a deterministic time-ordered queue.
+//
+// Ties at the same cycle are served in insertion order (monotonic sequence
+// number), which makes every simulation bit-reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "iba/packet.hpp"
+#include "iba/types.hpp"
+
+namespace ibarb::sim {
+
+enum class EventType : std::uint8_t {
+  kGenerate,      ///< A flow emits its next packet (aux = flow index).
+  kLinkDeliver,   ///< Packet fully received at (node, port) input.
+  kTxComplete,    ///< (node, port) finished serializing onto the link.
+  kXferComplete,  ///< Crossbar transfer into (node, port) output finished.
+  kProbe,         ///< Periodic bookkeeping (phase control).
+};
+
+struct Event {
+  iba::Cycle time = 0;
+  std::uint64_t seq = 0;  ///< Tie-breaker; assigned by the queue.
+  EventType type = EventType::kProbe;
+  iba::NodeId node = iba::kInvalidNode;
+  iba::PortIndex port = 0;
+  iba::VirtualLane vl = 0;
+  std::uint32_t aux = 0;  ///< Flow index (kGenerate) / input port (kXfer).
+  iba::Packet packet;     ///< Payload for kLinkDeliver / kXferComplete.
+};
+
+class EventQueue {
+ public:
+  void push(Event e) {
+    e.seq = next_seq_++;
+    heap_.push(std::move(e));
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ibarb::sim

@@ -1,0 +1,55 @@
+// Host (channel adapter) state and traffic-flow descriptors.
+//
+// A host has a single port: the injection side mirrors a switch output port
+// (per-VL source queues, its own VLArbitrationTable arbiter, credits toward
+// the switch input buffer); the receive side is an instantaneous sink that
+// returns credits as soon as a packet lands.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/switch.hpp"
+#include "util/rng.hpp"
+
+namespace ibarb::sim {
+
+enum class GeneratorKind : std::uint8_t {
+  kCbr,      ///< Fixed inter-packet interval (drift-free nominal clock).
+  kPoisson,  ///< Exponential intervals with the given mean.
+  kOnOffVbr, ///< Bursts at peak rate separated by silences (same mean rate).
+};
+
+struct FlowSpec {
+  iba::NodeId src_host = iba::kInvalidNode;
+  iba::NodeId dst_host = iba::kInvalidNode;
+  iba::ServiceLevel sl = 0;
+  std::uint32_t payload_bytes = 256;
+  iba::Cycle interval = 1000;       ///< Nominal mean inter-packet time.
+  GeneratorKind kind = GeneratorKind::kCbr;
+  iba::Cycle start_offset = 0;
+  iba::Cycle deadline = 0;          ///< End-to-end guarantee (metrics).
+  bool qos = true;                  ///< False for best-effort background.
+  bool management = false;          ///< VL15 traffic.
+  std::uint64_t seed = 0;
+
+  // kOnOffVbr shape: packets per burst (geometric mean) and the fraction of
+  // time spent bursting; peak interval = interval * on_fraction.
+  double burst_mean_packets = 16.0;
+  double on_fraction = 0.25;
+};
+
+struct FlowState {
+  FlowSpec spec;
+  util::Xoshiro256 rng{0};
+  iba::Cycle next_nominal = 0;   ///< CBR drift-free clock.
+  std::uint32_t next_sequence = 0;
+  std::uint32_t burst_left = 0;  ///< kOnOffVbr packets left in this burst.
+  bool stopped = false;          ///< Set by Simulator::stop_flow.
+};
+
+struct HostState {
+  iba::NodeId node = iba::kInvalidNode;
+  OutputPort out;  ///< Injection port (port 0); source queues unbounded.
+};
+
+}  // namespace ibarb::sim

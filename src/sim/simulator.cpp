@@ -1,0 +1,447 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ibarb::sim {
+
+namespace {
+
+/// LID convention used across the library: host LID = node id + 1 (LID 0 is
+/// reserved/invalid in IBA). The subnet manager mirrors this assignment.
+iba::Lid lid_of(iba::NodeId host) { return static_cast<iba::Lid>(host + 1); }
+iba::NodeId node_of(iba::Lid lid) { return static_cast<iba::NodeId>(lid - 1); }
+
+}  // namespace
+
+Simulator::Simulator(const network::FabricGraph& graph,
+                     const network::Routes& routes, SimConfig cfg)
+    : graph_(graph), routes_(routes), cfg_(cfg),
+      trace_(cfg.trace_capacity) {
+  buffer_capacity_bytes_ =
+      cfg_.buffer_packets *
+      (cfg_.max_payload_bytes + iba::kPacketOverheadBytes);
+
+  index_.assign(graph_.node_count(), 0);
+  std::uint32_t flat = 0;
+
+  const auto init_output = [&](OutputPort& op, iba::NodeId node,
+                               iba::PortIndex port, bool host_interface) {
+    const auto peer = graph_.peer(node, port);
+    if (!peer) return;
+    op.wired = true;
+    op.peer = network::PortRef{peer->node, peer->port};
+    op.link = graph_.link(node, port);
+    op.flat_id = flat++;
+    op.sl_map = iba::SlToVlMappingTable::identity(iba::kManagementVl);
+    op.credits = iba::CreditTracker(
+        iba::bytes_to_blocks(buffer_capacity_bytes_));
+    PortMetrics pm;
+    pm.is_host_interface = host_interface;
+    pm.link_mbps = iba::link_mbps(op.link.rate);
+    metrics_.ports.push_back(pm);
+  };
+
+  for (iba::NodeId id = 0; id < graph_.node_count(); ++id) {
+    if (graph_.is_switch(id)) {
+      index_[id] = static_cast<std::uint32_t>(switches_.size());
+      SwitchState sw;
+      sw.node = id;
+      const unsigned ports = graph_.port_count(id);
+      sw.in.resize(ports);
+      sw.out.resize(ports);
+      for (unsigned p = 0; p < ports; ++p) {
+        if (graph_.peer(id, static_cast<iba::PortIndex>(p))) {
+          sw.in[p].wired = true;
+          sw.in[p].buffers.set_capacity_all(buffer_capacity_bytes_);
+        }
+        init_output(sw.out[p], id, static_cast<iba::PortIndex>(p),
+                    /*host_interface=*/false);
+      }
+      switches_.push_back(std::move(sw));
+    } else {
+      index_[id] = static_cast<std::uint32_t>(hosts_.size());
+      HostState host;
+      host.node = id;
+      init_output(host.out, id, 0, /*host_interface=*/true);
+      // Source queues are unbounded; leave capacities at kUnbounded.
+      hosts_.push_back(std::move(host));
+    }
+  }
+}
+
+OutputPort& Simulator::output_port(iba::NodeId node, iba::PortIndex port) {
+  if (graph_.is_switch(node)) return switches_[index_[node]].out.at(port);
+  assert(port == 0);
+  return hosts_[index_[node]].out;
+}
+
+void Simulator::set_output_arbitration(iba::NodeId node, iba::PortIndex port,
+                                       const iba::VlArbitrationTable& table) {
+  output_port(node, port).arbiter.set_table(table);
+}
+
+void Simulator::set_sl_to_vl(iba::NodeId node, iba::PortIndex port,
+                             const iba::SlToVlMappingTable& map) {
+  output_port(node, port).sl_map = map;
+}
+
+void Simulator::set_sl_to_vl_all(const iba::SlToVlMappingTable& map) {
+  for (auto& sw : switches_)
+    for (auto& op : sw.out)
+      if (op.wired) op.sl_map = map;
+  for (auto& h : hosts_)
+    if (h.out.wired) h.out.sl_map = map;
+}
+
+void Simulator::set_port_reserved_mbps(iba::NodeId node, iba::PortIndex port,
+                                       double mbps) {
+  metrics_.ports.at(output_port(node, port).flat_id).reserved_mbps = mbps;
+}
+
+void Simulator::set_forwarding(iba::NodeId sw,
+                               std::vector<iba::PortIndex> lft) {
+  if (!graph_.is_switch(sw))
+    throw std::invalid_argument("forwarding tables live in switches");
+  switches_[index_[sw]].lft = std::move(lft);
+}
+
+iba::PortIndex Simulator::route_port(const SwitchState& sw,
+                                     iba::Lid dst) const {
+  if (!sw.lft.empty()) {
+    assert(dst < sw.lft.size());
+    const auto port = sw.lft[dst];
+    assert(port != 0xFF && "destination LID not programmed in the LFT");
+    return port;
+  }
+  return routes_.out_port(sw.node, node_of(dst));
+}
+
+std::uint32_t Simulator::flat_port_id(iba::NodeId node,
+                                      iba::PortIndex port) const {
+  auto& self = const_cast<Simulator&>(*this);
+  return self.output_port(node, port).flat_id;
+}
+
+std::uint32_t Simulator::add_flow(const FlowSpec& spec) {
+  if (!graph_.is_switch(spec.src_host) && !graph_.is_switch(spec.dst_host)) {
+    // both must be hosts
+  } else {
+    throw std::invalid_argument("flows run host to host");
+  }
+  if (spec.src_host == spec.dst_host)
+    throw std::invalid_argument("flow source equals destination");
+  if (spec.interval == 0) throw std::invalid_argument("zero flow interval");
+
+  const auto idx = static_cast<std::uint32_t>(flows_.size());
+  FlowState fs;
+  fs.spec = spec;
+  fs.rng = util::Xoshiro256(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (idx + 1)) ^
+                            spec.seed);
+  fs.next_nominal = std::max(spec.start_offset, now_);
+  flows_.push_back(std::move(fs));
+
+  ConnectionMetrics cm;
+  cm.sl = spec.sl;
+  cm.deadline = spec.deadline;
+  cm.nominal_iat = spec.interval;
+  cm.qos = spec.qos;
+  metrics_.connections.push_back(cm);
+
+  Event e;
+  e.time = std::max(spec.start_offset, now_);
+  e.type = EventType::kGenerate;
+  e.aux = idx;
+  queue_.push(e);
+  return idx;
+}
+
+void Simulator::stop_flow(std::uint32_t flow_index) {
+  flows_.at(flow_index).stopped = true;
+}
+
+void Simulator::schedule_flow(std::uint32_t flow_index,
+                              iba::Cycle not_before) {
+  FlowState& f = flows_[flow_index];
+  iba::Cycle next = not_before;
+  switch (f.spec.kind) {
+    case GeneratorKind::kCbr:
+      // Drift-free: advance the nominal clock, never the actual send time.
+      f.next_nominal += f.spec.interval;
+      next = f.next_nominal;
+      break;
+    case GeneratorKind::kPoisson:
+      next = now_ + static_cast<iba::Cycle>(
+                        f.rng.exponential(static_cast<double>(f.spec.interval)) + 1.0);
+      break;
+    case GeneratorKind::kOnOffVbr: {
+      if (f.burst_left > 0) {
+        --f.burst_left;
+        const auto peak = static_cast<iba::Cycle>(
+            static_cast<double>(f.spec.interval) * f.spec.on_fraction + 1.0);
+        next = now_ + peak;
+      } else {
+        // Draw a new burst; the silence restores the long-run mean rate.
+        const double burst =
+            1.0 + f.rng.exponential(f.spec.burst_mean_packets - 1.0);
+        f.burst_left = static_cast<std::uint32_t>(burst);
+        const double off_mean = static_cast<double>(f.spec.interval) * burst *
+                                (1.0 - f.spec.on_fraction);
+        next = now_ + static_cast<iba::Cycle>(f.rng.exponential(off_mean) + 1.0);
+      }
+      break;
+    }
+  }
+  Event e;
+  e.time = next;
+  e.type = EventType::kGenerate;
+  e.aux = flow_index;
+  queue_.push(e);
+}
+
+void Simulator::on_generate(std::uint32_t flow_index) {
+  FlowState& f = flows_[flow_index];
+  if (f.stopped) return;  // torn down: neither generate nor reschedule
+  const FlowSpec& spec = f.spec;
+
+  iba::Packet p;
+  p.id = next_packet_id_++;
+  p.connection = flow_index;
+  p.sl = spec.sl;
+  p.source = lid_of(spec.src_host);
+  p.destination = lid_of(spec.dst_host);
+  p.payload_bytes = spec.payload_bytes;
+  p.sequence = f.next_sequence++;
+  p.injected_at = now_;
+  p.management = spec.management;
+
+  metrics_.record_injection(flow_index, p);
+
+  HostState& host = hosts_[index_[spec.src_host]];
+  const iba::VirtualLane vl =
+      spec.management ? iba::kManagementVl : host.out.sl_map.map(spec.sl);
+  trace_.record(now_, TraceEvent::kInject, spec.src_host, 0, vl, p);
+  host.out.queues.push(vl, std::move(p));
+  try_transmit(spec.src_host, 0);
+
+  schedule_flow(flow_index, now_);
+}
+
+void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
+  OutputPort& op = output_port(node, port);
+  if (!op.wired || op.tx_busy || op.queues.all_empty()) return;
+
+  const auto ready = op.ready_bytes();
+  const auto decision = op.arbiter.arbitrate(ready);
+  if (!decision) return;
+
+  iba::Packet p = op.queues.pop(decision->vl);
+  const auto wire = p.wire_bytes();
+  op.credits.consume(decision->vl, wire);
+  op.tx_busy = true;
+  trace_.record(now_, TraceEvent::kLinkTx, node, port, decision->vl, p);
+
+  const auto ser = iba::serialization_cycles(wire, op.link.rate);
+  metrics_.record_tx(op.flat_id, wire, ser);
+
+  Event done;
+  done.time = now_ + ser;
+  done.type = EventType::kTxComplete;
+  done.node = node;
+  done.port = port;
+  queue_.push(done);
+
+  Event arrive;
+  arrive.time = now_ + ser + op.link.propagation_delay;
+  arrive.type = EventType::kLinkDeliver;
+  arrive.node = op.peer.node;
+  arrive.port = op.peer.port;
+  arrive.vl = decision->vl;
+  arrive.packet = std::move(p);
+  queue_.push(arrive);
+}
+
+void Simulator::on_tx_complete(iba::NodeId node, iba::PortIndex port) {
+  output_port(node, port).tx_busy = false;
+  try_transmit(node, port);
+}
+
+void Simulator::on_link_deliver(const Event& e) {
+  if (graph_.is_switch(e.node)) {
+    SwitchState& sw = switches_[index_[e.node]];
+    sw.in[e.port].buffers.push(e.vl, e.packet);
+    schedule_crossbar(index_[e.node], static_cast<int>(e.port));
+    return;
+  }
+  // Host sink: record, then return credits to the upstream switch port
+  // immediately (hosts drain their receive buffers at line rate).
+  trace_.record(now_, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
+  metrics_.record_delivery(e.packet.connection, e.packet, now_);
+  const auto up = graph_.peer(e.node, 0);
+  assert(up.has_value());
+  OutputPort& upstream = output_port(up->node, up->port);
+  upstream.credits.release(e.vl, e.packet.wire_bytes());
+  try_transmit(up->node, up->port);
+}
+
+void Simulator::on_xfer_complete(const Event& e) {
+  SwitchState& sw = switches_[index_[e.node]];
+  const auto in_port = static_cast<iba::PortIndex>(e.aux);
+  InputPort& ip = sw.in[in_port];
+  OutputPort& op = sw.out[e.port];
+
+  iba::Packet p = ip.buffers.pop(e.vl);
+
+  // Input buffer space freed: return credits to whoever feeds this port.
+  const auto up = graph_.peer(e.node, in_port);
+  assert(up.has_value());
+  OutputPort& upstream = output_port(up->node, up->port);
+  upstream.credits.release(e.vl, p.wire_bytes());
+  try_transmit(up->node, up->port);
+
+  // Enqueue at the output on the VL this port's SLtoVL table dictates.
+  const iba::VirtualLane out_vl =
+      p.management ? iba::kManagementVl : op.sl_map.map(p.sl);
+  trace_.record(now_, TraceEvent::kXbar, e.node, e.port, out_vl, p);
+  op.queues.push(out_vl, std::move(p));
+
+  ip.xbar_tx_busy = false;
+  op.xbar_rx_busy = false;
+
+  try_transmit(e.node, e.port);
+  schedule_crossbar(index_[e.node], /*only_input=*/-1);
+}
+
+bool Simulator::try_start_transfer(std::uint32_t switch_index,
+                                   iba::PortIndex in_port) {
+  SwitchState& sw = switches_[switch_index];
+  InputPort& ip = sw.in[in_port];
+  if (!ip.wired || ip.xbar_tx_busy || ip.buffers.all_empty()) return false;
+
+  // Round-robin across occupied VLs of this input port.
+  const std::uint16_t occ = ip.buffers.occupancy();
+  for (unsigned k = 0; k < iba::kMaxVirtualLanes; ++k) {
+    const auto vl = static_cast<iba::VirtualLane>(
+        (ip.rr_vl + k) % iba::kMaxVirtualLanes);
+    if (!(occ & (1u << vl))) continue;
+
+    const iba::Packet& head = ip.buffers.front(vl);
+    const auto out_port = route_port(sw, head.destination);
+    OutputPort& op = sw.out[out_port];
+    if (op.xbar_rx_busy) continue;
+    const iba::VirtualLane out_vl =
+        head.management ? iba::kManagementVl : op.sl_map.map(head.sl);
+    if (!op.queues.can_accept(out_vl, head.wire_bytes())) continue;
+
+    ip.xbar_tx_busy = true;
+    op.xbar_rx_busy = true;
+    ip.rr_vl = static_cast<iba::VirtualLane>((vl + 1) % iba::kMaxVirtualLanes);
+
+    const auto link_cycles =
+        iba::serialization_cycles(head.wire_bytes(), op.link.rate);
+    const auto xfer_cycles = std::max<iba::Cycle>(
+        1, static_cast<iba::Cycle>(static_cast<double>(link_cycles) /
+                                   cfg_.crossbar_speedup));
+    Event done;
+    done.time = now_ + cfg_.crossbar_delay + xfer_cycles;
+    done.type = EventType::kXferComplete;
+    done.node = sw.node;
+    done.port = out_port;
+    done.vl = vl;
+    done.aux = in_port;
+    queue_.push(done);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::schedule_crossbar(std::uint32_t switch_index, int only_input) {
+  if (only_input >= 0) {
+    try_start_transfer(switch_index, static_cast<iba::PortIndex>(only_input));
+    return;
+  }
+  SwitchState& sw = switches_[switch_index];
+  const unsigned ports = static_cast<unsigned>(sw.in.size());
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (unsigned k = 0; k < ports; ++k) {
+      const auto p =
+          static_cast<iba::PortIndex>((sw.rr_input + k) % ports);
+      if (try_start_transfer(switch_index, p)) {
+        // Rotating priority: the granted input drops to lowest priority.
+        sw.rr_input = (p + 1) % ports;
+        progress = true;
+      }
+    }
+  }
+}
+
+void Simulator::handle(const Event& e) {
+  switch (e.type) {
+    case EventType::kGenerate:
+      on_generate(e.aux);
+      break;
+    case EventType::kLinkDeliver:
+      on_link_deliver(e);
+      break;
+    case EventType::kTxComplete:
+      on_tx_complete(e.node, e.port);
+      break;
+    case EventType::kXferComplete:
+      on_xfer_complete(e);
+      break;
+    case EventType::kProbe:
+      break;  // phase control polls state between events
+  }
+}
+
+void Simulator::run_until(iba::Cycle t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    const Event e = queue_.pop();
+    assert(e.time >= now_ && "time must not run backwards");
+    now_ = e.time;
+    ++events_;
+    handle(e);
+  }
+  if (now_ < t) now_ = t;
+}
+
+RunSummary Simulator::run_paper_phases(iba::Cycle warmup,
+                                       std::uint64_t min_rx_packets,
+                                       iba::Cycle hard_limit) {
+  RunSummary summary;
+  run_until(warmup);
+  summary.warmup_end = now_;
+
+  metrics_.start_window(now_);
+  const iba::Cycle window_start = now_;
+  const iba::Cycle probe_step = 65536;
+  iba::Cycle next_probe = now_ + probe_step;
+  while (true) {
+    run_until(next_probe);
+    next_probe = now_ + probe_step;
+    if (metrics_.min_qos_rx() >= min_rx_packets) break;
+    if (now_ - window_start >= hard_limit) {
+      summary.hit_hard_limit = true;
+      break;
+    }
+  }
+  metrics_.stop_window(now_);
+  summary.window_cycles = now_ - window_start;
+  summary.events = events_;
+  return summary;
+}
+
+std::uint64_t Simulator::packets_in_network() const {
+  std::uint64_t n = 0;
+  for (const auto& sw : switches_) {
+    for (const auto& ip : sw.in) n += ip.buffers.total_packets();
+    for (const auto& op : sw.out) n += op.queues.total_packets();
+  }
+  for (const auto& h : hosts_) n += h.out.queues.total_packets();
+  return n;
+}
+
+}  // namespace ibarb::sim

@@ -1,0 +1,142 @@
+// The network simulator: wires SwitchState/HostState over a FabricGraph,
+// executes the event loop, and drives the paper's two-phase measurement
+// protocol (transient warm-up, then a steady-state window that lasts until
+// the slowest QoS connection has received a target number of packets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iba/vl_arbitration.hpp"
+#include "network/graph.hpp"
+#include "network/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/host.hpp"
+#include "sim/metrics.hpp"
+#include "sim/switch.hpp"
+#include "sim/trace.hpp"
+
+namespace ibarb::sim {
+
+struct SimConfig {
+  /// Per-VL buffer depth in whole packets of the largest wire size in use
+  /// (paper: "each VL is large enough to store four whole packets").
+  unsigned buffer_packets = 4;
+  std::uint32_t max_payload_bytes = 4096;  ///< Sizes buffers and credits.
+  iba::Cycle crossbar_delay = 8;  ///< Routing/arbitration latency per hop.
+  /// Internal speedup of the crossbar over the link rate. With backlog, the
+  /// output queues (not the fabric) become the contention point, so the
+  /// VLArbitrationTable governs the link as the architecture intends.
+  double crossbar_speedup = 2.0;
+  /// Ring-buffer size of the packet trace; 0 disables tracing entirely.
+  std::size_t trace_capacity = 0;
+  std::uint64_t seed = 1;
+};
+
+struct RunSummary {
+  iba::Cycle warmup_end = 0;
+  iba::Cycle window_cycles = 0;
+  bool hit_hard_limit = false;
+  std::uint64_t events = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const network::FabricGraph& graph, const network::Routes& routes,
+            SimConfig cfg);
+
+  // --- Configuration (the subnet-management plane) -----------------------
+
+  /// Programs the VLArbitrationTable of one output port. For hosts, `port`
+  /// must be 0 (the injection interface).
+  void set_output_arbitration(iba::NodeId node, iba::PortIndex port,
+                              const iba::VlArbitrationTable& table);
+
+  /// Programs one port's SLtoVL table (applied to packets entering that
+  /// port's link).
+  void set_sl_to_vl(iba::NodeId node, iba::PortIndex port,
+                    const iba::SlToVlMappingTable& map);
+
+  /// Same SLtoVL everywhere — the common case in the paper's setup.
+  void set_sl_to_vl_all(const iba::SlToVlMappingTable& map);
+
+  /// Annotates a port's reserved bandwidth for Table-2 style reporting.
+  void set_port_reserved_mbps(iba::NodeId node, iba::PortIndex port,
+                              double mbps);
+
+  /// Installs a switch's linear forwarding table (indexed by LID). When a
+  /// switch has an LFT the data path consults it instead of the shared
+  /// Routes object — this is what the subnet manager programs via MADs.
+  void set_forwarding(iba::NodeId sw, std::vector<iba::PortIndex> lft);
+
+  /// Registers a traffic flow; returns its connection index (also its index
+  /// in metrics().connections). May be called at any time; generation
+  /// starts at max(now, start_offset).
+  std::uint32_t add_flow(const FlowSpec& spec);
+
+  /// Stops a flow's generator (already-queued packets still drain). Used by
+  /// the dynamic scenario driver when a connection is torn down.
+  void stop_flow(std::uint32_t flow_index);
+
+  // --- Execution ----------------------------------------------------------
+
+  /// Runs all events with time <= t.
+  void run_until(iba::Cycle t);
+
+  /// Paper protocol: warm up (stats off), then measure until every QoS
+  /// connection has received `min_rx_packets` in the window, or until
+  /// `hard_limit` cycles of window. Returns what happened.
+  RunSummary run_paper_phases(iba::Cycle warmup, std::uint64_t min_rx_packets,
+                              iba::Cycle hard_limit);
+
+  iba::Cycle now() const noexcept { return now_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Flat metrics index of an output port.
+  std::uint32_t flat_port_id(iba::NodeId node, iba::PortIndex port) const;
+
+  std::uint64_t events_processed() const noexcept { return events_; }
+
+  /// Total packets currently queued anywhere (tests: conservation checks).
+  std::uint64_t packets_in_network() const;
+
+  const PacketTrace& trace() const noexcept { return trace_; }
+
+ private:
+  void handle(const Event& e);
+  void on_generate(std::uint32_t flow_index);
+  void on_link_deliver(const Event& e);
+  void on_tx_complete(iba::NodeId node, iba::PortIndex port);
+  void on_xfer_complete(const Event& e);
+
+  void try_transmit(iba::NodeId node, iba::PortIndex port);
+  /// Crossbar matching. When `only_input` >= 0, restricts the scan to that
+  /// input port (cheap trigger after a single arrival).
+  void schedule_crossbar(std::uint32_t switch_index, int only_input);
+  bool try_start_transfer(std::uint32_t switch_index, iba::PortIndex in_port);
+
+  OutputPort& output_port(iba::NodeId node, iba::PortIndex port);
+  iba::PortIndex route_port(const SwitchState& sw, iba::Lid dst) const;
+  void schedule_flow(std::uint32_t flow_index, iba::Cycle not_before);
+
+  const network::FabricGraph& graph_;
+  const network::Routes& routes_;
+  SimConfig cfg_;
+  std::uint32_t buffer_capacity_bytes_ = 0;
+
+  EventQueue queue_;
+  iba::Cycle now_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+
+  // Dense state. index_[node] is the position within switches_ or hosts_.
+  std::vector<std::uint32_t> index_;
+  std::vector<SwitchState> switches_;
+  std::vector<HostState> hosts_;
+  std::vector<FlowState> flows_;
+  Metrics metrics_;
+  PacketTrace trace_;
+};
+
+}  // namespace ibarb::sim

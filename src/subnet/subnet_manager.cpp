@@ -1,0 +1,151 @@
+#include "subnet/subnet_manager.hpp"
+
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace ibarb::subnet {
+
+namespace {
+
+DrSmp node_info_probe(const std::vector<std::uint8_t>& path,
+                      std::uint64_t tid) {
+  DrSmp smp;
+  smp.method = MadMethod::kGet;
+  smp.attribute = SmpAttribute::kNodeInfo;
+  smp.transaction_id = tid;
+  smp.hop_count = static_cast<std::uint8_t>(path.size());
+  for (std::size_t k = 0; k < path.size(); ++k)
+    smp.initial_path[k + 1] = path[k];
+  return smp;
+}
+
+}  // namespace
+
+SubnetManager::SubnetManager(const network::FabricGraph& graph)
+    : graph_(graph) {
+  dr_paths_.resize(graph_.node_count());
+  if (graph_.node_count() == 0) {
+    report_.complete = true;
+    return;
+  }
+
+  // Discovery: BFS conducted entirely through directed-route Get(NodeInfo)
+  // SMPs. We start at node 0 (where the SM "runs") and extend every known
+  // node's path by one egress port at a time; a probe that times out
+  // (unwired port) is simply dropped, as on a real fabric.
+  DirectedRouteWalker walker(graph_);
+  std::vector<bool> seen(graph_.node_count(), false);
+  std::uint64_t tid = 1;
+
+  const auto probe = [&](const std::vector<std::uint8_t>& path)
+      -> std::optional<NodeInfo> {
+    DrSmp smp = node_info_probe(path, tid++);
+    ++report_.smps_sent;
+    // Encode/decode round trip: the SM talks wire MADs, not structs.
+    const auto wire = encode(smp);
+    auto parsed = decode_smp(wire);
+    assert(parsed.has_value());
+    if (!walker.deliver(0, *parsed)) return std::nullopt;
+    if (parsed->method != MadMethod::kGetResp) return std::nullopt;
+    return read_node_info(
+        std::span<const std::uint8_t, kSmpPayloadBytes>(
+            parsed->payload.data(), kSmpPayloadBytes));
+  };
+
+  std::queue<iba::NodeId> frontier;
+  const auto origin_info = probe({});
+  assert(origin_info.has_value());
+  seen[origin_info->node_guid] = true;
+  frontier.push(origin_info->node_guid);
+
+  while (!frontier.empty()) {
+    const auto at = frontier.front();
+    frontier.pop();
+    sweep_order_.push_back(at);
+    if (graph_.is_switch(at)) {
+      ++report_.switches;
+    } else {
+      ++report_.hosts;
+    }
+    const auto& base_path = dr_paths_[at];
+    if (base_path.size() + 1 >= kMaxDrHops) continue;  // DR depth limit
+    for (unsigned p = 0; p < graph_.port_count(at); ++p) {
+      auto path = base_path;
+      path.push_back(static_cast<std::uint8_t>(p));
+      const auto info = probe(path);
+      if (!info) continue;  // unwired port: probe timed out
+      ++report_.links;      // counted once per direction; halved below
+      if (!seen[info->node_guid]) {
+        seen[info->node_guid] = true;
+        dr_paths_[info->node_guid] = std::move(path);
+        frontier.push(info->node_guid);
+      }
+    }
+  }
+  report_.links /= 2;  // every cable was probed from both ends
+  report_.sweep_hops = static_cast<unsigned>(walker.hops_walked());
+  report_.complete = sweep_order_.size() == graph_.node_count();
+
+  routes_ = network::compute_updown_routes(graph_);
+}
+
+void SubnetManager::configure_fabric(
+    sim::Simulator& sim, const qos::AdmissionControl& admission) const {
+  sim.set_sl_to_vl_all(iba::SlToVlMappingTable::identity(iba::kManagementVl));
+  admission.program(sim);
+
+  // Program every switch's linear forwarding table, going through the wire
+  // representation (Set(LinearForwardingTable) MAD blocks) exactly as a real
+  // SM would: build blocks, encode, decode, apply.
+  const auto hosts = graph_.hosts();
+  const std::size_t lids = graph_.node_count() + 1;  // LID = node id + 1
+  for (const auto sw : graph_.switches()) {
+    std::vector<iba::PortIndex> lft(lids, 0xFF);
+    for (const auto h : hosts) lft[lid(h)] = routes_.out_port(sw, h);
+
+    std::vector<iba::PortIndex> assembled(lids, 0xFF);
+    const auto blocks = (lids + kLftLidsPerBlock - 1) / kLftLidsPerBlock;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      DrSmp smp;
+      smp.method = MadMethod::kSet;
+      smp.attribute = SmpAttribute::kLinearForwardingTable;
+      smp.attribute_modifier = static_cast<std::uint32_t>(b);
+      const auto base = b * kLftLidsPerBlock;
+      const auto count = std::min(kLftLidsPerBlock, lids - base);
+      write_lft_block(std::span<const iba::PortIndex>(&lft[base], count),
+                      std::span<std::uint8_t, kSmpPayloadBytes>(
+                          smp.payload.data(), kSmpPayloadBytes));
+      const auto wire = encode(smp);
+      const auto parsed = decode_smp(wire);
+      assert(parsed.has_value());
+      const auto block = read_lft_block(
+          std::span<const std::uint8_t, kSmpPayloadBytes>(
+              parsed->payload.data(), kSmpPayloadBytes));
+      for (std::size_t i = 0; i < count; ++i)
+        assembled[base + i] = block[i];
+    }
+    sim.set_forwarding(sw, std::move(assembled));
+  }
+}
+
+std::string SubnetManager::describe() const {
+  std::ostringstream os;
+  os << "subnet: " << report_.switches << " switches, " << report_.hosts
+     << " hosts, " << report_.links << " links; discovery "
+     << (report_.complete ? "complete" : "INCOMPLETE") << " with "
+     << report_.smps_sent << " directed-route SMPs (" << report_.sweep_hops
+     << " hops walked)\n";
+  os << "up*/down* root: switch " << routes_.root() << "\n";
+  os << "host LIDs: ";
+  bool first = true;
+  for (const auto h : graph_.hosts()) {
+    if (!first) os << ", ";
+    first = false;
+    os << h << "->" << lid(h);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace ibarb::subnet

@@ -1,0 +1,74 @@
+// Subnet manager: the configuration plane of the paper's "global frame".
+//
+// A real IBA subnet manager sweeps the fabric with directed-route SMPs,
+// assigns LIDs, and programs forwarding tables, SLtoVL maps and the
+// VLArbitrationTables of every port. This class performs those steps
+// against the model: discovery really is conducted by Get(NodeInfo)
+// directed-route MADs walked hop by hop (subnet/mad.hpp), LIDs are assigned
+// (host LID = node id + 1, the convention the simulator's data path uses),
+// up*/down* routes are computed, and configure_fabric() programs a
+// simulator in one call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iba/sl_to_vl.hpp"
+#include "network/graph.hpp"
+#include "network/routing.hpp"
+#include "qos/admission.hpp"
+#include "sim/simulator.hpp"
+#include "subnet/mad.hpp"
+
+namespace ibarb::subnet {
+
+struct DiscoveryReport {
+  unsigned switches = 0;
+  unsigned hosts = 0;
+  unsigned links = 0;          ///< Undirected wired links found.
+  unsigned smps_sent = 0;      ///< Directed-route probes issued.
+  unsigned sweep_hops = 0;     ///< Total hops those probes walked.
+  bool complete = false;       ///< Every node of the fabric was reached.
+};
+
+class SubnetManager {
+ public:
+  explicit SubnetManager(const network::FabricGraph& graph);
+
+  const DiscoveryReport& discovery() const noexcept { return report_; }
+  const network::Routes& routes() const noexcept { return routes_; }
+
+  iba::Lid lid(iba::NodeId node) const {
+    return static_cast<iba::Lid>(node + 1);
+  }
+
+  /// Nodes in the order the discovery sweep reached them.
+  const std::vector<iba::NodeId>& sweep_order() const noexcept {
+    return sweep_order_;
+  }
+
+  /// The directed-route port list the sweep recorded for a node (empty for
+  /// the origin). Replaying it through a DirectedRouteWalker reaches the
+  /// node — tests rely on this.
+  const std::vector<std::uint8_t>& dr_path(iba::NodeId node) const {
+    return dr_paths_.at(node);
+  }
+
+  /// Programs SLtoVL maps on every port (identity over the data VLs) and
+  /// the arbitration tables + reservation annotations held by `admission`.
+  void configure_fabric(sim::Simulator& sim,
+                        const qos::AdmissionControl& admission) const;
+
+  /// Human-readable fabric summary (example binaries print it).
+  std::string describe() const;
+
+ private:
+  const network::FabricGraph& graph_;
+  DiscoveryReport report_;
+  std::vector<iba::NodeId> sweep_order_;
+  std::vector<std::vector<std::uint8_t>> dr_paths_;
+  network::Routes routes_;
+};
+
+}  // namespace ibarb::subnet

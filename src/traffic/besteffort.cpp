@@ -1,0 +1,25 @@
+#include "traffic/besteffort.hpp"
+
+#include "traffic/cbr.hpp"
+
+namespace ibarb::traffic {
+
+sim::FlowSpec make_besteffort_flow(iba::NodeId src_host, iba::NodeId dst_host,
+                                   iba::ServiceLevel sl,
+                                   std::uint32_t payload_bytes,
+                                   double wire_mbps, std::uint64_t seed) {
+  sim::FlowSpec spec;
+  spec.src_host = src_host;
+  spec.dst_host = dst_host;
+  spec.sl = sl;
+  spec.payload_bytes = payload_bytes;
+  spec.interval = interval_for_rate(payload_bytes + iba::kPacketOverheadBytes,
+                                    wire_mbps);
+  spec.kind = sim::GeneratorKind::kPoisson;
+  spec.deadline = 0;   // no guarantee
+  spec.qos = false;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace ibarb::traffic

@@ -1,0 +1,18 @@
+// Best-effort background traffic: Poisson arrivals on the BE-family SLs,
+// served from the low-priority table. The paper leaves 20 % of every link
+// unreserved for these classes; benches offer a configurable fraction of it.
+#pragma once
+
+#include <cstdint>
+
+#include "iba/types.hpp"
+#include "sim/host.hpp"
+
+namespace ibarb::traffic {
+
+sim::FlowSpec make_besteffort_flow(iba::NodeId src_host, iba::NodeId dst_host,
+                                   iba::ServiceLevel sl,
+                                   std::uint32_t payload_bytes,
+                                   double wire_mbps, std::uint64_t seed);
+
+}  // namespace ibarb::traffic

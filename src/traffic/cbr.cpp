@@ -1,0 +1,43 @@
+#include "traffic/cbr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ibarb::traffic {
+
+iba::Cycle interval_for_rate(std::uint32_t wire_bytes, double wire_mbps) {
+  if (wire_mbps <= 0.0) throw std::invalid_argument("rate must be positive");
+  const double cycles =
+      static_cast<double>(wire_bytes) * iba::kBaseLinkMbps / wire_mbps;
+  return static_cast<iba::Cycle>(std::llround(std::max(cycles, 1.0)));
+}
+
+double wire_rate_for_payload_rate(double payload_mbps,
+                                  std::uint32_t payload_bytes) {
+  assert(payload_bytes > 0);
+  return payload_mbps *
+         static_cast<double>(payload_bytes + iba::kPacketOverheadBytes) /
+         static_cast<double>(payload_bytes);
+}
+
+sim::FlowSpec make_cbr_flow(iba::NodeId src_host, iba::NodeId dst_host,
+                            iba::ServiceLevel sl, std::uint32_t payload_bytes,
+                            double wire_mbps, iba::Cycle deadline,
+                            std::uint64_t seed, double oversend_factor) {
+  assert(oversend_factor > 0.0);
+  sim::FlowSpec spec;
+  spec.src_host = src_host;
+  spec.dst_host = dst_host;
+  spec.sl = sl;
+  spec.payload_bytes = payload_bytes;
+  spec.interval = interval_for_rate(payload_bytes + iba::kPacketOverheadBytes,
+                                    wire_mbps * oversend_factor);
+  spec.kind = sim::GeneratorKind::kCbr;
+  spec.deadline = deadline;
+  spec.qos = true;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace ibarb::traffic

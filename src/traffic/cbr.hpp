@@ -1,0 +1,31 @@
+// CBR flow construction (the paper's traffic model: constant-bit-rate
+// connections with a fixed packet size, rate drawn from the SL's range).
+#pragma once
+
+#include <cstdint>
+
+#include "iba/packet.hpp"
+#include "iba/types.hpp"
+#include "sim/host.hpp"
+
+namespace ibarb::traffic {
+
+/// Inter-packet interval (cycles) for a stream of `wire_bytes`-sized packets
+/// at `wire_mbps` mean wire bandwidth. At full 1x rate (2000 Mbps) the
+/// interval equals the packet's serialization time.
+iba::Cycle interval_for_rate(std::uint32_t wire_bytes, double wire_mbps);
+
+/// Wire-level bandwidth for a payload-level rate with this packet size.
+double wire_rate_for_payload_rate(double payload_mbps,
+                                  std::uint32_t payload_bytes);
+
+/// A CBR FlowSpec: fixed `payload_bytes` packets at `wire_mbps` (wire level).
+/// `oversend_factor` > 1 makes the source exceed its reservation — the
+/// misbehaving-source experiments use it; 1.0 is a compliant source.
+sim::FlowSpec make_cbr_flow(iba::NodeId src_host, iba::NodeId dst_host,
+                            iba::ServiceLevel sl, std::uint32_t payload_bytes,
+                            double wire_mbps, iba::Cycle deadline,
+                            std::uint64_t seed,
+                            double oversend_factor = 1.0);
+
+}  // namespace ibarb::traffic

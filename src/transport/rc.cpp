@@ -1,0 +1,150 @@
+#include "transport/rc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "iba/packet.hpp"
+
+namespace ibarb::transport {
+
+RcSender::RcSender(RcConfig cfg, std::uint32_t initial_psn)
+    : cfg_(cfg), next_new_psn_(initial_psn & kPsnMask) {
+  assert(cfg_.mtu_payload > 0);
+  assert(cfg_.window_packets > 0 && cfg_.window_packets < (1u << 22));
+}
+
+std::uint64_t RcSender::post_send(std::uint32_t bytes) {
+  const auto id = next_message_++;
+  const auto chunks = iba::segment_message(
+      bytes, static_cast<iba::Mtu>(cfg_.mtu_payload));
+  for (std::size_t k = 0; k < chunks.size(); ++k) {
+    PendingPacket p;
+    p.psn = next_new_psn_;
+    next_new_psn_ = psn_add(next_new_psn_, 1);
+    p.payload_bytes = chunks[k];
+    p.first = k == 0;
+    p.last = k + 1 == chunks.size();
+    p.message = id;
+    pending_.push_back(p);
+  }
+  return id;
+}
+
+std::optional<RcSender::OutPacket> RcSender::next_packet(iba::Cycle now) {
+  if (failed_) return std::nullopt;
+  if (resend_cursor_ >= pending_.size()) return std::nullopt;
+  if (resend_cursor_ >= cfg_.window_packets) return std::nullopt;
+
+  const PendingPacket& p = pending_[resend_cursor_];
+  OutPacket out;
+  out.psn = p.psn;
+  out.payload_bytes = p.payload_bytes;
+  out.first = p.first;
+  out.last = p.last;
+  out.message = p.message;
+  // A packet at a cursor position below the high-water mark of previously
+  // transmitted data is a retransmission. Track via stats: cursor resets on
+  // NAK/timeout mark subsequent sends as retransmissions until the cursor
+  // passes the old mark again.
+  out.retransmission = resend_cursor_ < retransmit_high_;
+  ++resend_cursor_;
+  ++stats_.packets_sent;
+  if (out.retransmission) ++stats_.retransmitted_packets;
+  if (packets_in_flight() == 1) last_progress_ = now;  // window was empty
+  return out;
+}
+
+void RcSender::on_ack(std::uint32_t psn, iba::Cycle now) {
+  if (failed_) return;
+  // Pop every pending packet with PSN <= psn (serial order).
+  std::uint32_t popped = 0;
+  while (!pending_.empty()) {
+    const auto head = pending_.front().psn;
+    if (head != psn && !psn_before(head, psn)) break;
+    if (pending_.front().last) {
+      completions_.push_back(pending_.front().message);
+      ++stats_.messages_completed;
+    }
+    pending_.pop_front();
+    ++popped;
+  }
+  if (popped > 0) {
+    resend_cursor_ -= std::min(resend_cursor_, popped);
+    retransmit_high_ -= std::min(retransmit_high_, popped);
+    retries_ = 0;
+    last_progress_ = now;
+  }
+}
+
+void RcSender::on_nak(std::uint32_t expected_psn, iba::Cycle now) {
+  if (failed_) return;
+  ++stats_.naks;
+  // Everything before expected_psn is implicitly acknowledged.
+  if (!pending_.empty() && psn_before(pending_.front().psn, expected_psn))
+    on_ack(psn_add(expected_psn, kPsnMask), now);  // ack expected_psn - 1
+  // Go-back-N: resend from the front of the remaining window.
+  retransmit_high_ = std::max(retransmit_high_, resend_cursor_);
+  resend_cursor_ = 0;
+  last_progress_ = now;
+}
+
+void RcSender::on_timer(iba::Cycle now) {
+  if (failed_ || pending_.empty()) return;
+  const bool in_flight = resend_cursor_ > 0;
+  if (!in_flight) return;
+  if (now - last_progress_ < cfg_.retransmit_timeout) return;
+  ++stats_.timeouts;
+  if (++retries_ > cfg_.max_retries) {
+    failed_ = true;  // QP error state: retry budget exhausted
+    return;
+  }
+  retransmit_high_ = std::max(retransmit_high_, resend_cursor_);
+  resend_cursor_ = 0;
+  last_progress_ = now;
+}
+
+std::vector<std::uint64_t> RcSender::drain_completions() {
+  auto out = std::move(completions_);
+  completions_.clear();
+  return out;
+}
+
+bool RcSender::idle() const noexcept { return pending_.empty(); }
+
+std::uint32_t RcSender::packets_in_flight() const noexcept {
+  return resend_cursor_;
+}
+
+RcReceiver::RxAction RcReceiver::on_packet(std::uint32_t psn,
+                                           std::uint32_t payload_bytes,
+                                           bool last) {
+  RxAction action;
+  psn &= kPsnMask;
+  if (psn == expected_psn_) {
+    action.deliver = true;
+    action.message_done = last;
+    expected_psn_ = psn_add(expected_psn_, 1);
+    action.send_ack = true;
+    action.ack_psn = psn;
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += payload_bytes;
+    if (last) ++stats_.messages;
+    return action;
+  }
+  if (psn_before(psn, expected_psn_)) {
+    // Duplicate of something already delivered: re-ack so the sender can
+    // move its window (its ACK may have been lost).
+    action.duplicate = true;
+    action.send_ack = true;
+    action.ack_psn = psn_add(expected_psn_, kPsnMask);  // expected - 1
+    ++stats_.duplicates;
+    return action;
+  }
+  // Gap: ask for what we actually need.
+  action.send_nak = true;
+  action.nak_psn = expected_psn_;
+  ++stats_.out_of_order;
+  return action;
+}
+
+}  // namespace ibarb::transport

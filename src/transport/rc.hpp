@@ -1,0 +1,152 @@
+// Reliable Connection transport (IBA 1.0 ch. 9, simplified but faithful in
+// behaviour): the endnode substrate the paper presumes — "for supporting the
+// usual QoS requirements applications must use reliable connections".
+//
+// One RcSender/RcReceiver pair models a queue pair's data path:
+//  * messages are segmented into MTU-sized packets carrying consecutive
+//    24-bit PSNs (serial arithmetic, wrap-safe);
+//  * the receiver delivers strictly in order, acknowledges cumulatively,
+//    detects duplicates (re-acks them) and answers out-of-order arrivals
+//    with a NAK carrying the expected PSN;
+//  * the sender keeps a bounded in-flight window, retransmits go-back-N on
+//    NAK or on retransmission timeout, and reports per-message completions
+//    once every packet of the message is acknowledged.
+//
+// The classes are pure state machines (no clock, no I/O): the caller — a
+// simulator host, a test, or a fuzz harness — moves packets and time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "iba/packet.hpp"
+#include "iba/types.hpp"
+
+namespace ibarb::transport {
+
+/// 24-bit packet sequence numbers with serial (wrap-around) comparison.
+inline constexpr std::uint32_t kPsnMask = 0x00FFFFFF;
+
+constexpr std::uint32_t psn_add(std::uint32_t psn, std::uint32_t n) {
+  return (psn + n) & kPsnMask;
+}
+
+/// a < b in serial arithmetic (window < 2^23 apart).
+constexpr bool psn_before(std::uint32_t a, std::uint32_t b) {
+  return ((b - a) & kPsnMask) != 0 && ((b - a) & kPsnMask) < (1u << 23);
+}
+
+struct RcConfig {
+  std::uint32_t mtu_payload = 256;        ///< Path MTU (payload bytes).
+  std::uint32_t window_packets = 64;      ///< Max unacknowledged packets.
+  iba::Cycle retransmit_timeout = 200000; ///< Cycles before go-back-N.
+  unsigned max_retries = 7;               ///< Then the QP enters error state.
+};
+
+class RcSender {
+ public:
+  explicit RcSender(RcConfig cfg, std::uint32_t initial_psn = 0);
+
+  /// Posts a message of `bytes` to the send queue; returns its id.
+  std::uint64_t post_send(std::uint32_t bytes);
+
+  struct OutPacket {
+    std::uint32_t psn = 0;
+    std::uint32_t payload_bytes = 0;
+    bool first = false;                 ///< First packet of its message.
+    bool last = false;                  ///< Last packet of its message.
+    std::uint64_t message = 0;
+    bool retransmission = false;
+  };
+
+  /// Next packet eligible for the wire at time `now` (retransmissions take
+  /// precedence). std::nullopt when the window is closed or idle.
+  std::optional<OutPacket> next_packet(iba::Cycle now);
+
+  /// Cumulative acknowledgement: everything up to and including `psn`.
+  void on_ack(std::uint32_t psn, iba::Cycle now);
+
+  /// NAK (PSN sequence error): the receiver expects `expected_psn`; the
+  /// sender rewinds and resends from there (go-back-N).
+  void on_nak(std::uint32_t expected_psn, iba::Cycle now);
+
+  /// Drives the retransmission timer; call periodically with the clock.
+  void on_timer(iba::Cycle now);
+
+  /// Messages whose last packet has been acknowledged since the last call.
+  std::vector<std::uint64_t> drain_completions();
+
+  bool failed() const noexcept { return failed_; }
+  bool idle() const noexcept;  ///< Nothing queued or in flight.
+  std::uint32_t packets_in_flight() const noexcept;
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t retransmitted_packets = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t naks = 0;
+    std::uint64_t messages_completed = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PendingPacket {
+    std::uint32_t psn;
+    std::uint32_t payload_bytes;
+    bool first;
+    bool last;
+    std::uint64_t message;
+  };
+
+  RcConfig cfg_;
+  std::deque<PendingPacket> pending_;  ///< Unacked, in PSN order.
+  std::uint32_t next_new_psn_;         ///< PSN for the next fresh packet.
+  std::uint32_t resend_cursor_ = 0;    ///< Index into pending_ to send next.
+  std::uint32_t retransmit_high_ = 0;  ///< Transmission high-water mark;
+                                       ///< sends below it are retransmits.
+  std::uint64_t next_message_ = 1;
+  iba::Cycle last_progress_ = 0;       ///< For the retransmission timer.
+  unsigned retries_ = 0;
+  bool failed_ = false;
+  std::vector<std::uint64_t> completions_;
+  Stats stats_;
+};
+
+class RcReceiver {
+ public:
+  explicit RcReceiver(std::uint32_t initial_psn = 0)
+      : expected_psn_(initial_psn & kPsnMask) {}
+
+  struct RxAction {
+    bool deliver = false;        ///< Payload accepted, in order.
+    bool message_done = false;   ///< This packet completed a message.
+    bool send_ack = false;       ///< Respond with ACK(ack_psn).
+    std::uint32_t ack_psn = 0;
+    bool send_nak = false;       ///< Respond with NAK(expected_psn).
+    std::uint32_t nak_psn = 0;
+    bool duplicate = false;
+  };
+
+  /// Handles one arriving data packet.
+  RxAction on_packet(std::uint32_t psn, std::uint32_t payload_bytes,
+                     bool last);
+
+  std::uint32_t expected_psn() const noexcept { return expected_psn_; }
+
+  struct Stats {
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t delivered_bytes = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t out_of_order = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::uint32_t expected_psn_;
+  Stats stats_;
+};
+
+}  // namespace ibarb::transport

@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace ibarb::util {
+
+namespace {
+
+std::string strip_dashes(std::string_view arg) {
+  std::size_t i = 0;
+  while (i < arg.size() && arg[i] == '-') ++i;
+  return std::string(arg.substr(i));
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      throw std::invalid_argument("unexpected positional argument: " +
+                                  std::string(arg));
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[strip_dashes(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[strip_dashes(arg)] = argv[++i];
+    } else {
+      values_[strip_dashes(arg)] = "true";  // bare flag → boolean
+    }
+  }
+}
+
+bool Cli::has(std::string_view name) const {
+  queried_[std::string(name)] = true;
+  return values_.find(name) != values_.end();
+}
+
+std::string Cli::get(std::string_view name, std::string default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(default_value) : it->second;
+}
+
+std::int64_t Cli::get_int(std::string_view name,
+                          std::int64_t default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects an integer, got '" + s + "'");
+  }
+  return out;
+}
+
+double Cli::get_double(std::string_view name, double default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Cli::get_bool(std::string_view name, bool default_value) const {
+  queried_[std::string(name)] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Cli::unused_flags() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) {
+      if (!out.empty()) out += ", ";
+      out += "--" + name;
+    }
+  }
+  return out;
+}
+
+}  // namespace ibarb::util

@@ -1,0 +1,35 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported.
+// Deliberately tiny: the binaries only need a handful of numeric knobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ibarb::util {
+
+class Cli {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input
+  /// (missing value, non-flag positional argument).
+  Cli(int argc, const char* const* argv);
+
+  bool has(std::string_view name) const;
+  std::string get(std::string_view name, std::string default_value) const;
+  std::int64_t get_int(std::string_view name, std::int64_t default_value) const;
+  double get_double(std::string_view name, double default_value) const;
+  bool get_bool(std::string_view name, bool default_value) const;
+
+  /// Flags that were supplied but never queried — typo detection.
+  std::string unused_flags() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> queried_;
+};
+
+}  // namespace ibarb::util

@@ -1,0 +1,66 @@
+// Streaming statistics and histogram helpers used by the simulator metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ibarb::util {
+
+/// Welford online accumulator: mean / variance / min / max without storing
+/// the samples. Numerically stable for long simulation runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin so the total count is preserved (the jitter figures need
+/// exact percentages).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const noexcept { return counts_[i]; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  /// Fraction (0..1) of samples in bin i.
+  double fraction(std::size_t i) const noexcept;
+  /// Fraction of samples with value < x (linear interpolation within bins).
+  double cdf(double x) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Exact percentile of a sample set (nearest-rank). `q` in [0, 100].
+/// Sorts a copy; intended for end-of-run reporting, not hot paths.
+double percentile(std::span<const double> samples, double q);
+
+}  // namespace ibarb::util

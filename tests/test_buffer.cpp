@@ -1,0 +1,89 @@
+#include "sim/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibarb::sim {
+namespace {
+
+iba::Packet pkt(std::uint32_t payload, std::uint64_t id = 0) {
+  iba::Packet p;
+  p.id = id;
+  p.payload_bytes = payload;
+  return p;
+}
+
+TEST(VlFifo, FifoOrder) {
+  VlFifo f;
+  f.push(pkt(100, 1));
+  f.push(pkt(100, 2));
+  EXPECT_EQ(f.pop().id, 1u);
+  EXPECT_EQ(f.pop().id, 2u);
+}
+
+TEST(VlFifo, ByteAccounting) {
+  VlFifo f;
+  f.set_capacity(1000);
+  f.push(pkt(100));  // wire 126
+  EXPECT_EQ(f.used_bytes(), 126u);
+  EXPECT_TRUE(f.can_accept(874));
+  EXPECT_FALSE(f.can_accept(875));
+  f.pop();
+  EXPECT_EQ(f.used_bytes(), 0u);
+}
+
+TEST(VlFifo, UnboundedByDefault) {
+  VlFifo f;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(f.can_accept(1u << 20));
+    f.push(pkt(1u << 20));
+  }
+  EXPECT_EQ(f.size(), 100u);
+}
+
+TEST(PortBuffers, OccupancyMaskTracksVls) {
+  PortBuffers b;
+  EXPECT_TRUE(b.all_empty());
+  b.push(3, pkt(10));
+  b.push(7, pkt(10));
+  EXPECT_EQ(b.occupancy(), (1u << 3) | (1u << 7));
+  b.pop(3);
+  EXPECT_EQ(b.occupancy(), 1u << 7);
+  b.pop(7);
+  EXPECT_TRUE(b.all_empty());
+}
+
+TEST(PortBuffers, OccupancyStaysSetWhileNonEmpty) {
+  PortBuffers b;
+  b.push(2, pkt(10, 1));
+  b.push(2, pkt(10, 2));
+  b.pop(2);
+  EXPECT_EQ(b.occupancy(), 1u << 2);
+  b.pop(2);
+  EXPECT_EQ(b.occupancy(), 0u);
+}
+
+TEST(PortBuffers, PerVlIsolation) {
+  PortBuffers b;
+  b.set_capacity_all(200);
+  b.push(0, pkt(150));  // wire 176 on VL0
+  EXPECT_FALSE(b.can_accept(0, 176));
+  EXPECT_TRUE(b.can_accept(1, 176));  // VL1 space untouched
+}
+
+TEST(PortBuffers, TotalPackets) {
+  PortBuffers b;
+  b.push(0, pkt(1));
+  b.push(5, pkt(1));
+  b.push(5, pkt(1));
+  EXPECT_EQ(b.total_packets(), 3u);
+}
+
+TEST(PortBuffers, FrontPeeksWithoutRemoving) {
+  PortBuffers b;
+  b.push(4, pkt(10, 42));
+  EXPECT_EQ(b.front(4).id, 42u);
+  EXPECT_EQ(b.total_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace ibarb::sim

@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ibarb::util {
+namespace {
+
+Cli make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const auto cli = make({"--switches", "16"});
+  EXPECT_EQ(cli.get_int("switches", 0), 16);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const auto cli = make({"--seed=99"});
+  EXPECT_EQ(cli.get_int("seed", 0), 99);
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  const auto cli = make({});
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get("missing", "fallback"), "fallback");
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto cli = make({"--quick"});
+  EXPECT_TRUE(cli.has("quick"));
+  EXPECT_TRUE(cli.get_bool("quick", false));
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto cli = make({"--load", "0.75"});
+  EXPECT_DOUBLE_EQ(cli.get_double("load", 0.0), 0.75);
+}
+
+TEST(Cli, StringValue) {
+  const auto cli = make({"--mtu", "large"});
+  EXPECT_EQ(cli.get("mtu", "small"), "large");
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(make({"oops"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMalformedInteger) {
+  const auto cli = make({"--n", "12x"});
+  EXPECT_THROW(cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, RejectsMalformedDouble) {
+  const auto cli = make({"--x", "abc"});
+  EXPECT_THROW(cli.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, UnusedFlagsReported) {
+  const auto cli = make({"--used", "1", "--typo", "2"});
+  (void)cli.get_int("used", 0);
+  EXPECT_EQ(cli.unused_flags(), "--typo");
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  // A negative value does not start with "--", so space form works.
+  const auto cli = make({"--offset", "-5"});
+  EXPECT_EQ(cli.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace ibarb::util

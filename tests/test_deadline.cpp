@@ -1,0 +1,44 @@
+#include "qos/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibarb::qos {
+namespace {
+
+TEST(Deadline, PerSwitchFormula) {
+  // d entries x 255 weight x 64 bytes of link time.
+  EXPECT_EQ(per_switch_deadline(2), 2u * 255u * 64u);
+  EXPECT_EQ(per_switch_deadline(64), 64u * 255u * 64u);
+}
+
+TEST(Deadline, EndToEndScalesWithStages) {
+  EXPECT_EQ(end_to_end_deadline(8, 4), 4u * per_switch_deadline(8));
+  EXPECT_EQ(end_to_end_deadline(8, 1), per_switch_deadline(8));
+}
+
+TEST(Deadline, DistanceForDeadlinePicksLargestAdmissible) {
+  EXPECT_EQ(distance_for_deadline(per_switch_deadline(16)), 16u);
+  EXPECT_EQ(distance_for_deadline(per_switch_deadline(16) + 1), 16u);
+  EXPECT_EQ(distance_for_deadline(per_switch_deadline(32) - 1), 16u);
+  EXPECT_EQ(distance_for_deadline(per_switch_deadline(64) * 10), 64u);
+}
+
+TEST(Deadline, InfeasibleDeadlineGivesZero) {
+  EXPECT_EQ(distance_for_deadline(per_switch_deadline(2) - 1), 0u);
+  EXPECT_EQ(distance_for_deadline(0), 0u);
+}
+
+TEST(Deadline, E2eVariantDividesByStages) {
+  const auto d = per_switch_deadline(8);
+  EXPECT_EQ(distance_for_e2e_deadline(d * 4, 4), 8u);
+  EXPECT_EQ(distance_for_e2e_deadline(d * 4, 8), 4u);
+  EXPECT_EQ(distance_for_e2e_deadline(d, 0), 0u);
+}
+
+TEST(Deadline, RoundTripDistanceDeadlineDistance) {
+  for (unsigned d = 2; d <= 64; d *= 2)
+    EXPECT_EQ(distance_for_deadline(per_switch_deadline(d)), d);
+}
+
+}  // namespace
+}  // namespace ibarb::qos

@@ -1,0 +1,135 @@
+#include "arbtable/defrag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arbtable/table_manager.hpp"
+
+namespace ibarb::arbtable {
+namespace {
+
+TableManager::Config cfg(bool defrag) {
+  TableManager::Config c;
+  c.link_data_mbps = 2000.0;
+  c.reservable_fraction = 1.0;  // bandwidth never the limit in these tests
+  c.policy = FillPolicy::kBitReversal;
+  c.defrag_on_release = defrag;
+  c.seed = 3;
+  return c;
+}
+
+Requirement fat_req(unsigned distance) {
+  // weight_per_entry close to the cap so sequences never share.
+  Requirement r;
+  r.distance = distance;
+  r.entries = iba::kArbTableEntries / distance;
+  r.weight_per_entry = 200;
+  r.total_weight = r.entries * r.weight_per_entry;
+  return r;
+}
+
+TEST(Defrag, CoalescesFreedSetsIntoLargerOnes) {
+  // Without defrag: allocate four distance-4 sequences (the whole table),
+  // free two non-buddy ones; a distance-2 request (32 entries) has exactly
+  // 32 free entries but they do not form one E_{1,j}. With defrag they must.
+  TableManager no_defrag(cfg(false));
+  TableManager with_defrag(cfg(true));
+  const auto r4 = fat_req(4);
+  std::vector<SeqHandle> h1, h2;
+  for (int i = 0; i < 4; ++i) {
+    auto a = no_defrag.allocate(1, r4, 1.0);
+    auto b = with_defrag.allocate(1, r4, 1.0);
+    ASSERT_TRUE(a && b);
+    h1.push_back(*a);
+    h2.push_back(*b);
+  }
+  // Bit-reversal fill order for d=4 is offsets 0, 2, 1, 3. Free offsets
+  // 0 and 1 (handles 0 and 2): the free entries are not a single E_{1,j}.
+  no_defrag.release(h1[0], r4, 1.0);
+  no_defrag.release(h1[2], r4, 1.0);
+  with_defrag.release(h2[0], r4, 1.0);
+  with_defrag.release(h2[2], r4, 1.0);
+
+  EXPECT_EQ(no_defrag.free_entries(), 32u);
+  EXPECT_EQ(with_defrag.free_entries(), 32u);
+
+  const auto r2 = fat_req(2);
+  EXPECT_FALSE(no_defrag.allocate(2, r2, 1.0).has_value())
+      << "fragmented table should not fit a distance-2 sequence";
+  EXPECT_TRUE(with_defrag.allocate(2, r2, 1.0).has_value())
+      << "defragmentation must have coalesced the two freed sets";
+  EXPECT_TRUE(with_defrag.check_invariants());
+}
+
+TEST(Defrag, PreservesSequenceContents) {
+  TableManager m(cfg(true));
+  const auto r8 = fat_req(8);
+  const auto r16 = fat_req(16);
+  const auto a = m.allocate(1, r8, 1.0);
+  const auto b = m.allocate(2, r16, 1.0);
+  const auto c = m.allocate(3, r8, 1.0);
+  ASSERT_TRUE(a && b && c);
+  m.release(*a, r8, 1.0);  // triggers defrag; b and c may move
+
+  std::string why;
+  ASSERT_TRUE(m.check_invariants(&why)) << why;
+  // VL2 still owns a distance-16 sequence and VL3 a distance-8 one.
+  EXPECT_EQ(m.sequence(*b).distance, 16u);
+  EXPECT_EQ(m.sequence(*b).weight_per_entry, 200u);
+  EXPECT_EQ(m.sequence(*c).distance, 8u);
+  const auto& table = m.table().high();
+  unsigned vl2 = 0, vl3 = 0;
+  for (const auto& e : table) {
+    if (!e.active()) continue;
+    if (e.vl == 2) ++vl2;
+    if (e.vl == 3) ++vl3;
+  }
+  EXPECT_EQ(vl2, 4u);
+  EXPECT_EQ(vl3, 8u);
+}
+
+TEST(Defrag, NoMovesWhenAlreadyPacked) {
+  TableManager m(cfg(true));
+  const auto r = fat_req(8);
+  const auto a = m.allocate(1, r, 1.0);
+  const auto b = m.allocate(1, r, 1.0);
+  ASSERT_TRUE(a && b);
+  const auto moves_before = m.stats().defrag_moves;
+  m.defragment();
+  EXPECT_EQ(m.stats().defrag_moves, moves_before)
+      << "a bit-reversal-packed table needs no relocation";
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Defrag, MaxGapNeverWorseAfterDefrag) {
+  // Relocation must never loosen a sequence's spacing: the guarantee is on
+  // the distance, which defrag preserves exactly.
+  TableManager m(cfg(true));
+  const auto r4 = fat_req(4);
+  const auto r32 = fat_req(32);
+  const auto a = m.allocate(1, r4, 1.0);
+  const auto b = m.allocate(2, r32, 1.0);
+  const auto c = m.allocate(3, r32, 1.0);
+  ASSERT_TRUE(a && b && c);
+  m.release(*b, r32, 1.0);
+  EXPECT_LE(max_gap_for_vl(m.table().high(), 1), 4u);
+  EXPECT_LE(max_gap_for_vl(m.table().high(), 3), 32u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(Defrag, ScatteredSequencesDisableDefrag) {
+  TableManager::Config c = cfg(true);
+  c.policy = FillPolicy::kScattered;
+  TableManager m(c);
+  const auto r = fat_req(8);
+  const auto a = m.allocate(1, r, 1.0);
+  const auto b = m.allocate(2, r, 1.0);
+  ASSERT_TRUE(a && b);
+  m.release(*a, r, 1.0);  // triggers defragment(), which must bail out
+  EXPECT_EQ(m.stats().defrag_moves, 0u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+}  // namespace
+}  // namespace ibarb::arbtable

@@ -1,0 +1,85 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibarb::sim {
+namespace {
+
+Event at(iba::Cycle t) {
+  Event e;
+  e.time = t;
+  return e;
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(at(30));
+  q.push(at(10));
+  q.push(at(20));
+  EXPECT_EQ(q.pop().time, 10u);
+  EXPECT_EQ(q.pop().time, 20u);
+  EXPECT_EQ(q.pop().time, 30u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Event e = at(5);
+    e.aux = i;
+    q.push(e);
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const auto e = q.pop();
+    EXPECT_EQ(e.time, 5u);
+    EXPECT_EQ(e.aux, i) << "same-cycle events must keep insertion order";
+  }
+}
+
+TEST(EventQueue, MixedTimesAndTies) {
+  EventQueue q;
+  Event a = at(7);
+  a.aux = 1;
+  Event b = at(3);
+  b.aux = 2;
+  Event c = at(7);
+  c.aux = 3;
+  q.push(a);
+  q.push(b);
+  q.push(c);
+  EXPECT_EQ(q.pop().aux, 2u);
+  EXPECT_EQ(q.pop().aux, 1u);
+  EXPECT_EQ(q.pop().aux, 3u);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(at(1));
+  q.push(at(2));
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue q;
+  q.push(at(9));
+  EXPECT_EQ(q.top().time, 9u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PacketPayloadSurvives) {
+  EventQueue q;
+  Event e = at(4);
+  e.type = EventType::kLinkDeliver;
+  e.packet.id = 1234;
+  e.packet.payload_bytes = 256;
+  q.push(e);
+  const auto out = q.pop();
+  EXPECT_EQ(out.packet.id, 1234u);
+  EXPECT_EQ(out.packet.payload_bytes, 256u);
+}
+
+}  // namespace
+}  // namespace ibarb::sim

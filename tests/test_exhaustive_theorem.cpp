@@ -1,0 +1,127 @@
+// Exhaustive verification of the paper's optimality theorem.
+//
+// With defragmentation enabled, every reachable table state is equivalent
+// (up to the canonical compaction) to a multiset of live sequence sizes:
+// after any allocate/release history the defragmenter leaves the same
+// left-packed buddy layout. The randomized trace tests (test_fill_properties)
+// sample histories; this test instead *enumerates every canonical state* —
+// all multisets of sequence sizes {1,2,4,8,16,32} entries that fit the
+// 64-entry table (with small-size counts capped to keep the run fast) —
+// and checks, in each state, for every admissible distance d:
+//
+//     allocate(d) succeeds  <=>  free entries >= 64/d
+//
+// together with the manager's internal invariants. This covers tens of
+// thousands of states exactly, a stronger statement than sampling.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arbtable/table_manager.hpp"
+
+namespace ibarb::arbtable {
+namespace {
+
+Requirement fat_req(unsigned distance) {
+  Requirement r;
+  r.distance = distance;
+  r.entries = iba::kArbTableEntries / distance;
+  r.weight_per_entry = 200;  // no sharing: placement is what we test
+  r.total_weight = r.entries * r.weight_per_entry;
+  return r;
+}
+
+TableManager fresh_manager() {
+  TableManager::Config c;
+  c.reservable_fraction = 1.0;
+  c.defrag_on_release = true;
+  c.seed = 1;
+  return TableManager(c);
+}
+
+/// Builds the canonical state for the given per-size sequence counts.
+/// counts[i] sequences of size 2^i entries (distance 64 >> i).
+bool build_state(TableManager& m, const std::array<unsigned, 6>& counts) {
+  for (int i = 5; i >= 0; --i) {  // big first: always placeable if it fits
+    const unsigned entries = 1u << i;
+    const unsigned distance = iba::kArbTableEntries / entries;
+    const auto req = fat_req(distance);
+    for (unsigned k = 0; k < counts[static_cast<std::size_t>(i)]; ++k) {
+      const auto vl = static_cast<iba::VirtualLane>(i);
+      if (!m.allocate(vl, req, 0.0001)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(ExhaustiveTheorem, EveryCanonicalStateSatisfiesSuccessIffEnoughFree) {
+  std::uint64_t states = 0;
+  std::uint64_t checks = 0;
+  // counts[i] = sequences of 2^i entries. Small sizes capped at 8 (beyond
+  // that the states add no new structure, only more of the same blocks).
+  std::array<unsigned, 6> counts{};
+  for (counts[5] = 0; counts[5] <= 2; ++counts[5])
+    for (counts[4] = 0; counts[4] <= 4; ++counts[4])
+      for (counts[3] = 0; counts[3] <= 8; ++counts[3])
+        for (counts[2] = 0; counts[2] <= 8; ++counts[2])
+          for (counts[1] = 0; counts[1] <= 8; ++counts[1])
+            for (counts[0] = 0; counts[0] <= 8; ++counts[0]) {
+              unsigned used = 0;
+              for (int i = 0; i < 6; ++i) used += counts[i] << i;
+              if (used > iba::kArbTableEntries) continue;
+
+              TableManager m = fresh_manager();
+              ASSERT_TRUE(build_state(m, counts))
+                  << "canonical state must be constructible";
+              ASSERT_EQ(m.free_entries(), iba::kArbTableEntries - used);
+              ++states;
+
+              for (unsigned d = 2; d <= 64; d *= 2) {
+                const auto req = fat_req(d);
+                const bool enough = m.free_entries() >= req.entries;
+                const auto got = m.allocate(9, req, 0.0001);
+                ++checks;
+                ASSERT_EQ(got.has_value(), enough)
+                    << "state used=" << used << " distance=" << d;
+                if (got) {
+                  // Restore the state; defrag re-canonicalizes it.
+                  m.release(*got, req, 0.0001);
+                  ASSERT_EQ(m.free_entries(),
+                            iba::kArbTableEntries - used);
+                }
+                std::string why;
+                ASSERT_TRUE(m.check_invariants(&why)) << why;
+              }
+            }
+  // The enumeration must have actually covered a large space.
+  EXPECT_GT(states, 8000u);
+  EXPECT_GT(checks, 48000u);
+}
+
+TEST(ExhaustiveTheorem, MixedOrderConstructionReachesTheSameCanonicalState) {
+  // Allocating the same multiset in ascending instead of descending size
+  // order must succeed too and, after one defrag, land in the same layout.
+  const std::array<unsigned, 6> counts{2, 1, 1, 1, 1, 1};  // 2+2+4+8+16+32=64
+  TableManager desc = fresh_manager();
+  ASSERT_TRUE(build_state(desc, counts));
+
+  TableManager asc = fresh_manager();
+  for (int i = 0; i <= 5; ++i) {
+    const unsigned entries = 1u << i;
+    const unsigned distance = iba::kArbTableEntries / entries;
+    const auto req = fat_req(distance);
+    for (unsigned k = 0; k < counts[static_cast<std::size_t>(i)]; ++k)
+      ASSERT_TRUE(asc.allocate(static_cast<iba::VirtualLane>(i), req, 0.0001)
+                      .has_value());
+  }
+  asc.defragment();
+  desc.defragment();
+  for (unsigned p = 0; p < iba::kArbTableEntries; ++p) {
+    EXPECT_EQ(asc.table().high()[p].vl, desc.table().high()[p].vl)
+        << "slot " << p;
+    EXPECT_EQ(asc.table().high()[p].weight, desc.table().high()[p].weight);
+  }
+}
+
+}  // namespace
+}  // namespace ibarb::arbtable

@@ -1,0 +1,196 @@
+// Property tests for the paper's central theorems (§3.3, companion TR [1]):
+//
+//  T1. Bit-reversal fill, arrivals only: a request of distance d succeeds
+//      IFF at least 64/d entries are free.
+//  T2. Bit-reversal fill + defragmentation on release: T1 holds across any
+//      allocate/release trace.
+//  T3. Without defragmentation, releases can fragment the table so that T1
+//      fails — demonstrating the defragmenter is load-bearing.
+//  T4. Every live sequence keeps its VL's worst-case gap within its
+//      distance at all times (the latency guarantee survives defrag moves).
+//
+// Sequences use near-cap per-entry weights so the sharing path cannot mask
+// placement failures.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arbtable/entry_set.hpp"
+#include "arbtable/table_manager.hpp"
+#include "util/rng.hpp"
+
+namespace ibarb::arbtable {
+namespace {
+
+constexpr unsigned kDistances[] = {2, 4, 8, 16, 32, 64};
+
+Requirement fat_req(unsigned distance) {
+  Requirement r;
+  r.distance = distance;
+  r.entries = iba::kArbTableEntries / distance;
+  r.weight_per_entry = 200;  // 200+200 > 255: sharing disabled
+  r.total_weight = r.entries * r.weight_per_entry;
+  return r;
+}
+
+TableManager::Config manager_cfg(bool defrag, std::uint64_t seed) {
+  TableManager::Config c;
+  c.link_data_mbps = 2000.0;
+  c.reservable_fraction = 1.0;  // bandwidth is never the binding constraint
+  c.policy = FillPolicy::kBitReversal;
+  c.defrag_on_release = defrag;
+  c.seed = seed;
+  return c;
+}
+
+struct Live {
+  SeqHandle handle;
+  Requirement req;
+};
+
+class FillPropertySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FillPropertySeeds, ArrivalsOnlySucceedIffEnoughFreeEntries) {
+  util::Xoshiro256 rng(GetParam());
+  TableManager m(manager_cfg(/*defrag=*/false, GetParam()));
+  for (int step = 0; step < 64; ++step) {
+    const unsigned d = kDistances[rng.below(std::size(kDistances))];
+    const auto req = fat_req(d);
+    const bool enough = m.free_entries() >= req.entries;
+    const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+    const auto got = m.allocate(vl, req, 0.0001);
+    ASSERT_EQ(got.has_value(), enough)
+        << "distance " << d << " with " << m.free_entries()
+        << " free entries at step " << step;
+    std::string why;
+    ASSERT_TRUE(m.check_invariants(&why)) << why;
+  }
+}
+
+TEST_P(FillPropertySeeds, ChurnWithDefragSucceedsIffEnoughFreeEntries) {
+  util::Xoshiro256 rng(GetParam() ^ 0xABCD);
+  TableManager m(manager_cfg(/*defrag=*/true, GetParam()));
+  std::vector<Live> live;
+  int fragmentation_opportunities = 0;
+  for (int step = 0; step < 600; ++step) {
+    if (!live.empty() && rng.chance(0.45)) {
+      const auto idx = rng.below(live.size());
+      m.release(live[idx].handle, live[idx].req, 0.0001);
+      live[idx] = live.back();
+      live.pop_back();
+      std::string why;
+      ASSERT_TRUE(m.check_invariants(&why)) << why;
+      continue;
+    }
+    const unsigned d = kDistances[rng.below(std::size(kDistances))];
+    const auto req = fat_req(d);
+    const bool enough = m.free_entries() >= req.entries;
+    if (enough && m.free_entries() < iba::kArbTableEntries)
+      ++fragmentation_opportunities;
+    const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+    const auto got = m.allocate(vl, req, 0.0001);
+    ASSERT_EQ(got.has_value(), enough)
+        << "distance " << d << " with " << m.free_entries()
+        << " free entries at step " << step;
+    if (got) live.push_back(Live{*got, req});
+    std::string why;
+    ASSERT_TRUE(m.check_invariants(&why)) << why;
+  }
+  // The trace must actually have exercised non-trivial placements.
+  EXPECT_GT(fragmentation_opportunities, 20);
+}
+
+TEST_P(FillPropertySeeds, GapNeverExceedsDistanceUnderChurn) {
+  util::Xoshiro256 rng(GetParam() ^ 0x1357);
+  TableManager m(manager_cfg(/*defrag=*/true, GetParam()));
+  std::vector<Live> live;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.chance(0.4)) {
+      const auto idx = rng.below(live.size());
+      m.release(live[idx].handle, live[idx].req, 0.0001);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      const unsigned d = kDistances[rng.below(std::size(kDistances))];
+      const auto req = fat_req(d);
+      const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+      if (const auto got = m.allocate(vl, req, 0.0001))
+        live.push_back(Live{*got, req});
+    }
+    // Each VL holds only sequences of one distance (vl == log2(d)), so its
+    // cyclic gap must stay within that distance at all times.
+    for (const auto& l : live) {
+      const auto& seq = m.sequence(l.handle);
+      ASSERT_LE(max_gap_for_vl(m.table().high(), seq.vl), seq.distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FillPropertySeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+TEST(FillProperties, WithoutDefragChurnEventuallyFragments) {
+  // T3: find at least one avoidable rejection across seeds when the
+  // defragmenter is disabled — the paper's optimality genuinely depends
+  // on it.
+  bool found_fragmentation_failure = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !found_fragmentation_failure;
+       ++seed) {
+    util::Xoshiro256 rng(seed);
+    TableManager m(manager_cfg(/*defrag=*/false, seed));
+    std::vector<Live> live;
+    for (int step = 0; step < 400; ++step) {
+      if (!live.empty() && rng.chance(0.45)) {
+        const auto idx = rng.below(live.size());
+        m.release(live[idx].handle, live[idx].req, 0.0001);
+        live[idx] = live.back();
+        live.pop_back();
+        continue;
+      }
+      const unsigned d = kDistances[rng.below(std::size(kDistances))];
+      const auto req = fat_req(d);
+      const bool enough = m.free_entries() >= req.entries;
+      const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+      const auto got = m.allocate(vl, req, 0.0001);
+      if (enough && !got) {
+        found_fragmentation_failure = true;
+        break;
+      }
+      if (got) live.push_back(Live{*got, req});
+    }
+  }
+  EXPECT_TRUE(found_fragmentation_failure)
+      << "defrag-off churn never fragmented: the T2 test would be vacuous";
+}
+
+TEST(FillProperties, DefragReachesCanonicalPacking) {
+  // After any churn, one more defragment() is idempotent: a second call
+  // performs zero moves.
+  util::Xoshiro256 rng(77);
+  TableManager m(manager_cfg(/*defrag=*/true, 77));
+  std::vector<Live> live;
+  for (int step = 0; step < 300; ++step) {
+    if (!live.empty() && rng.chance(0.5)) {
+      const auto idx = rng.below(live.size());
+      m.release(live[idx].handle, live[idx].req, 0.0001);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      const unsigned d = kDistances[rng.below(std::size(kDistances))];
+      const auto req = fat_req(d);
+      const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+      if (const auto got = m.allocate(vl, req, 0.0001))
+        live.push_back(Live{*got, req});
+    }
+  }
+  m.defragment();
+  const auto moves = m.stats().defrag_moves;
+  m.defragment();
+  EXPECT_EQ(m.stats().defrag_moves, moves) << "defragment is not idempotent";
+  EXPECT_TRUE(m.check_invariants());
+}
+
+}  // namespace
+}  // namespace ibarb::arbtable

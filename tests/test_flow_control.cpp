@@ -1,0 +1,63 @@
+#include "iba/flow_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibarb::iba {
+namespace {
+
+TEST(BytesToBlocks, RoundsUp) {
+  EXPECT_EQ(bytes_to_blocks(0), 0u);
+  EXPECT_EQ(bytes_to_blocks(1), 1u);
+  EXPECT_EQ(bytes_to_blocks(64), 1u);
+  EXPECT_EQ(bytes_to_blocks(65), 2u);
+  EXPECT_EQ(bytes_to_blocks(282), 5u);
+}
+
+TEST(CreditTracker, StartsAtCapacity) {
+  CreditTracker t(100);
+  for (unsigned vl = 0; vl < kMaxVirtualLanes; ++vl) {
+    EXPECT_EQ(t.available(static_cast<VirtualLane>(vl)), 100u);
+    EXPECT_EQ(t.capacity(static_cast<VirtualLane>(vl)), 100u);
+  }
+}
+
+TEST(CreditTracker, ConsumeAndRelease) {
+  CreditTracker t(10);
+  EXPECT_TRUE(t.can_send(0, 640));   // 10 blocks
+  EXPECT_FALSE(t.can_send(0, 641));  // 11 blocks
+  t.consume(0, 640);
+  EXPECT_EQ(t.available(0), 0u);
+  EXPECT_FALSE(t.can_send(0, 64));
+  t.release(0, 640);
+  EXPECT_EQ(t.available(0), 10u);
+}
+
+TEST(CreditTracker, VlsAreIndependent) {
+  CreditTracker t(4);
+  t.consume(2, 256);
+  EXPECT_EQ(t.available(2), 0u);
+  EXPECT_EQ(t.available(3), 4u);
+  EXPECT_TRUE(t.can_send(3, 256));
+  EXPECT_FALSE(t.can_send(2, 64));
+}
+
+TEST(CreditTracker, PartialConsumption) {
+  CreditTracker t(8);
+  t.consume(1, 100);  // 2 blocks
+  EXPECT_EQ(t.available(1), 6u);
+  t.consume(1, 100);
+  EXPECT_EQ(t.available(1), 4u);
+  t.release(1, 100);
+  EXPECT_EQ(t.available(1), 6u);
+}
+
+TEST(CreditTracker, SetCapacityResets) {
+  CreditTracker t;
+  t.set_capacity(5, 20);
+  EXPECT_EQ(t.available(5), 20u);
+  EXPECT_EQ(t.capacity(5), 20u);
+  EXPECT_EQ(t.available(6), 0u);  // untouched lanes have no credits
+}
+
+}  // namespace
+}  // namespace ibarb::iba

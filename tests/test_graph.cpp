@@ -1,0 +1,113 @@
+#include "network/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ibarb::network {
+namespace {
+
+TEST(FabricGraph, AddNodes) {
+  FabricGraph g;
+  const auto s = g.add_switch(8);
+  const auto h = g.add_host();
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_TRUE(g.is_switch(s));
+  EXPECT_FALSE(g.is_switch(h));
+  EXPECT_EQ(g.port_count(s), 8u);
+  EXPECT_EQ(g.port_count(h), 1u);
+}
+
+TEST(FabricGraph, ConnectWiresBothEnds) {
+  FabricGraph g;
+  const auto a = g.add_switch(4);
+  const auto b = g.add_switch(4);
+  g.connect(a, 2, b, 3, iba::Link{iba::LinkRate::k4x, 7});
+  const auto pa = g.peer(a, 2);
+  const auto pb = g.peer(b, 3);
+  ASSERT_TRUE(pa && pb);
+  EXPECT_EQ(pa->node, b);
+  EXPECT_EQ(pa->port, 3);
+  EXPECT_EQ(pb->node, a);
+  EXPECT_EQ(pb->port, 2);
+  EXPECT_EQ(g.link(a, 2).rate, iba::LinkRate::k4x);
+  EXPECT_EQ(g.link(b, 3).propagation_delay, 7u);
+}
+
+TEST(FabricGraph, RejectsSelfLink) {
+  FabricGraph g;
+  const auto a = g.add_switch(4);
+  EXPECT_THROW(g.connect(a, 0, a, 1), std::logic_error);
+}
+
+TEST(FabricGraph, RejectsDoubleWiring) {
+  FabricGraph g;
+  const auto a = g.add_switch(4);
+  const auto b = g.add_switch(4);
+  const auto c = g.add_switch(4);
+  g.connect(a, 0, b, 0);
+  EXPECT_THROW(g.connect(a, 0, c, 0), std::logic_error);
+  EXPECT_THROW(g.connect(c, 1, b, 0), std::logic_error);
+}
+
+TEST(FabricGraph, RejectsZeroPortSwitch) {
+  FabricGraph g;
+  EXPECT_THROW(g.add_switch(0), std::invalid_argument);
+}
+
+TEST(FabricGraph, SwitchAndHostLists) {
+  FabricGraph g;
+  const auto s0 = g.add_switch(4);
+  const auto h0 = g.add_host();
+  const auto s1 = g.add_switch(4);
+  const auto h1 = g.add_host();
+  const auto sw = g.switches();
+  const auto ho = g.hosts();
+  ASSERT_EQ(sw.size(), 2u);
+  ASSERT_EQ(ho.size(), 2u);
+  EXPECT_EQ(sw[0], s0);
+  EXPECT_EQ(sw[1], s1);
+  EXPECT_EQ(ho[0], h0);
+  EXPECT_EQ(ho[1], h1);
+}
+
+TEST(FabricGraph, HostUplink) {
+  FabricGraph g;
+  const auto s = g.add_switch(4);
+  const auto h = g.add_host();
+  g.connect(h, 0, s, 2);
+  const auto up = g.host_uplink(h);
+  EXPECT_EQ(up.node, s);
+  EXPECT_EQ(up.port, 2);
+  EXPECT_THROW(g.host_uplink(s), std::logic_error);
+}
+
+TEST(FabricGraph, UnwiredHostUplinkThrows) {
+  FabricGraph g;
+  const auto h = g.add_host();
+  EXPECT_THROW(g.host_uplink(h), std::logic_error);
+}
+
+TEST(FabricGraph, FreePorts) {
+  FabricGraph g;
+  const auto a = g.add_switch(4);
+  const auto b = g.add_switch(4);
+  EXPECT_EQ(g.free_ports(a), 4u);
+  g.connect(a, 0, b, 0);
+  EXPECT_EQ(g.free_ports(a), 3u);
+}
+
+TEST(FabricGraph, Connectivity) {
+  FabricGraph g;
+  EXPECT_TRUE(g.connected());  // vacuous
+  const auto a = g.add_switch(4);
+  const auto b = g.add_switch(4);
+  EXPECT_FALSE(g.connected());
+  g.connect(a, 0, b, 0);
+  EXPECT_TRUE(g.connected());
+  g.add_host();  // unwired host
+  EXPECT_FALSE(g.connected());
+}
+
+}  // namespace
+}  // namespace ibarb::network

@@ -1,0 +1,155 @@
+#include "iba/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iba/crc.hpp"
+#include "util/rng.hpp"
+
+namespace ibarb::iba {
+namespace {
+
+Lrh sample_lrh() {
+  Lrh lrh;
+  lrh.vl = 5;
+  lrh.sl = 9;
+  lrh.lnh = Lnh::kBth;
+  lrh.dlid = 0x1234;
+  lrh.slid = 0xABCD;
+  lrh.packet_length = 77;
+  return lrh;
+}
+
+Bth sample_bth() {
+  Bth bth;
+  bth.opcode = 0x04;
+  bth.solicited_event = true;
+  bth.pad_count = 2;
+  bth.p_key = 0xFFFF;
+  bth.dest_qp = 0x00ABCDEF;
+  bth.ack_req = true;
+  bth.psn = 0x00123456;
+  return bth;
+}
+
+TEST(Headers, LrhRoundTrip) {
+  const auto lrh = sample_lrh();
+  const auto decoded = decode_lrh(encode(lrh));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, lrh);
+}
+
+TEST(Headers, BthRoundTrip) {
+  const auto bth = sample_bth();
+  const auto decoded = decode_bth(encode(bth));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bth);
+}
+
+TEST(Headers, LrhSizesAreSpec) {
+  EXPECT_EQ(kLrhBytes, 8u);
+  EXPECT_EQ(kBthBytes, 12u);
+  // The library-wide overhead constant matches LRH+BTH+ICRC+VCRC.
+  EXPECT_EQ(kPacketOverheadBytes, kLrhBytes + kBthBytes + 4 + 2);
+}
+
+TEST(Headers, DecodeRejectsBadVersionAndReservedBits) {
+  auto bytes = encode(sample_lrh());
+  bytes[0] |= 0x01;  // lver != 0
+  EXPECT_FALSE(decode_lrh(bytes).has_value());
+
+  auto bytes2 = encode(sample_lrh());
+  bytes2[1] |= 0x04;  // reserved bits between SL and LNH
+  EXPECT_FALSE(decode_lrh(bytes2).has_value());
+
+  auto bth = encode(sample_bth());
+  bth[4] = 1;  // reserved byte before DestQP
+  EXPECT_FALSE(decode_bth(bth).has_value());
+}
+
+TEST(Headers, DecodeRejectsShortBuffers) {
+  const std::uint8_t tiny[3] = {};
+  EXPECT_FALSE(decode_lrh(tiny).has_value());
+  EXPECT_FALSE(decode_bth(tiny).has_value());
+}
+
+TEST(WireFormat, SerializeParseRoundTrip) {
+  std::vector<std::uint8_t> payload(256);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  const auto wire = serialize_packet(sample_lrh(), sample_bth(), payload);
+  EXPECT_EQ(wire.size(), payload.size() + kPacketOverheadBytes);
+
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, payload);
+  EXPECT_EQ(parsed->lrh.dlid, 0x1234);
+  EXPECT_EQ(parsed->bth.psn, 0x00123456u);
+}
+
+TEST(WireFormat, UnalignedPayloadIsPadded) {
+  const std::vector<std::uint8_t> payload(13, 0xAA);
+  const auto wire = serialize_packet(sample_lrh(), sample_bth(), payload);
+  EXPECT_EQ(wire.size() % 4, 2u);  // body 4-aligned + 2-byte VCRC
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, payload);  // pad stripped on parse
+  EXPECT_EQ(parsed->bth.pad_count, 3);
+}
+
+TEST(WireFormat, CorruptionIsDetectedEverywhere) {
+  const std::vector<std::uint8_t> payload(64, 0x5C);
+  const auto wire = serialize_packet(sample_lrh(), sample_bth(), payload);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    auto copy = wire;
+    copy[i] ^= 0x01;
+    EXPECT_FALSE(parse_packet(copy).has_value())
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(WireFormat, VlRewriteSurvivesIcrc) {
+  // The ICRC masks the VL nibble: a switch re-marking the VL (SLtoVL at
+  // each link) must only have to recompute the VCRC, not the ICRC.
+  const std::vector<std::uint8_t> payload(32, 1);
+  auto wire = serialize_packet(sample_lrh(), sample_bth(), payload);
+  wire[0] = static_cast<std::uint8_t>((11 << 4) | (wire[0] & 0x0F));  // VL=11
+  // Fix up the VCRC only.
+  const auto body = std::span<const std::uint8_t>(wire).first(wire.size() - 2);
+  const auto vc = vcrc(body);
+  wire[wire.size() - 2] = static_cast<std::uint8_t>(vc >> 8);
+  wire[wire.size() - 1] = static_cast<std::uint8_t>(vc);
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lrh.vl, 11);
+}
+
+TEST(WireFormat, ParserSurvivesRandomGarbage) {
+  util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.below(120));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    (void)parse_packet(garbage);  // must not crash; result almost surely null
+  }
+  SUCCEED();
+}
+
+TEST(WireFormat, ToWireMatchesSimulatorAccounting) {
+  Packet p;
+  p.sl = 3;
+  p.source = 7;
+  p.destination = 9;
+  p.payload_bytes = 256;
+  p.sequence = 42;
+  const auto wire = to_wire(p);
+  EXPECT_EQ(wire.size(), p.wire_bytes());
+  const auto parsed = parse_packet(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->lrh.sl, 3);
+  EXPECT_EQ(parsed->lrh.slid, 7);
+  EXPECT_EQ(parsed->lrh.dlid, 9);
+  EXPECT_EQ(parsed->bth.psn, 42u);
+  EXPECT_EQ(parsed->payload.size(), 256u);
+}
+
+}  // namespace
+}  // namespace ibarb::iba

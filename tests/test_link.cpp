@@ -1,0 +1,52 @@
+#include "iba/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ibarb::iba {
+namespace {
+
+TEST(Link, WidthsMatchSpec) {
+  EXPECT_EQ(link_width(LinkRate::k1x), 1u);
+  EXPECT_EQ(link_width(LinkRate::k4x), 4u);
+  EXPECT_EQ(link_width(LinkRate::k12x), 12u);
+}
+
+TEST(Link, DataBandwidth) {
+  EXPECT_DOUBLE_EQ(link_mbps(LinkRate::k1x), 2000.0);
+  EXPECT_DOUBLE_EQ(link_mbps(LinkRate::k4x), 8000.0);
+  EXPECT_DOUBLE_EQ(link_mbps(LinkRate::k12x), 24000.0);
+}
+
+TEST(Link, SerializationRoundsUp) {
+  EXPECT_EQ(serialization_cycles(282, LinkRate::k1x), 282u);
+  EXPECT_EQ(serialization_cycles(282, LinkRate::k4x), 71u);   // ceil(282/4)
+  EXPECT_EQ(serialization_cycles(282, LinkRate::k12x), 24u);  // ceil(282/12)
+  EXPECT_EQ(serialization_cycles(0, LinkRate::k1x), 0u);
+}
+
+TEST(Link, TransferAddsPropagation) {
+  Link l{LinkRate::k1x, 5};
+  EXPECT_EQ(l.transfer_cycles(100), 105u);
+}
+
+TEST(Link, ParseRoundTrip) {
+  EXPECT_EQ(parse_link_rate("1x"), LinkRate::k1x);
+  EXPECT_EQ(parse_link_rate("4x"), LinkRate::k4x);
+  EXPECT_EQ(parse_link_rate("12x"), LinkRate::k12x);
+  EXPECT_EQ(to_string(LinkRate::k4x), "4x");
+  EXPECT_THROW(parse_link_rate("8x"), std::invalid_argument);
+}
+
+TEST(Link, FasterLinksNeverSlower) {
+  for (std::uint32_t bytes = 1; bytes < 5000; bytes += 37) {
+    EXPECT_LE(serialization_cycles(bytes, LinkRate::k4x),
+              serialization_cycles(bytes, LinkRate::k1x));
+    EXPECT_LE(serialization_cycles(bytes, LinkRate::k12x),
+              serialization_cycles(bytes, LinkRate::k4x));
+  }
+}
+
+}  // namespace
+}  // namespace ibarb::iba

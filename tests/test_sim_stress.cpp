@@ -1,0 +1,197 @@
+// Stress and failure-injection scenarios for the network simulator:
+// hotspots, saturation, starvation regimes — the places where flow control,
+// backpressure and arbitration interact hardest.
+#include <gtest/gtest.h>
+
+#include "network/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibarb::sim {
+namespace {
+
+iba::VlArbitrationTable rr_table(unsigned vls, std::uint8_t weight) {
+  iba::VlArbitrationTable t;
+  for (unsigned v = 0; v < vls; ++v)
+    t.high()[v] = iba::ArbTableEntry{static_cast<iba::VirtualLane>(v), weight};
+  return t;
+}
+
+void program_all(Simulator& sim, const network::FabricGraph& g,
+                 const iba::VlArbitrationTable& t) {
+  for (iba::NodeId n = 0; n < g.node_count(); ++n) {
+    const unsigned ports = g.is_switch(n) ? g.port_count(n) : 1;
+    for (unsigned p = 0; p < ports; ++p)
+      if (g.peer(n, static_cast<iba::PortIndex>(p)))
+        sim.set_output_arbitration(n, static_cast<iba::PortIndex>(p), t);
+  }
+}
+
+FlowSpec flow(iba::NodeId src, iba::NodeId dst, iba::ServiceLevel sl,
+              std::uint32_t payload, iba::Cycle interval) {
+  FlowSpec f;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.sl = sl;
+  f.payload_bytes = payload;
+  f.interval = interval;
+  return f;
+}
+
+TEST(SimStress, SevenWayHotspotSaturatesOneLinkWithoutLosingPackets) {
+  const auto g = network::make_single_switch(8);
+  const auto routes = network::compute_updown_routes(g);
+  Simulator sim(g, routes, SimConfig{});
+  program_all(sim, g, rr_table(8, 100));
+  const auto hosts = g.hosts();
+  // Hosts 1..7 all flood host 0 at ~60% each: 4.2x oversubscription.
+  std::vector<std::uint32_t> flows;
+  for (unsigned h = 1; h < 8; ++h)
+    flows.push_back(sim.add_flow(
+        flow(hosts[h], hosts[0], static_cast<iba::ServiceLevel>(h), 1024,
+             1750)));
+  sim.metrics().start_window(0);
+  sim.run_until(5'000'000);
+  sim.metrics().stop_window(sim.now());
+
+  // The hot output port (switch -> host 0) must be essentially saturated.
+  const auto up = g.host_uplink(hosts[0]);
+  const auto& pm = sim.metrics().ports[sim.flat_port_id(up.node, up.port)];
+  EXPECT_GT(pm.utilization(sim.metrics().window_length()), 0.97);
+  EXPECT_LE(pm.utilization(sim.metrics().window_length()), 1.0 + 1e-9);
+
+  // Conservation: nothing generated may vanish.
+  std::uint64_t tx = 0, rx = 0;
+  for (const auto f : flows) {
+    tx += sim.metrics().connections[f].tx_packets;
+    rx += sim.metrics().connections[f].rx_packets;
+  }
+  EXPECT_GE(tx, rx);
+  EXPECT_LE(tx - rx - sim.packets_in_network(), 40u);  // in flight on links
+
+  // Round-robin equal weights: the seven victims share within ~15%.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (const auto f : flows) {
+    lo = std::min(lo, sim.metrics().connections[f].rx_packets);
+    hi = std::max(hi, sim.metrics().connections[f].rx_packets);
+  }
+  EXPECT_LT(static_cast<double>(hi - lo) / static_cast<double>(hi), 0.15);
+}
+
+TEST(SimStress, UnlimitedHighPriorityStarvesLowTableUnderSaturation) {
+  const auto g = network::make_single_switch(3);
+  const auto routes = network::compute_updown_routes(g);
+  Simulator sim(g, routes, SimConfig{});
+  iba::VlArbitrationTable t;
+  t.high()[0] = iba::ArbTableEntry{0, 100};
+  t.low()[0] = iba::ArbTableEntry{5, 100};
+  t.set_limit_of_high_priority(iba::kUnlimitedHighPriority);
+  program_all(sim, g, t);
+  const auto hosts = g.hosts();
+  // High-priority flow saturates the shared output; low-priority competes.
+  const auto hp = sim.add_flow(flow(hosts[0], hosts[2], 0, 2048, 2074));
+  const auto lp = sim.add_flow(flow(hosts[1], hosts[2], 5, 2048, 4000));
+  sim.metrics().start_window(0);
+  sim.run_until(8'000'000);
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.connections[hp].rx_packets, 3000u);
+  // The low VL gets only the leftovers of an ~100%-offered high load: a
+  // tiny trickle at most.
+  EXPECT_LT(m.connections[lp].rx_packets,
+            m.connections[hp].rx_packets / 20);
+}
+
+TEST(SimStress, BoundedLimitRescuesLowTable) {
+  const auto g = network::make_single_switch(3);
+  const auto routes = network::compute_updown_routes(g);
+  Simulator sim(g, routes, SimConfig{});
+  iba::VlArbitrationTable t;
+  t.high()[0] = iba::ArbTableEntry{0, 100};
+  t.low()[0] = iba::ArbTableEntry{5, 100};
+  t.set_limit_of_high_priority(1);  // one low packet per ~4096 B of high
+  program_all(sim, g, t);
+  const auto hosts = g.hosts();
+  const auto hp = sim.add_flow(flow(hosts[0], hosts[2], 0, 2048, 2074));
+  const auto lp = sim.add_flow(flow(hosts[1], hosts[2], 5, 2048, 4000));
+  sim.metrics().start_window(0);
+  sim.run_until(8'000'000);
+  const auto& m = sim.metrics();
+  // ~1 low packet per 2 high packets (4096 B limit / 2074 B packets).
+  const auto hp_rx = m.connections[hp].rx_packets;
+  const auto lp_rx = m.connections[lp].rx_packets;
+  ASSERT_GT(lp_rx, 0u);
+  const double ratio = static_cast<double>(hp_rx) / static_cast<double>(lp_rx);
+  EXPECT_NEAR(ratio, 2.0, 0.5);
+}
+
+TEST(SimStress, ZeroWeightVlNeverTransmitsButOthersDo) {
+  const auto g = network::make_single_switch(3);
+  const auto routes = network::compute_updown_routes(g);
+  Simulator sim(g, routes, SimConfig{});
+  iba::VlArbitrationTable t;
+  t.high()[0] = iba::ArbTableEntry{0, 100};
+  t.high()[1] = iba::ArbTableEntry{1, 0};  // inactive entry
+  program_all(sim, g, t);
+  const auto hosts = g.hosts();
+  const auto ok = sim.add_flow(flow(hosts[0], hosts[2], 0, 256, 5000));
+  const auto stuck = sim.add_flow(flow(hosts[1], hosts[2], 1, 256, 5000));
+  sim.metrics().start_window(0);
+  sim.run_until(1'000'000);
+  EXPECT_GT(sim.metrics().connections[ok].rx_packets, 150u);
+  EXPECT_EQ(sim.metrics().connections[stuck].rx_packets, 0u);
+}
+
+TEST(SimStress, BidirectionalFullDuplexDoesNotInterfere) {
+  const auto g = network::make_line(2, 1);
+  const auto routes = network::compute_updown_routes(g);
+  Simulator sim(g, routes, SimConfig{});
+  program_all(sim, g, rr_table(2, 100));
+  const auto hosts = g.hosts();
+  // Both directions at ~90% simultaneously: full duplex must carry both.
+  const auto ab = sim.add_flow(flow(hosts[0], hosts[1], 0, 2048, 2304));
+  const auto ba = sim.add_flow(flow(hosts[1], hosts[0], 1, 2048, 2304));
+  sim.metrics().start_window(0);
+  sim.run_until(5'000'000);
+  const auto& m = sim.metrics();
+  const auto expected = 5'000'000 / 2304;
+  EXPECT_NEAR(double(m.connections[ab].rx_packets), double(expected),
+              double(expected) * 0.05);
+  EXPECT_NEAR(double(m.connections[ba].rx_packets), double(expected),
+              double(expected) * 0.05);
+}
+
+TEST(SimStress, LongRunDeterminismUnderSaturation) {
+  const auto run = [] {
+    const auto g = network::make_single_switch(6);
+    const auto routes = network::compute_updown_routes(g);
+    Simulator sim(g, routes, SimConfig{});
+    iba::VlArbitrationTable t;
+    for (unsigned v = 0; v < 6; ++v)
+      t.high()[v] = iba::ArbTableEntry{static_cast<iba::VirtualLane>(v),
+                                       static_cast<std::uint8_t>(30 + v * 10)};
+    for (iba::NodeId n = 0; n < g.node_count(); ++n) {
+      const unsigned ports = g.is_switch(n) ? g.port_count(n) : 1;
+      for (unsigned p = 0; p < ports; ++p)
+        if (g.peer(n, static_cast<iba::PortIndex>(p)))
+          sim.set_output_arbitration(n, static_cast<iba::PortIndex>(p), t);
+    }
+    const auto hosts = g.hosts();
+    for (unsigned k = 0; k < 6; ++k) {
+      FlowSpec f = flow(hosts[k], hosts[(k + 1) % 6],
+                        static_cast<iba::ServiceLevel>(k), 512,
+                        600 + 37 * k);
+      f.kind = k % 2 ? GeneratorKind::kPoisson : GeneratorKind::kCbr;
+      sim.add_flow(f);
+    }
+    sim.metrics().start_window(0);
+    sim.run_until(4'000'000);
+    std::uint64_t digest = sim.events_processed();
+    for (const auto& c : sim.metrics().connections)
+      digest = digest * 1099511628211ull + c.rx_packets * 31 +
+               c.rx_wire_bytes;
+    return digest;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ibarb::sim

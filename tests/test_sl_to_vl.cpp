@@ -1,0 +1,64 @@
+#include "iba/sl_to_vl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ibarb::iba {
+namespace {
+
+TEST(SlToVl, DefaultMapsEverythingToVl0) {
+  SlToVlMappingTable t;
+  for (unsigned sl = 0; sl < kMaxServiceLevels; ++sl)
+    EXPECT_EQ(t.map(static_cast<ServiceLevel>(sl)), 0);
+}
+
+TEST(SlToVl, IdentityWithFullLanes) {
+  const auto t = SlToVlMappingTable::identity(15);
+  for (unsigned sl = 0; sl < 15; ++sl)
+    EXPECT_EQ(t.map(static_cast<ServiceLevel>(sl)), sl);
+  EXPECT_EQ(t.map(15), 0);  // SL15 folds back onto VL0 (data traffic)
+}
+
+TEST(SlToVl, IdentityFoldsWhenFewerLanes) {
+  const auto t = SlToVlMappingTable::identity(4);
+  EXPECT_EQ(t.map(0), 0);
+  EXPECT_EQ(t.map(5), 1);
+  EXPECT_EQ(t.map(11), 3);
+}
+
+TEST(SlToVl, SetAndGet) {
+  SlToVlMappingTable t;
+  t.set(3, 7);
+  EXPECT_EQ(t.map(3), 7);
+}
+
+TEST(SlToVl, RejectsVl15ForData) {
+  SlToVlMappingTable t;
+  EXPECT_THROW(t.set(0, 15), std::invalid_argument);
+}
+
+TEST(SlToVl, RejectsOutOfRangeSl) {
+  SlToVlMappingTable t;
+  EXPECT_THROW(t.set(16, 0), std::invalid_argument);
+}
+
+TEST(SlToVl, RejectsZeroOrTooManyLanesForIdentity) {
+  EXPECT_THROW(SlToVlMappingTable::identity(0), std::invalid_argument);
+  EXPECT_THROW(SlToVlMappingTable::identity(16), std::invalid_argument);
+}
+
+TEST(SlToVl, ValidForChecksLaneCount) {
+  const auto t = SlToVlMappingTable::identity(8);
+  EXPECT_TRUE(t.valid_for(8));
+  EXPECT_FALSE(t.valid_for(4));
+}
+
+TEST(SlToVl, InvalidVlMarksSlNotAdmitted) {
+  SlToVlMappingTable t;
+  t.set(2, kInvalidVl);
+  EXPECT_FALSE(t.valid_for(15));
+}
+
+}  // namespace
+}  // namespace ibarb::iba

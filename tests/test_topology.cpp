@@ -1,0 +1,192 @@
+#include "network/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibarb::network {
+namespace {
+
+TEST(Topology, SingleSwitchShape) {
+  const auto g = make_single_switch(4);
+  EXPECT_EQ(g.switches().size(), 1u);
+  EXPECT_EQ(g.hosts().size(), 4u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, LineShape) {
+  const auto g = make_line(3, 2);
+  EXPECT_EQ(g.switches().size(), 3u);
+  EXPECT_EQ(g.hosts().size(), 6u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, IrregularPaperShape) {
+  IrregularSpec spec;
+  spec.switches = 16;
+  spec.seed = 42;
+  const auto g = make_irregular(spec);
+  EXPECT_EQ(g.switches().size(), 16u);
+  EXPECT_EQ(g.hosts().size(), 64u);  // 4 hosts per switch
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, EverySwitchHasFourHostsAndFourTrunks) {
+  IrregularSpec spec;
+  spec.switches = 8;
+  spec.seed = 9;
+  const auto g = make_irregular(spec);
+  for (const auto s : g.switches()) {
+    unsigned host_ports = 0;
+    unsigned trunk_ports = 0;
+    for (unsigned p = 0; p < g.port_count(s); ++p) {
+      const auto peer = g.peer(s, static_cast<iba::PortIndex>(p));
+      if (!peer) continue;
+      (g.is_switch(peer->node) ? trunk_ports : host_ports)++;
+    }
+    EXPECT_EQ(host_ports, 4u);
+    EXPECT_LE(trunk_ports, 4u);
+    EXPECT_GE(trunk_ports, 1u);
+  }
+}
+
+TEST(Topology, DeterministicInSeed) {
+  IrregularSpec spec;
+  spec.switches = 12;
+  spec.seed = 77;
+  const auto a = make_irregular(spec);
+  const auto b = make_irregular(spec);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (iba::NodeId n = 0; n < a.node_count(); ++n) {
+    ASSERT_EQ(a.port_count(n), b.port_count(n));
+    for (unsigned p = 0; p < a.port_count(n); ++p) {
+      const auto pa = a.peer(n, static_cast<iba::PortIndex>(p));
+      const auto pb = b.peer(n, static_cast<iba::PortIndex>(p));
+      ASSERT_EQ(pa.has_value(), pb.has_value());
+      if (pa) {
+        EXPECT_EQ(pa->node, pb->node);
+        EXPECT_EQ(pa->port, pb->port);
+      }
+    }
+  }
+}
+
+TEST(Topology, DifferentSeedsDiffer) {
+  IrregularSpec a;
+  a.switches = 16;
+  a.seed = 1;
+  IrregularSpec b = a;
+  b.seed = 2;
+  const auto ga = make_irregular(a);
+  const auto gb = make_irregular(b);
+  bool differ = false;
+  for (iba::NodeId n = 0; n < ga.node_count() && !differ; ++n)
+    for (unsigned p = 0; p < ga.port_count(n) && !differ; ++p) {
+      const auto pa = ga.peer(n, static_cast<iba::PortIndex>(p));
+      const auto pb = gb.peer(n, static_cast<iba::PortIndex>(p));
+      if (pa.has_value() != pb.has_value()) differ = true;
+      else if (pa && (pa->node != pb->node || pa->port != pb->port))
+        differ = true;
+    }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Topology, PaperSizesAllConnected) {
+  for (const unsigned n : {8u, 16u, 32u, 64u}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      IrregularSpec spec;
+      spec.switches = n;
+      spec.seed = seed;
+      const auto g = make_irregular(spec);
+      EXPECT_TRUE(g.connected()) << n << " switches, seed " << seed;
+      EXPECT_EQ(g.hosts().size(), 4u * n);
+    }
+  }
+}
+
+TEST(Topology, NoSelfLinks) {
+  IrregularSpec spec;
+  spec.switches = 16;
+  spec.seed = 5;
+  const auto g = make_irregular(spec);
+  for (iba::NodeId n = 0; n < g.node_count(); ++n)
+    for (unsigned p = 0; p < g.port_count(n); ++p) {
+      const auto peer = g.peer(n, static_cast<iba::PortIndex>(p));
+      if (peer) EXPECT_NE(peer->node, n);
+    }
+}
+
+TEST(Topology, RejectsBadSpecs) {
+  IrregularSpec spec;
+  spec.switches = 1;
+  EXPECT_THROW(make_irregular(spec), std::invalid_argument);
+  spec.switches = 4;
+  spec.hosts_per_switch = 8;  // no trunk ports left
+  EXPECT_THROW(make_irregular(spec), std::invalid_argument);
+  EXPECT_THROW(make_single_switch(9, 8), std::invalid_argument);
+  EXPECT_THROW(make_line(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ibarb::network
+
+namespace ibarb::network {
+namespace {
+
+TEST(Mesh2d, ShapeAndConnectivity) {
+  const auto g = make_mesh2d(4, 3, 2);
+  EXPECT_EQ(g.switches().size(), 12u);
+  EXPECT_EQ(g.hosts().size(), 24u);
+  EXPECT_TRUE(g.connected());
+  // Corner switch has degree 2 (+hosts), centre degree 4 (+hosts).
+  unsigned corner_trunks = 0;
+  for (unsigned p = 0; p < 4; ++p)
+    if (g.peer(g.switches()[0], static_cast<iba::PortIndex>(p)))
+      ++corner_trunks;
+  EXPECT_EQ(corner_trunks, 2u);
+}
+
+TEST(Torus2d, EverySwitchHasFourTrunks) {
+  const auto g = make_torus2d(3, 3, 1);
+  EXPECT_TRUE(g.connected());
+  for (const auto s : g.switches()) {
+    unsigned trunks = 0;
+    for (unsigned p = 0; p < 4; ++p)
+      if (g.peer(s, static_cast<iba::PortIndex>(p))) ++trunks;
+    EXPECT_EQ(trunks, 4u);
+  }
+}
+
+TEST(Torus2d, RejectsTooSmall) {
+  EXPECT_THROW(make_torus2d(2, 3, 1), std::invalid_argument);
+}
+
+TEST(FatTree, FullBipartiteCore) {
+  const auto g = make_fat_tree(4, 6, 4);
+  EXPECT_EQ(g.switches().size(), 10u);
+  EXPECT_EQ(g.hosts().size(), 24u);
+  EXPECT_TRUE(g.connected());
+  // Every leaf reaches every spine directly.
+  const auto sw = g.switches();
+  for (unsigned l = 0; l < 6; ++l)
+    for (unsigned t = 0; t < 4; ++t) {
+      const auto peer = g.peer(sw[4 + l], static_cast<iba::PortIndex>(t));
+      ASSERT_TRUE(peer.has_value());
+      EXPECT_EQ(peer->node, sw[t]);
+    }
+}
+
+TEST(Dot, ExportMentionsEveryNodeAndEachCableOnce) {
+  const auto g = make_line(2, 1);
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("graph fabric"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("n3"), std::string::npos);
+  // 3 cables: sw0-sw1, h-sw0, h-sw1.
+  std::size_t edges = 0;
+  for (std::size_t at = dot.find(" -- "); at != std::string::npos;
+       at = dot.find(" -- ", at + 1))
+    ++edges;
+  EXPECT_EQ(edges, 3u);
+}
+
+}  // namespace
+}  // namespace ibarb::network

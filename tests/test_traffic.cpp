@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "traffic/besteffort.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/vbr.hpp"
+#include "traffic/workload.hpp"
+
+#include "network/topology.hpp"
+
+namespace ibarb::traffic {
+namespace {
+
+TEST(IntervalForRate, FullLinkEqualsSerialization) {
+  EXPECT_EQ(interval_for_rate(282, iba::kBaseLinkMbps), 282u);
+}
+
+TEST(IntervalForRate, ScalesInverselyWithRate) {
+  EXPECT_EQ(interval_for_rate(282, 1000.0), 564u);
+  EXPECT_EQ(interval_for_rate(282, 1.0), 564000u);
+}
+
+TEST(IntervalForRate, RejectsNonPositiveRate) {
+  EXPECT_THROW(interval_for_rate(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(interval_for_rate(100, -2.0), std::invalid_argument);
+}
+
+TEST(WireRate, AccountsForOverhead) {
+  EXPECT_DOUBLE_EQ(wire_rate_for_payload_rate(256.0, 256), 282.0);
+  EXPECT_NEAR(wire_rate_for_payload_rate(100.0, 4096), 100.6, 0.1);
+}
+
+TEST(MakeCbr, FieldsAndOversend) {
+  const auto a = make_cbr_flow(1, 2, 3, 256, 10.0, 999, 7);
+  EXPECT_EQ(a.kind, sim::GeneratorKind::kCbr);
+  EXPECT_EQ(a.sl, 3);
+  EXPECT_EQ(a.payload_bytes, 256u);
+  EXPECT_EQ(a.deadline, 999u);
+  EXPECT_TRUE(a.qos);
+  const auto b = make_cbr_flow(1, 2, 3, 256, 10.0, 999, 7, /*oversend=*/2.0);
+  EXPECT_NEAR(static_cast<double>(a.interval) / b.interval, 2.0, 0.01);
+}
+
+TEST(MakeVbr, ShapeParameters) {
+  const auto v = make_vbr_flow(1, 2, 4, 512, 8.0, 100, 3, 0.5, 12.0);
+  EXPECT_EQ(v.kind, sim::GeneratorKind::kOnOffVbr);
+  EXPECT_DOUBLE_EQ(v.on_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(v.burst_mean_packets, 12.0);
+}
+
+TEST(MakeBestEffort, IsPoissonNonQos) {
+  const auto f = make_besteffort_flow(1, 2, 11, 256, 50.0, 9);
+  EXPECT_EQ(f.kind, sim::GeneratorKind::kPoisson);
+  EXPECT_FALSE(f.qos);
+  EXPECT_EQ(f.deadline, 0u);
+}
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  WorkloadFixture()
+      : graph_(network::make_irregular(spec())),
+        routes_(network::compute_updown_routes(graph_)),
+        admission_(graph_, routes_, qos::paper_catalogue(), acfg()),
+        sim_(graph_, routes_, sim::SimConfig{}) {}
+
+  static network::IrregularSpec spec() {
+    network::IrregularSpec s;
+    s.switches = 8;
+    s.seed = 33;
+    return s;
+  }
+  static qos::AdmissionControl::Config acfg() {
+    qos::AdmissionControl::Config c;
+    c.seed = 33;
+    return c;
+  }
+
+  network::FabricGraph graph_;
+  network::Routes routes_;
+  qos::AdmissionControl admission_;
+  sim::Simulator sim_;
+};
+
+TEST_F(WorkloadFixture, FillsNetworkUntilSaturation) {
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  cfg.besteffort_load = 0.0;
+  const auto w = build_paper_workload(graph_, routes_, admission_, sim_, cfg);
+  EXPECT_GT(w.accepted, 100u) << "expected a well-loaded 8-switch network";
+  EXPECT_GT(w.offered, w.accepted) << "saturation implies rejections";
+  EXPECT_EQ(w.connections.size(), w.accepted);
+  EXPECT_TRUE(admission_.check_all_invariants());
+  // Flows registered one-to-one with accepted connections.
+  EXPECT_EQ(sim_.metrics().connections.size(), w.accepted);
+}
+
+TEST_F(WorkloadFixture, ConnectionsRespectTheirSlRanges) {
+  WorkloadConfig cfg;
+  cfg.seed = 6;
+  cfg.besteffort_load = 0.0;
+  const auto w = build_paper_workload(graph_, routes_, admission_, sim_, cfg);
+  const auto cat = qos::paper_catalogue();
+  for (const auto& c : w.connections) {
+    const auto* p = qos::find_sl(cat, c.sl);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(c.payload_mbps, p->min_mbps);
+    EXPECT_LE(c.payload_mbps, p->max_mbps);
+    EXPECT_GT(c.wire_mbps, c.payload_mbps);  // overhead included
+    EXPECT_GT(c.deadline, 0u);
+    EXPECT_GE(c.stages, 2u);  // host + at least one switch
+  }
+}
+
+TEST_F(WorkloadFixture, EverySlGetsConnections) {
+  WorkloadConfig cfg;
+  cfg.seed = 7;
+  cfg.besteffort_load = 0.0;
+  const auto w = build_paper_workload(graph_, routes_, admission_, sim_, cfg);
+  std::array<unsigned, 10> per_sl{};
+  for (const auto& c : w.connections) {
+    ASSERT_LT(c.sl, 10);
+    ++per_sl[c.sl];
+  }
+  for (unsigned sl = 0; sl < 10; ++sl)
+    EXPECT_GT(per_sl[sl], 0u) << "SL " << sl << " never admitted";
+}
+
+TEST_F(WorkloadFixture, BestEffortFlowsAdded) {
+  WorkloadConfig cfg;
+  cfg.seed = 8;
+  cfg.besteffort_load = 0.1;
+  const auto w = build_paper_workload(graph_, routes_, admission_, sim_, cfg);
+  // 3 background flows per host on top of the QoS flows.
+  EXPECT_EQ(sim_.metrics().connections.size(),
+            w.accepted + 3 * graph_.hosts().size());
+  unsigned be = 0;
+  for (const auto& c : sim_.metrics().connections)
+    if (!c.qos) ++be;
+  EXPECT_EQ(be, 3 * graph_.hosts().size());
+}
+
+TEST_F(WorkloadFixture, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 9;
+  cfg.besteffort_load = 0.0;
+  const auto a = build_paper_workload(graph_, routes_, admission_, sim_, cfg);
+
+  // Fresh state, same seed.
+  qos::AdmissionControl admission2(graph_, routes_, qos::paper_catalogue(),
+                                   acfg());
+  sim::Simulator sim2(graph_, routes_, sim::SimConfig{});
+  const auto b = build_paper_workload(graph_, routes_, admission2, sim2, cfg);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_DOUBLE_EQ(a.reserved_wire_mbps, b.reserved_wire_mbps);
+}
+
+TEST_F(WorkloadFixture, OversendFactorShortensIntervals) {
+  WorkloadConfig cfg;
+  cfg.seed = 10;
+  cfg.besteffort_load = 0.0;
+  cfg.oversend_sl_mask = 1u << 9;
+  cfg.oversend_factor = 3.0;
+  const auto w = build_paper_workload(graph_, routes_, admission_, sim_, cfg);
+  // Compare a compliant run with the oversending one: SL9 flows must be
+  // ~3x faster; reservations unchanged.
+  qos::AdmissionControl admission2(graph_, routes_, qos::paper_catalogue(),
+                                   acfg());
+  sim::Simulator sim2(graph_, routes_, sim::SimConfig{});
+  WorkloadConfig honest = cfg;
+  honest.oversend_sl_mask = 0;
+  const auto v = build_paper_workload(graph_, routes_, admission2, sim2,
+                                      honest);
+  ASSERT_EQ(w.accepted, v.accepted);
+  for (std::size_t i = 0; i < w.connections.size(); ++i) {
+    if (w.connections[i].sl != 9) continue;
+    const auto fast = sim_.metrics().connections[w.connections[i].flow];
+    const auto slow = sim2.metrics().connections[v.connections[i].flow];
+    EXPECT_NEAR(static_cast<double>(slow.nominal_iat) / fast.nominal_iat, 3.0,
+                0.05);
+  }
+}
+
+}  // namespace
+}  // namespace ibarb::traffic

@@ -1,0 +1,132 @@
+#include "qos/traffic_classes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ibarb::qos {
+namespace {
+
+TEST(Catalogue, HasTenQosAndThreeBestEffortClasses) {
+  const auto cat = paper_catalogue();
+  unsigned qos = 0;
+  unsigned be = 0;
+  for (const auto& p : cat) (p.max_distance != 0 ? qos : be)++;
+  EXPECT_EQ(qos, 10u);
+  EXPECT_EQ(be, 3u);
+}
+
+TEST(Catalogue, DistancesMatchPaperStructure) {
+  const auto cat = paper_catalogue();
+  // Table 1: one SL each at distances 2/4/8/16; two at 32; four at 64.
+  std::multiset<unsigned> distances;
+  for (const auto& p : cat)
+    if (p.max_distance != 0) distances.insert(p.max_distance);
+  EXPECT_EQ(distances.count(2), 1u);
+  EXPECT_EQ(distances.count(4), 1u);
+  EXPECT_EQ(distances.count(8), 1u);
+  EXPECT_EQ(distances.count(16), 1u);
+  EXPECT_EQ(distances.count(32), 2u);
+  EXPECT_EQ(distances.count(64), 4u);
+}
+
+TEST(Catalogue, EverySlHasItsOwnVl) {
+  const auto cat = paper_catalogue();
+  std::set<iba::VirtualLane> vls;
+  for (const auto& p : cat) {
+    EXPECT_EQ(p.vl, p.sl);  // the paper's assignment with 16 VLs
+    EXPECT_LT(p.vl, iba::kManagementVl);
+    vls.insert(p.vl);
+  }
+  EXPECT_EQ(vls.size(), cat.size());
+}
+
+TEST(Catalogue, QosBandwidthRangesAreSane) {
+  for (const auto& p : paper_catalogue()) {
+    if (p.max_distance == 0) continue;
+    EXPECT_GT(p.min_mbps, 0.0);
+    EXPECT_GE(p.max_mbps, p.min_mbps);
+    EXPECT_LE(p.max_mbps, 32.0);  // Table 1 tops out at 32 Mbps
+  }
+}
+
+TEST(Catalogue, GuaranteedCategoriesSplitByDeadline) {
+  for (const auto& p : paper_catalogue()) {
+    if (p.max_distance == 0) continue;
+    if (p.max_distance < 64)
+      EXPECT_EQ(p.category, TrafficCategory::kDbts);
+    else
+      EXPECT_EQ(p.category, TrafficCategory::kDb);
+  }
+}
+
+TEST(PickSl, ExactDistanceAndRange) {
+  const auto cat = paper_catalogue();
+  const auto* p = pick_sl(cat, 8, 4.0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->max_distance, 8u);
+}
+
+TEST(PickSl, NeverPicksLaxerDistance) {
+  const auto cat = paper_catalogue();
+  for (unsigned d = 2; d <= 64; d *= 2) {
+    const auto* p = pick_sl(cat, d, 2.0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_LE(p->max_distance, d);
+  }
+}
+
+TEST(PickSl, BandwidthSubclassSelection) {
+  const auto cat = paper_catalogue();
+  // Distance 64, 20 Mbps: must land on SL9 (16-32 range), not SL6/7/8.
+  const auto* p = pick_sl(cat, 64, 20.0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sl, 9);
+  // Distance 64, 2 Mbps: one of the small-bandwidth DB classes.
+  const auto* q = pick_sl(cat, 64, 2.0);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->max_distance, 64u);
+  EXPECT_LE(q->min_mbps, 2.0);
+  EXPECT_GE(q->max_mbps, 2.0);
+}
+
+TEST(PickSl, NothingForImpossibleDistance) {
+  const auto cat = paper_catalogue();
+  EXPECT_EQ(pick_sl(cat, 1, 1.0), nullptr);
+}
+
+TEST(FindSl, LooksUpBySl) {
+  const auto cat = paper_catalogue();
+  const auto* p = find_sl(cat, 5);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sl, 5);
+  EXPECT_EQ(find_sl(cat, 15), nullptr);
+}
+
+TEST(LowPriorityConfig, CoversBestEffortFamilyWithOrderedWeights) {
+  const auto cat = paper_catalogue();
+  const auto low = low_priority_config(cat);
+  ASSERT_EQ(low.size(), 3u);
+  std::uint8_t pbe = 0, be = 0, ch = 0;
+  for (const auto& [vl, w] : low) {
+    const auto* p = find_sl(cat, static_cast<iba::ServiceLevel>(vl));
+    ASSERT_NE(p, nullptr);
+    if (p->category == TrafficCategory::kPbe) pbe = w;
+    if (p->category == TrafficCategory::kBe) be = w;
+    if (p->category == TrafficCategory::kCh) ch = w;
+  }
+  EXPECT_GT(pbe, be);
+  EXPECT_GT(be, ch);
+}
+
+TEST(CategoryNames, Distinct) {
+  std::set<std::string> names;
+  for (const auto c : {TrafficCategory::kDbts, TrafficCategory::kDb,
+                       TrafficCategory::kPbe, TrafficCategory::kBe,
+                       TrafficCategory::kCh})
+    names.insert(to_string(c));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ibarb::qos

@@ -1,0 +1,235 @@
+#include "transport/rc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace ibarb::transport {
+namespace {
+
+RcConfig small_cfg() {
+  RcConfig c;
+  c.mtu_payload = 256;
+  c.window_packets = 8;
+  c.retransmit_timeout = 1000;
+  c.max_retries = 3;
+  return c;
+}
+
+TEST(Psn, SerialArithmetic) {
+  EXPECT_EQ(psn_add(0, 1), 1u);
+  EXPECT_EQ(psn_add(kPsnMask, 1), 0u);  // wrap
+  EXPECT_TRUE(psn_before(5, 6));
+  EXPECT_FALSE(psn_before(6, 5));
+  EXPECT_FALSE(psn_before(6, 6));
+  // Wrap-around ordering.
+  EXPECT_TRUE(psn_before(kPsnMask, 0));
+  EXPECT_TRUE(psn_before(kPsnMask - 2, 3));
+  EXPECT_FALSE(psn_before(3, kPsnMask - 2));
+}
+
+TEST(RcSender, SegmentsMessageIntoPsnSequence) {
+  RcSender tx(small_cfg());
+  tx.post_send(600);  // 256 + 256 + 88
+  auto a = tx.next_packet(0);
+  auto b = tx.next_packet(0);
+  auto c = tx.next_packet(0);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(a->first);
+  EXPECT_FALSE(a->last);
+  EXPECT_FALSE(b->first);
+  EXPECT_TRUE(c->last);
+  EXPECT_EQ(a->psn, 0u);
+  EXPECT_EQ(b->psn, 1u);
+  EXPECT_EQ(c->psn, 2u);
+  EXPECT_EQ(c->payload_bytes, 88u);
+  EXPECT_FALSE(tx.next_packet(0).has_value());  // nothing else queued
+}
+
+TEST(RcSender, WindowLimitsInFlight) {
+  RcSender tx(small_cfg());  // window 8
+  tx.post_send(256 * 20);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(tx.next_packet(0).has_value());
+  EXPECT_FALSE(tx.next_packet(0).has_value()) << "window must close at 8";
+  tx.on_ack(3, 10);  // frees 4 slots
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(tx.next_packet(10).has_value());
+  EXPECT_FALSE(tx.next_packet(10).has_value());
+}
+
+TEST(RcSender, CompletionOnlyWhenLastPacketAcked) {
+  RcSender tx(small_cfg());
+  const auto id = tx.post_send(600);
+  (void)tx.next_packet(0);
+  (void)tx.next_packet(0);
+  (void)tx.next_packet(0);
+  tx.on_ack(1, 5);
+  EXPECT_TRUE(tx.drain_completions().empty());
+  tx.on_ack(2, 6);
+  const auto done = tx.drain_completions();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], id);
+  EXPECT_TRUE(tx.idle());
+}
+
+TEST(RcSender, NakRewindsGoBackN) {
+  RcSender tx(small_cfg());
+  tx.post_send(256 * 5);
+  for (int i = 0; i < 5; ++i) (void)tx.next_packet(0);
+  // Receiver got 0,1 then a gap: NAK expecting 2.
+  tx.on_nak(2, 10);
+  auto r = tx.next_packet(10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->psn, 2u);
+  EXPECT_TRUE(r->retransmission);
+  EXPECT_EQ(tx.stats().naks, 1u);
+  // 3 and 4 follow, also marked retransmissions.
+  EXPECT_EQ(tx.next_packet(10)->psn, 3u);
+  EXPECT_EQ(tx.next_packet(10)->psn, 4u);
+  // New data after the high-water mark would not be a retransmission.
+  tx.post_send(10);
+  const auto fresh = tx.next_packet(11);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_FALSE(fresh->retransmission);
+}
+
+TEST(RcSender, TimeoutRetransmitsAndEventuallyFails) {
+  RcSender tx(small_cfg());  // timeout 1000, 3 retries
+  tx.post_send(256);
+  (void)tx.next_packet(0);
+  for (unsigned k = 1; k <= 3; ++k) {
+    tx.on_timer(1000 * k + 1);
+    EXPECT_EQ(tx.stats().timeouts, k);
+    ASSERT_FALSE(tx.failed());
+    const auto r = tx.next_packet(1000 * k + 1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->retransmission);
+  }
+  tx.on_timer(99999);
+  EXPECT_TRUE(tx.failed());
+  EXPECT_FALSE(tx.next_packet(99999).has_value());
+}
+
+TEST(RcSender, AckResetsRetryBudget) {
+  RcSender tx(small_cfg());
+  tx.post_send(256 * 2);
+  (void)tx.next_packet(0);
+  (void)tx.next_packet(0);
+  tx.on_timer(1001);
+  (void)tx.next_packet(1001);
+  tx.on_ack(0, 1500);  // progress: budget resets
+  tx.on_timer(2501);
+  tx.on_timer(3502);
+  tx.on_timer(4503);
+  EXPECT_FALSE(tx.failed()) << "progress must reset the retry counter";
+}
+
+TEST(RcReceiver, InOrderDeliveryAndAcks) {
+  RcReceiver rx;
+  for (std::uint32_t psn = 0; psn < 5; ++psn) {
+    const auto a = rx.on_packet(psn, 256, psn == 4);
+    EXPECT_TRUE(a.deliver);
+    EXPECT_TRUE(a.send_ack);
+    EXPECT_EQ(a.ack_psn, psn);
+    EXPECT_EQ(a.message_done, psn == 4);
+  }
+  EXPECT_EQ(rx.stats().delivered_packets, 5u);
+  EXPECT_EQ(rx.stats().messages, 1u);
+}
+
+TEST(RcReceiver, DuplicateReAcked) {
+  RcReceiver rx;
+  (void)rx.on_packet(0, 10, false);
+  (void)rx.on_packet(1, 10, false);
+  const auto dup = rx.on_packet(0, 10, false);
+  EXPECT_TRUE(dup.duplicate);
+  EXPECT_FALSE(dup.deliver);
+  EXPECT_TRUE(dup.send_ack);
+  EXPECT_EQ(dup.ack_psn, 1u);  // cumulative: highest delivered
+  EXPECT_EQ(rx.stats().duplicates, 1u);
+}
+
+TEST(RcReceiver, GapTriggersNak) {
+  RcReceiver rx;
+  (void)rx.on_packet(0, 10, false);
+  const auto gap = rx.on_packet(2, 10, false);
+  EXPECT_FALSE(gap.deliver);
+  EXPECT_TRUE(gap.send_nak);
+  EXPECT_EQ(gap.nak_psn, 1u);
+  EXPECT_EQ(rx.stats().out_of_order, 1u);
+}
+
+TEST(RcTransport, PsnWrapAroundWorks) {
+  RcSender tx(small_cfg(), kPsnMask - 1);  // two packets to wrap
+  RcReceiver rx(kPsnMask - 1);
+  tx.post_send(256 * 4);
+  for (int i = 0; i < 4; ++i) {
+    const auto p = tx.next_packet(i);
+    ASSERT_TRUE(p.has_value());
+    const auto a = rx.on_packet(p->psn, p->payload_bytes, p->last);
+    ASSERT_TRUE(a.deliver);
+    tx.on_ack(a.ack_psn, i);
+  }
+  EXPECT_TRUE(tx.idle());
+  EXPECT_EQ(tx.drain_completions().size(), 1u);
+}
+
+/// Property: over a lossy, reordering-free channel (IBA links preserve
+/// order; loss models CRC-dropped packets), every message is delivered
+/// exactly once, in order, regardless of the loss pattern.
+class LossyChannelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyChannelSweep, AllMessagesDeliveredExactlyOnceInOrder) {
+  util::Xoshiro256 rng(GetParam());
+  RcConfig cfg = small_cfg();
+  cfg.window_packets = 16;
+  cfg.retransmit_timeout = 3000;
+  cfg.max_retries = 100;  // the channel is lossy but not dead
+  RcSender tx(cfg);
+  RcReceiver rx;
+
+  constexpr int kMessages = 40;
+  std::vector<std::uint64_t> posted;
+  for (int m = 0; m < kMessages; ++m)
+    posted.push_back(tx.post_send(1 + rng.below(1200)));
+
+  std::uint64_t delivered_messages = 0;
+  std::uint32_t last_delivered_psn = kPsnMask;  // "-1"
+  std::vector<std::uint64_t> completions;
+
+  const double loss = 0.05 + 0.25 * rng.uniform();
+  iba::Cycle now = 0;
+  for (int step = 0; step < 2000000 && !tx.idle(); ++step) {
+    now += 50;
+    tx.on_timer(now);
+    const auto p = tx.next_packet(now);
+    if (!p) continue;
+    if (rng.chance(loss)) continue;  // data packet lost on the wire
+    const auto a = rx.on_packet(p->psn, p->payload_bytes, p->last);
+    if (a.deliver) {
+      // Strictly in order, no duplicates.
+      ASSERT_EQ(p->psn, psn_add(last_delivered_psn, 1));
+      last_delivered_psn = p->psn;
+      if (a.message_done) ++delivered_messages;
+    }
+    if (rng.chance(loss)) continue;  // the ACK/NAK can be lost too
+    if (a.send_ack) tx.on_ack(a.ack_psn, now);
+    if (a.send_nak) tx.on_nak(a.nak_psn, now);
+    for (const auto id : tx.drain_completions()) completions.push_back(id);
+  }
+
+  ASSERT_FALSE(tx.failed());
+  ASSERT_TRUE(tx.idle()) << "channel loss " << loss;
+  EXPECT_EQ(delivered_messages, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(rx.stats().messages, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(completions, posted) << "sender completions in posting order";
+  EXPECT_GT(tx.stats().retransmitted_packets, 0u) << "loss never exercised";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyChannelSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ibarb::transport

@@ -1,0 +1,63 @@
+#include "iba/vl_arbitration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibarb::iba {
+namespace {
+
+TEST(VlArbitrationTable, StartsEmptyAndValid) {
+  VlArbitrationTable t;
+  EXPECT_EQ(t.total_weight_high(), 0u);
+  EXPECT_EQ(t.total_weight_low(), 0u);
+  EXPECT_EQ(t.active_entries_high(), 0u);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.limit_of_high_priority(), kUnlimitedHighPriority);
+}
+
+TEST(VlArbitrationTable, WeightAccounting) {
+  VlArbitrationTable t;
+  t.high()[0] = ArbTableEntry{2, 100};
+  t.high()[5] = ArbTableEntry{2, 50};
+  t.high()[9] = ArbTableEntry{3, 20};
+  t.low()[0] = ArbTableEntry{4, 60};
+  EXPECT_EQ(t.vl_weight_high(2), 150u);
+  EXPECT_EQ(t.vl_weight_high(3), 20u);
+  EXPECT_EQ(t.vl_weight_high(4), 0u);
+  EXPECT_EQ(t.vl_weight_low(4), 60u);
+  EXPECT_EQ(t.total_weight_high(), 170u);
+  EXPECT_EQ(t.total_weight_low(), 60u);
+  EXPECT_EQ(t.active_entries_high(), 3u);
+}
+
+TEST(VlArbitrationTable, ZeroWeightEntryIsInactive) {
+  ArbTableEntry e{3, 0};
+  EXPECT_FALSE(e.active());
+  VlArbitrationTable t;
+  t.high()[0] = e;
+  EXPECT_EQ(t.active_entries_high(), 0u);
+  EXPECT_EQ(t.vl_weight_high(3), 0u);
+}
+
+TEST(VlArbitrationTable, Vl15EntriesAreInvalid) {
+  VlArbitrationTable t;
+  t.high()[0] = ArbTableEntry{kManagementVl, 10};
+  EXPECT_FALSE(t.valid());
+  VlArbitrationTable t2;
+  t2.low()[0] = ArbTableEntry{kManagementVl, 10};
+  EXPECT_FALSE(t2.valid());
+}
+
+TEST(VlArbitrationTable, FullTableWeightConstant) {
+  VlArbitrationTable t;
+  for (auto& e : t.high()) e = ArbTableEntry{0, kMaxEntryWeight};
+  EXPECT_EQ(t.total_weight_high(), kFullTableWeight);
+}
+
+TEST(VlArbitrationTable, LimitRoundTrips) {
+  VlArbitrationTable t;
+  t.set_limit_of_high_priority(10);
+  EXPECT_EQ(t.limit_of_high_priority(), 10);
+}
+
+}  // namespace
+}  // namespace ibarb::iba

@@ -1,0 +1,114 @@
+#include "qos/vl_planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "network/topology.hpp"
+#include "qos/admission.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "traffic/workload.hpp"
+
+namespace ibarb::qos {
+namespace {
+
+TEST(VlPlanning, IdentityWhenEnoughLanes) {
+  const auto plan = plan_vl_folding(paper_catalogue(), 13);
+  const auto original = paper_catalogue();
+  ASSERT_EQ(plan.catalogue.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(plan.catalogue[i].vl, original[i].vl);
+    EXPECT_EQ(plan.catalogue[i].max_distance, original[i].max_distance);
+  }
+}
+
+TEST(VlPlanning, FoldsOntoRequestedLanes) {
+  for (const unsigned lanes : {2u, 4u, 6u, 8u}) {
+    const auto plan = plan_vl_folding(paper_catalogue(), lanes);
+    for (const auto& p : plan.catalogue) {
+      EXPECT_LT(p.vl, lanes) << "lane overflow at " << lanes << " lanes";
+      EXPECT_EQ(plan.mapping.map(p.sl), p.vl);
+    }
+    EXPECT_TRUE(plan.mapping.valid_for(lanes));
+  }
+}
+
+TEST(VlPlanning, DistancesNeverLoosen) {
+  const auto original = paper_catalogue();
+  for (const unsigned lanes : {2u, 3u, 5u, 8u}) {
+    const auto plan = plan_vl_folding(original, lanes);
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      if (original[i].max_distance == 0) continue;  // best effort
+      EXPECT_LE(plan.catalogue[i].max_distance, original[i].max_distance)
+          << "folding must only tighten guarantees";
+      EXPECT_GE(plan.catalogue[i].max_distance, 2u);
+    }
+  }
+}
+
+TEST(VlPlanning, LaneMatesShareOneDistance) {
+  const auto plan = plan_vl_folding(paper_catalogue(), 4);
+  std::map<iba::VirtualLane, std::set<unsigned>> distances;
+  for (const auto& p : plan.catalogue)
+    if (p.max_distance != 0) distances[p.vl].insert(p.max_distance);
+  for (const auto& [vl, ds] : distances)
+    EXPECT_EQ(ds.size(), 1u) << "VL " << int(vl)
+                             << " mixes latency requirements";
+}
+
+TEST(VlPlanning, BestEffortKeptApartFromQosWhenPossible) {
+  const auto plan = plan_vl_folding(paper_catalogue(), 4);
+  std::set<iba::VirtualLane> qos_lanes;
+  std::set<iba::VirtualLane> be_lanes;
+  for (const auto& p : plan.catalogue)
+    (p.max_distance != 0 ? qos_lanes : be_lanes).insert(p.vl);
+  for (const auto vl : be_lanes)
+    EXPECT_FALSE(qos_lanes.contains(vl))
+        << "best effort shares a lane with guaranteed traffic";
+}
+
+TEST(VlPlanning, RejectsBadLaneCounts) {
+  EXPECT_THROW(plan_vl_folding(paper_catalogue(), 0), std::invalid_argument);
+  EXPECT_THROW(plan_vl_folding(paper_catalogue(), 15), std::invalid_argument);
+}
+
+TEST(VlPlanning, GuaranteesHoldOnAFourLaneFabric) {
+  // End to end: run the paper workload on a fabric whose devices only have
+  // 4 data VLs. Folded SLs adopt tightened distances; every delivered
+  // packet must still make its (tightened) deadline.
+  network::IrregularSpec spec;
+  spec.switches = 8;
+  spec.seed = 5;
+  const auto graph = network::make_irregular(spec);
+  subnet::SubnetManager sm(graph);
+
+  const auto plan = plan_vl_folding(paper_catalogue(), 4);
+  AdmissionControl admission(graph, sm.routes(), plan.catalogue, {});
+  sim::Simulator sim(graph, sm.routes(), {});
+
+  traffic::WorkloadConfig wc;
+  wc.seed = 5;
+  wc.besteffort_load = 0.05;
+  const auto workload =
+      traffic::build_paper_workload(graph, sm.routes(), admission, sim, wc);
+  ASSERT_GT(workload.accepted, 50u);
+
+  admission.program(sim);
+  sim.set_sl_to_vl_all(plan.mapping);
+  const auto summary = sim.run_paper_phases(300000, 10, 400000000);
+  ASSERT_FALSE(summary.hit_hard_limit);
+
+  std::uint64_t rx = 0;
+  std::uint64_t misses = 0;
+  for (const auto& ec : workload.connections) {
+    const auto& c = sim.metrics().connections[ec.flow];
+    rx += c.rx_packets;
+    misses += c.deadline_misses;
+  }
+  EXPECT_GT(rx, 1000u);
+  EXPECT_EQ(misses, 0u) << "folded fabric broke a guarantee";
+}
+
+}  // namespace
+}  // namespace ibarb::qos
