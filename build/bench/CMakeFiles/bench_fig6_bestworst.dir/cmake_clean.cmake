@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bestworst.dir/bench_fig6_bestworst.cpp.o"
+  "CMakeFiles/bench_fig6_bestworst.dir/bench_fig6_bestworst.cpp.o.d"
+  "bench_fig6_bestworst"
+  "bench_fig6_bestworst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bestworst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

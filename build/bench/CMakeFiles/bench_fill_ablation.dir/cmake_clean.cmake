@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fill_ablation.dir/bench_fill_ablation.cpp.o"
+  "CMakeFiles/bench_fill_ablation.dir/bench_fill_ablation.cpp.o.d"
+  "bench_fill_ablation"
+  "bench_fill_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fill_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misbehavior.dir/bench_misbehavior.cpp.o"
+  "CMakeFiles/bench_misbehavior.dir/bench_misbehavior.cpp.o.d"
+  "bench_misbehavior"
+  "bench_misbehavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misbehavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

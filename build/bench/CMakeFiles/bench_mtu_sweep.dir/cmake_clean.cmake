@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtu_sweep.dir/bench_mtu_sweep.cpp.o"
+  "CMakeFiles/bench_mtu_sweep.dir/bench_mtu_sweep.cpp.o.d"
+  "bench_mtu_sweep"
+  "bench_mtu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misbehaving_source.dir/misbehaving_source.cpp.o"
+  "CMakeFiles/misbehaving_source.dir/misbehaving_source.cpp.o.d"
+  "misbehaving_source"
+  "misbehaving_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misbehaving_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subnet_config_dump.dir/subnet_config_dump.cpp.o"
+  "CMakeFiles/subnet_config_dump.dir/subnet_config_dump.cpp.o.d"
+  "subnet_config_dump"
+  "subnet_config_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subnet_config_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arbtable/baselines.cpp" "src/CMakeFiles/ibarb.dir/arbtable/baselines.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/arbtable/baselines.cpp.o.d"
+  "/root/repo/src/arbtable/defrag.cpp" "src/CMakeFiles/ibarb.dir/arbtable/defrag.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/arbtable/defrag.cpp.o.d"
+  "/root/repo/src/arbtable/entry_set.cpp" "src/CMakeFiles/ibarb.dir/arbtable/entry_set.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/arbtable/entry_set.cpp.o.d"
+  "/root/repo/src/arbtable/fill_algorithm.cpp" "src/CMakeFiles/ibarb.dir/arbtable/fill_algorithm.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/arbtable/fill_algorithm.cpp.o.d"
+  "/root/repo/src/arbtable/requirements.cpp" "src/CMakeFiles/ibarb.dir/arbtable/requirements.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/arbtable/requirements.cpp.o.d"
+  "/root/repo/src/arbtable/table_manager.cpp" "src/CMakeFiles/ibarb.dir/arbtable/table_manager.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/arbtable/table_manager.cpp.o.d"
+  "/root/repo/src/iba/arbiter.cpp" "src/CMakeFiles/ibarb.dir/iba/arbiter.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/arbiter.cpp.o.d"
+  "/root/repo/src/iba/flow_control.cpp" "src/CMakeFiles/ibarb.dir/iba/flow_control.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/flow_control.cpp.o.d"
+  "/root/repo/src/iba/headers.cpp" "src/CMakeFiles/ibarb.dir/iba/headers.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/headers.cpp.o.d"
+  "/root/repo/src/iba/link.cpp" "src/CMakeFiles/ibarb.dir/iba/link.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/link.cpp.o.d"
+  "/root/repo/src/iba/packet.cpp" "src/CMakeFiles/ibarb.dir/iba/packet.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/packet.cpp.o.d"
+  "/root/repo/src/iba/sl_to_vl.cpp" "src/CMakeFiles/ibarb.dir/iba/sl_to_vl.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/sl_to_vl.cpp.o.d"
+  "/root/repo/src/iba/vl_arbitration.cpp" "src/CMakeFiles/ibarb.dir/iba/vl_arbitration.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/iba/vl_arbitration.cpp.o.d"
+  "/root/repo/src/network/graph.cpp" "src/CMakeFiles/ibarb.dir/network/graph.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/network/graph.cpp.o.d"
+  "/root/repo/src/network/routing.cpp" "src/CMakeFiles/ibarb.dir/network/routing.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/network/routing.cpp.o.d"
+  "/root/repo/src/network/topology.cpp" "src/CMakeFiles/ibarb.dir/network/topology.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/network/topology.cpp.o.d"
+  "/root/repo/src/qos/admission.cpp" "src/CMakeFiles/ibarb.dir/qos/admission.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/qos/admission.cpp.o.d"
+  "/root/repo/src/qos/deadline.cpp" "src/CMakeFiles/ibarb.dir/qos/deadline.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/qos/deadline.cpp.o.d"
+  "/root/repo/src/qos/dynamic.cpp" "src/CMakeFiles/ibarb.dir/qos/dynamic.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/qos/dynamic.cpp.o.d"
+  "/root/repo/src/qos/traffic_classes.cpp" "src/CMakeFiles/ibarb.dir/qos/traffic_classes.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/qos/traffic_classes.cpp.o.d"
+  "/root/repo/src/qos/vl_planning.cpp" "src/CMakeFiles/ibarb.dir/qos/vl_planning.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/qos/vl_planning.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/ibarb.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ibarb.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ibarb.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/subnet/mad.cpp" "src/CMakeFiles/ibarb.dir/subnet/mad.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/subnet/mad.cpp.o.d"
+  "/root/repo/src/subnet/subnet_manager.cpp" "src/CMakeFiles/ibarb.dir/subnet/subnet_manager.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/subnet/subnet_manager.cpp.o.d"
+  "/root/repo/src/traffic/besteffort.cpp" "src/CMakeFiles/ibarb.dir/traffic/besteffort.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/traffic/besteffort.cpp.o.d"
+  "/root/repo/src/traffic/cbr.cpp" "src/CMakeFiles/ibarb.dir/traffic/cbr.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/traffic/cbr.cpp.o.d"
+  "/root/repo/src/traffic/vbr.cpp" "src/CMakeFiles/ibarb.dir/traffic/vbr.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/traffic/vbr.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/CMakeFiles/ibarb.dir/traffic/workload.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/traffic/workload.cpp.o.d"
+  "/root/repo/src/transport/rc.cpp" "src/CMakeFiles/ibarb.dir/transport/rc.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/transport/rc.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/ibarb.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ibarb.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ibarb.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/ibarb.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/ibarb.dir/util/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_admission.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_admission.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_admission.cpp.o.d"
+  "/root/repo/tests/test_arbiter.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_arbiter.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_arbiter.cpp.o.d"
+  "/root/repo/tests/test_arbiter_model.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_arbiter_model.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_arbiter_model.cpp.o.d"
+  "/root/repo/tests/test_bit_reversal.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_bit_reversal.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_bit_reversal.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_crc.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_crc.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_crc.cpp.o.d"
+  "/root/repo/tests/test_deadline.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_deadline.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_deadline.cpp.o.d"
+  "/root/repo/tests/test_defrag.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_defrag.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_defrag.cpp.o.d"
+  "/root/repo/tests/test_dynamic.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_dynamic.cpp.o.d"
+  "/root/repo/tests/test_entry_set.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_entry_set.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_entry_set.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_theorem.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_exhaustive_theorem.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_exhaustive_theorem.cpp.o.d"
+  "/root/repo/tests/test_fill_algorithm.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_fill_algorithm.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_fill_algorithm.cpp.o.d"
+  "/root/repo/tests/test_fill_properties.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_fill_properties.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_fill_properties.cpp.o.d"
+  "/root/repo/tests/test_flow_control.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_flow_control.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_flow_control.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_headers.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_headers.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_headers.cpp.o.d"
+  "/root/repo/tests/test_integration_qos.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_integration_qos.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_integration_qos.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_mad.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_mad.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_mad.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_requirements.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_requirements.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_requirements.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_sim_stress.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_sim_stress.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_sim_stress.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sl_to_vl.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_sl_to_vl.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_sl_to_vl.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_subnet_manager.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_subnet_manager.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_subnet_manager.cpp.o.d"
+  "/root/repo/tests/test_table_manager.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_table_manager.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_table_manager.cpp.o.d"
+  "/root/repo/tests/test_table_printer.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_table_printer.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_table_printer.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_traffic_classes.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_traffic_classes.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_traffic_classes.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_transport.cpp.o.d"
+  "/root/repo/tests/test_vl_arbitration.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_vl_arbitration.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_vl_arbitration.cpp.o.d"
+  "/root/repo/tests/test_vl_planning.cpp" "tests/CMakeFiles/ibarb_tests.dir/test_vl_planning.cpp.o" "gcc" "tests/CMakeFiles/ibarb_tests.dir/test_vl_planning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibarb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
