@@ -6,9 +6,10 @@
 // low-priority (best-effort) packet waits. This bench sweeps the limit and
 // shows the trade: an unlimited value starves best effort under load, while
 // small values hand it bandwidth at the cost of QoS-class latency margins.
+// The four limits run in parallel via the sweep engine (--jobs N).
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -27,12 +28,20 @@ int main(int argc, char** argv) {
             << base.besteffort_load << " per host; QoS classes oversending "
             << base.oversend_factor << "x) ===\n\n";
 
-  util::TablePrinter table({"limit", "QoS miss frac", "QoS p-mean delay (us)",
-                            "BE delivered (Mbps/host)", "BE mean delay (us)"});
-  for (const unsigned limit : {255u, 16u, 4u, 1u}) {
+  const unsigned limits[] = {255u, 16u, 4u, 1u};
+  std::vector<bench::PaperRunConfig> cfgs;
+  for (const unsigned limit : limits) {
     auto cfg = base;
     cfg.limit_of_high_priority = static_cast<std::uint8_t>(limit);
-    const auto run = bench::run_paper_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  const auto sweep =
+      bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "limit"));
+
+  util::TablePrinter table({"limit", "QoS miss frac", "QoS p-mean delay (us)",
+                            "BE delivered (Mbps/host)", "BE mean delay (us)"});
+  for (const auto& run : sweep.runs) {
+    const unsigned limit = run->cfg.limit_of_high_priority;
     const auto& m = run->sim->metrics();
     const auto window = static_cast<double>(m.window_length());
 
@@ -80,5 +89,8 @@ int main(int argc, char** argv) {
                "it hands them bandwidth at the oversending classes'\n"
                "expense (compliant reservations are not at risk either\n"
                "way - see bench_misbehavior).\n";
+
+  const auto unused = cli.unused_flags();
+  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
   return 0;
 }

@@ -1,7 +1,8 @@
 // Experiment E2 — reproduces Figure 4: the distribution of packet delay per
 // Service Level, printed as the percentage of packets received before a
 // threshold relative to each connection's guaranteed deadline D, for small
-// (a) and large (b) packet sizes.
+// (a) and large (b) packet sizes. The two panels run in parallel via the
+// sweep engine (--jobs N, see docs/SWEEP.md).
 //
 // Expected shape (paper §4.3): every SL reaches 100% at D (all packets meet
 // their deadline); SLs with stricter deadlines (smaller distances, SL 0-3)
@@ -9,7 +10,7 @@
 // saturate at very tight thresholds already.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -45,18 +46,14 @@ int main(int argc, char** argv) {
   std::cout << "=== Figure 4: distribution of packet delay "
                "(% received before Deadline/k) ===\n\n";
 
-  {
-    auto cfg = base;
-    cfg.mtu = iba::Mtu::kMtu256;
-    const auto run = bench::run_paper_experiment(cfg);
-    print_panel("(a) small packet size (256 B)", *run);
-  }
-  {
-    auto cfg = base;
-    cfg.mtu = iba::Mtu::kMtu4096;
-    const auto run = bench::run_paper_experiment(cfg);
-    print_panel("(b) large packet size (4 KB)", *run);
-  }
+  std::vector<bench::PaperRunConfig> cfgs(2, base);
+  cfgs[0].mtu = iba::Mtu::kMtu256;
+  cfgs[1].mtu = iba::Mtu::kMtu4096;
+  const auto sweep =
+      bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "fig4"));
+
+  print_panel("(a) small packet size (256 B)", *sweep.runs[0]);
+  print_panel("(b) large packet size (4 KB)", *sweep.runs[1]);
 
   const auto unused = cli.unused_flags();
   if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";

@@ -4,17 +4,39 @@
 // (IAT). Panels (a) SLs 0-4 and (b) SLs 5-9, small packets (the paper notes
 // large packets behave the same; pass --mtu large to check).
 //
+// A single experiment by default; --sweep-seed S --replicas N turns it into
+// an N-replica sweep over derived seeds (run in parallel with --jobs) whose
+// per-bin fractions are averaged — jitter curves from one seed are the
+// noisiest of the figure reproductions.
+//
 // Expected shape (paper §4.3): small-bandwidth SLs put essentially all
 // packets in the central [-IAT/8, +IAT/8) interval; the big-bandwidth SLs
 // (5 and 9) show a Gaussian-like spread that never exceeds +-IAT.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
 
 namespace {
+
+/// Per-SL jitter fractions averaged over the replicas (one replica: the
+/// series itself, byte-identical to the historical single-run output).
+std::vector<bench::PaperRun::SlSeries> mean_series(
+    const std::vector<std::unique_ptr<bench::PaperRun>>& runs) {
+  std::vector<bench::PaperRun::SlSeries> mean = runs.front()->per_sl();
+  if (runs.size() == 1) return mean;
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    const auto series = runs[r]->per_sl();
+    for (std::size_t sl = 0; sl < mean.size(); ++sl)
+      for (std::size_t b = 0; b < sim::kJitterBins; ++b)
+        mean[sl].jitter[b] += series[sl].jitter[b];
+  }
+  for (auto& s : mean)
+    for (auto& j : s.jitter) j /= static_cast<double>(runs.size());
+  return mean;
+}
 
 void print_panel(const char* title,
                  const std::vector<bench::PaperRun::SlSeries>& series,
@@ -39,6 +61,8 @@ void print_panel(const char* title,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto cfg = bench::config_from_cli(cli);
+  const auto replicas =
+      static_cast<std::size_t>(cli.get_int("replicas", 1));
 
   std::cout << "=== Figure 5: average packet jitter (% of packets per "
                "interval, relative to IAT) ===\n";
@@ -46,8 +70,11 @@ int main(int argc, char** argv) {
             << (cfg.mtu == iba::Mtu::kMtu256 ? "small (256 B)" : "other")
             << "\n\n";
 
-  const auto run = bench::run_paper_experiment(cfg);
-  const auto series = run->per_sl();
+  const std::vector<bench::PaperRunConfig> cfgs(replicas == 0 ? 1 : replicas,
+                                                cfg);
+  const auto sweep =
+      bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "fig5"));
+  const auto series = mean_series(sweep.runs);
   print_panel("(a) SLs 0-4", series, 0, 4);
   print_panel("(b) SLs 5-9", series, 5, 9);
 

@@ -9,7 +9,7 @@
 // connection of an SL the same treatment.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -29,12 +29,14 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Figure 6: best vs worst connection for the strictest "
                "SLs ===\n\n";
-  const auto run = bench::run_paper_experiment(cfg);
+  const auto sweep = bench::run_sweep({cfg},
+                                      bench::sweep_options_from_cli(cli, "fig6"));
+  const auto& run = *sweep.runs.front();
 
   for (iba::ServiceLevel sl = 0; sl <= 3; ++sl) {
-    const auto bw = run->best_worst(sl);
-    const auto& best = run->workload.connections[bw.best];
-    const auto& worst = run->workload.connections[bw.worst];
+    const auto bw = run.best_worst(sl);
+    const auto& best = run.workload.connections[bw.best];
+    const auto& worst = run.workload.connections[bw.worst];
     std::cout << "SL " << int(sl) << " (best: flow " << best.flow
               << ", worst: flow " << worst.flow << ")\n";
     std::vector<std::string> headers{"connection"};

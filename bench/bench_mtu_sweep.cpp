@@ -1,9 +1,11 @@
 // Extension of Table 2: all four IBA MTUs rather than only the paper's
 // small/large pair. Shows the overhead/serialization trade across the whole
-// range the specification permits.
+// range the specification permits. The four experiments run in parallel via
+// the sweep engine (--jobs N, see docs/SWEEP.md); each MTU keeps the same
+// base seed so every variant runs on the same fabric.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -14,14 +16,22 @@ int main(int argc, char** argv) {
 
   std::cout << "=== MTU sweep: Table 2 across every IBA MTU ===\n\n";
 
+  const iba::Mtu mtus[] = {iba::Mtu::kMtu256, iba::Mtu::kMtu1024,
+                           iba::Mtu::kMtu2048, iba::Mtu::kMtu4096};
+  std::vector<bench::PaperRunConfig> cfgs;
+  for (const auto mtu : mtus) {
+    auto cfg = base;
+    cfg.mtu = mtu;
+    cfgs.push_back(cfg);
+  }
+  const auto sweep =
+      bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "mtu"));
+
   util::TablePrinter table({"MTU", "efficiency", "connections",
                             "injected (B/cyc/node)", "delivered (B/cyc/node)",
                             "host util (%)", "switch util (%)", "misses"});
-  for (const auto mtu : {iba::Mtu::kMtu256, iba::Mtu::kMtu1024,
-                         iba::Mtu::kMtu2048, iba::Mtu::kMtu4096}) {
-    auto cfg = base;
-    cfg.mtu = mtu;
-    const auto run = bench::run_paper_experiment(cfg);
+  for (const auto& run : sweep.runs) {
+    const auto mtu = run->cfg.mtu;
     const auto t2 = run->table2();
     std::uint64_t misses = 0;
     for (const auto& c : run->sim->metrics().connections)
@@ -40,5 +50,8 @@ int main(int argc, char** argv) {
               << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
   }
   table.print(std::cout);
+
+  const auto unused = cli.unused_flags();
+  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
   return 0;
 }

@@ -2,12 +2,13 @@
 // sizes ranging from 8 to 64 switches ... for all cases, the results are
 // similar." This bench sweeps the network size and reports, per size, the
 // admission outcome and the QoS headline numbers; the expected shape is a
-// flat row of 100% deadline compliance across sizes.
+// flat row of 100% deadline compliance across sizes. The sizes run in
+// parallel via the sweep engine (--jobs N, see docs/SWEEP.md).
 //
 // 64 switches is expensive; it runs only with --full.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -19,17 +20,22 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Scaling: 8..64 switches, small packets ===\n\n";
 
-  util::TablePrinter table({"switches", "hosts", "connections",
-                            "acceptance (%)", "mean hops", "switch util (%)",
-                            "meet deadline (%)", "misses"});
-
   std::vector<unsigned> sizes{8, 16, 32};
   if (full) sizes.push_back(64);
+  std::vector<bench::PaperRunConfig> cfgs;
   for (const auto n : sizes) {
     auto cfg = base;
     cfg.switches = n;
-    const auto run = bench::run_paper_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  const auto sweep =
+      bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "scaling"));
 
+  util::TablePrinter table({"switches", "hosts", "connections",
+                            "acceptance (%)", "mean hops", "switch util (%)",
+                            "meet deadline (%)", "misses"});
+  for (const auto& run : sweep.runs) {
+    const auto n = run->cfg.switches;
     std::uint64_t rx = 0, misses = 0;
     double hops = 0.0;
     for (const auto& ec : run->workload.connections) {

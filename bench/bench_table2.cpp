@@ -1,7 +1,9 @@
 // Experiment E1 — reproduces Table 2 of the paper: injected and delivered
 // traffic (bytes/cycle/node), average utilization and average bandwidth
 // reservation at host interfaces and switch ports, for small (256 B) and
-// large (4 KB) packets on the 16-switch / 64-host irregular network.
+// large (4 KB) packets on the 16-switch / 64-host irregular network. The
+// two cases run in parallel via the sweep engine (--jobs N); both keep the
+// same seed, so they share one fabric as the paper's comparison requires.
 //
 // Expected shape (paper §4.3): utilization approaches but never exceeds the
 // 80 % reservable ceiling; small packets deliver slightly more wire
@@ -9,7 +11,7 @@
 // protocol bytes for the same payload bandwidth.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -31,26 +33,34 @@ int main(int argc, char** argv) {
   const Case cases[] = {{"Small (256B)", iba::Mtu::kMtu256},
                         {"Large (4KB)", iba::Mtu::kMtu4096}};
 
+  std::vector<bench::PaperRunConfig> cfgs;
+  for (const auto& c : cases) {
+    auto cfg = base;
+    cfg.mtu = c.mtu;
+    cfgs.push_back(cfg);
+  }
+  const auto sweep =
+      bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "table2"));
+
   util::TablePrinter table({"Packet size", "Injected (B/cyc/node)",
                             "Delivered (B/cyc/node)", "Host util (%)",
                             "Switch util (%)", "Host resv (Mbps)",
                             "Switch resv (Mbps)"});
-  for (const auto& c : cases) {
-    auto cfg = base;
-    cfg.mtu = c.mtu;
-    const auto run = bench::run_paper_experiment(cfg);
-    const auto row = run->table2();
-    table.add_row({c.name, util::TablePrinter::num(
-                               row.injected_bytes_per_cycle_per_node, 4),
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const auto& run = *sweep.runs[i];
+    const auto row = run.table2();
+    table.add_row({cases[i].name,
+                   util::TablePrinter::num(
+                       row.injected_bytes_per_cycle_per_node, 4),
                    util::TablePrinter::num(
                        row.delivered_bytes_per_cycle_per_node, 4),
                    util::TablePrinter::num(row.host_utilization * 100.0, 2),
                    util::TablePrinter::num(row.switch_utilization * 100.0, 2),
                    util::TablePrinter::num(row.host_reserved_mbps, 1),
                    util::TablePrinter::num(row.switch_reserved_mbps, 1)});
-    std::cerr << "[" << c.name << "] connections=" << run->workload.accepted
-              << " window=" << run->summary.window_cycles << " cycles"
-              << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+    std::cerr << "[" << cases[i].name << "] connections=" << run.workload.accepted
+              << " window=" << run.summary.window_cycles << " cycles"
+              << (run.summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
   }
   table.print(std::cout);
   std::cout << "\nNote: the reservable ceiling is 80% of each link; 20% is\n"

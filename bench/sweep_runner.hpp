@@ -1,0 +1,64 @@
+// Parallel experiment-sweep engine for the paper-reproduction benches.
+//
+// A sweep is a vector of PaperRunConfigs; each config becomes one
+// heap-pinned PaperRun executed on its own worker. The determinism
+// contract (docs/SWEEP.md): stdout is byte-identical for every `--jobs`
+// value, because
+//   * runs share no mutable state — every RNG stream, metrics object and
+//     simulator lives inside its own PaperRun;
+//   * each run's seed is a pure function of (base seed, run index), never
+//     of scheduling order;
+//   * results land in slot run_index and all aggregation/printing happens
+//     afterwards, on the calling thread, in run-index order.
+// Only the timing report (stderr) mentions wall-clock numbers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "paper_runner.hpp"
+
+namespace ibarb::bench {
+
+struct SweepOptions {
+  /// Worker lanes; 0 means hardware_concurrency. 1 runs inline on the
+  /// calling thread with no pool at all — today's sequential behaviour.
+  unsigned jobs = 0;
+  /// When engaged, run i's seed is replaced by derive_run_seed(*base_seed,
+  /// i): decorrelated replicas, independent of scheduling order. When
+  /// disengaged each config keeps its own seed — the right choice for
+  /// controlled comparisons (same fabric, one knob varied).
+  std::optional<std::uint64_t> base_seed;
+  /// Per-run timing lines on stderr (suppressed in tests).
+  bool timing = true;
+  /// Prefix for the timing lines, e.g. "mtu" -> "[sweep:mtu] ...".
+  std::string label = "sweep";
+};
+
+/// Reads `--jobs` (and `--sweep-seed`, which engages base_seed) on top of
+/// the given label.
+SweepOptions sweep_options_from_cli(const util::Cli& cli, std::string label);
+
+/// SplitMix64-derived per-run seed: mixes the run index into the base seed
+/// so identical configs become independent replicas while remaining a pure
+/// function of (base_seed, run_index).
+std::uint64_t derive_run_seed(std::uint64_t base_seed, std::size_t run_index);
+
+struct SweepResult {
+  /// Same order as the input configs, regardless of jobs/scheduling.
+  std::vector<std::unique_ptr<PaperRun>> runs;
+  std::vector<double> run_ms;  ///< Per-run wall time.
+  double wall_ms = 0.0;        ///< Whole-sweep wall time.
+  unsigned jobs = 1;           ///< Lanes actually used.
+};
+
+/// Executes every config (possibly in parallel) and reports timing on
+/// stderr. Exceptions from any run are rethrown (lowest run index first)
+/// after all workers have drained.
+SweepResult run_sweep(const std::vector<PaperRunConfig>& cfgs,
+                      const SweepOptions& opts);
+
+}  // namespace ibarb::bench

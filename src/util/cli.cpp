@@ -3,6 +3,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace ibarb::util {
 
 namespace {
@@ -79,6 +81,15 @@ bool Cli::get_bool(std::string_view name, bool default_value) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+unsigned Cli::jobs() const {
+  const auto n = get_int("jobs", 0);
+  if (n < 0) {
+    throw std::invalid_argument("flag --jobs expects a count >= 0, got " +
+                                std::to_string(n));
+  }
+  return n == 0 ? default_jobs() : static_cast<unsigned>(n);
 }
 
 std::string Cli::unused_flags() const {

@@ -24,6 +24,11 @@ class Cli {
   double get_double(std::string_view name, double default_value) const;
   bool get_bool(std::string_view name, bool default_value) const;
 
+  /// Worker count from `--jobs N`, clamped to >= 1. The default (also used
+  /// for `--jobs 0`) is the hardware concurrency, so sweeps use the whole
+  /// machine unless told otherwise; `--jobs 1` forces the sequential path.
+  unsigned jobs() const;
+
   /// Flags that were supplied but never queried — typo detection.
   std::string unused_flags() const;
 

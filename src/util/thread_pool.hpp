@@ -1,0 +1,63 @@
+// Minimal fixed-size worker pool for the experiment-sweep engine.
+//
+// The simulator itself stays single-threaded; parallelism lives one level
+// up, at the granularity of whole seeded experiments, which share no mutable
+// state. The pool therefore needs no task priorities or work stealing —
+// just submit/future semantics with exception propagation, plus the
+// parallel_for helper in util/parallel.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ibarb::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to 1 so a pool is always usable
+  /// even when hardware_concurrency() reports 0 (which the standard allows).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains every task already submitted, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Schedules `fn` on a worker. The returned future yields fn's result, or
+  /// rethrows whatever fn threw.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// --jobs default: hardware_concurrency, with the standard-permitted 0
+/// answer clamped to 1.
+unsigned default_jobs() noexcept;
+
+}  // namespace ibarb::util

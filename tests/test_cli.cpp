@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.hpp"
+
 #include <stdexcept>
 #include <vector>
 
@@ -65,6 +67,24 @@ TEST(Cli, UnusedFlagsReported) {
   const auto cli = make({"--used", "1", "--typo", "2"});
   (void)cli.get_int("used", 0);
   EXPECT_EQ(cli.unused_flags(), "--typo");
+}
+
+TEST(Cli, JobsParsesExplicitCount) {
+  const auto cli = make({"--jobs", "3"});
+  EXPECT_EQ(cli.jobs(), 3u);
+}
+
+TEST(Cli, JobsDefaultsToHardwareConcurrency) {
+  const auto cli = make({});
+  EXPECT_EQ(cli.jobs(), default_jobs());
+  EXPECT_GE(cli.jobs(), 1u);
+  // --jobs 0 means "auto", same as the default.
+  EXPECT_EQ(make({"--jobs", "0"}).jobs(), default_jobs());
+}
+
+TEST(Cli, JobsRejectsNegativeCounts) {
+  const auto cli = make({"--jobs=-2"});
+  EXPECT_THROW(cli.jobs(), std::invalid_argument);
 }
 
 TEST(Cli, NegativeNumbersAsValues) {

@@ -127,6 +127,59 @@ TEST_P(FillPropertySeeds, GapNeverExceedsDistanceUnderChurn) {
   }
 }
 
+TEST_P(FillPropertySeeds, EveryAdmissibleDistanceSucceedsAfterArbitraryChurn) {
+  // Stronger Theorem-1 probe than the churn test above: that one only
+  // checks the distance the trace happens to request next. Here, after
+  // arbitrary interleaved admit/release bursts, EVERY distance is probed at
+  // checkpoints — the defragmenter must have restored the invariant that an
+  // admissible distance-d request succeeds whenever >= 64/d entries are
+  // free, no matter which d the next tenant asks for.
+  util::Xoshiro256 rng(GetParam() ^ 0x5EED);
+  TableManager m(manager_cfg(/*defrag=*/true, GetParam()));
+  std::vector<Live> live;
+  int probed_while_fragmentable = 0;
+  for (int step = 0; step < 500; ++step) {
+    // Arbitrary interleaving: bursts of 1-6 operations, biased towards
+    // releases when the table is crowded so the trace keeps oscillating
+    // through partially-filled (fragmentation-prone) states.
+    const int burst = 1 + static_cast<int>(rng.below(6));
+    for (int op = 0; op < burst; ++op) {
+      const double release_bias =
+          m.free_entries() < iba::kArbTableEntries / 4 ? 0.7 : 0.35;
+      if (!live.empty() && rng.chance(release_bias)) {
+        const auto idx = rng.below(live.size());
+        m.release(live[idx].handle, live[idx].req, 0.0001);
+        live[idx] = live.back();
+        live.pop_back();
+      } else {
+        const unsigned d = kDistances[rng.below(std::size(kDistances))];
+        const auto req = fat_req(d);
+        const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+        if (const auto got = m.allocate(vl, req, 0.0001))
+          live.push_back(Live{*got, req});
+      }
+    }
+    if (step % 20 != 0) continue;
+    for (const unsigned d : kDistances) {
+      const auto req = fat_req(d);
+      const bool enough = m.free_entries() >= req.entries;
+      if (enough && !live.empty()) ++probed_while_fragmentable;
+      const auto vl = static_cast<iba::VirtualLane>(log2_pow2(d));
+      const auto got = m.allocate(vl, req, 0.0001);
+      ASSERT_EQ(got.has_value(), enough)
+          << "probe distance " << d << " with " << m.free_entries()
+          << " free entries at step " << step;
+      // Roll the probe back so it does not perturb the trace; the release
+      // itself re-runs the defragmenter, which the invariant check audits.
+      if (got) m.release(*got, req, 0.0001);
+      std::string why;
+      ASSERT_TRUE(m.check_invariants(&why)) << why;
+    }
+  }
+  // The checkpoints must have probed non-trivial (occupied) tables.
+  EXPECT_GT(probed_while_fragmentable, 50);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FillPropertySeeds,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
                                            55u, 89u));

@@ -1,0 +1,163 @@
+// util::ThreadPool / util::parallel_for — the substrate of the parallel
+// sweep engine (ISSUE 1). The tests pin down the contracts the sweeps rely
+// on: submit/future semantics, drain-on-destruction, exception propagation,
+// and parallel_for covering every index exactly once for empty / single /
+// larger-than-pool ranges with deterministic error selection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ibarb::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsTaskResultThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTaskCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  auto f = pool.submit([&]() { hits.fetch_add(1); });
+  f.wait();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllRunExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([&]() { hits.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(hits.load(), kTasks);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker survives the throw and keeps serving tasks.
+  EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([&]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        hits.fetch_add(1);
+      }));
+    }
+    // Destructor runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(hits.load(), 16);
+  for (auto& f : futures)
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+}
+
+TEST(ThreadPool, DefaultJobsIsAtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+TEST(ParallelFor, EmptyRangeNeverCallsBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(4u, 0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleItemRuns) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1, 0);
+  parallel_for(pool, 1, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ParallelFor, MoreItemsThanThreadsCoverEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, kN,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, JobsOneRunsInlineOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  parallel_for(1u, seen.size(),
+               [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, ResultsAreIndependentOfJobCount) {
+  // The determinism contract in miniature: body(i) depends only on i.
+  auto compute = [](unsigned jobs) {
+    std::vector<std::uint64_t> out(64);
+    parallel_for(jobs, out.size(),
+                 [&](std::size_t i) { out[i] = i * 2654435761u; });
+    return out;
+  };
+  const auto seq = compute(1);
+  EXPECT_EQ(seq, compute(2));
+  EXPECT_EQ(seq, compute(8));
+}
+
+TEST(ParallelFor, RethrowsLowestIndexExceptionAfterDraining) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  try {
+    parallel_for(pool, kN, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i % 7 == 3) throw std::runtime_error("idx " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Deterministic selection: index 3 is the lowest thrower.
+    EXPECT_STREQ(e.what(), "idx 3");
+  }
+  // Every index was still attempted despite the failures.
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, InlinePathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(1u, 4, [](std::size_t i) {
+        if (i == 2) throw std::logic_error("inline");
+      }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace ibarb::util
