@@ -3,7 +3,12 @@
 // TableManager, the IBA arbiter's per-packet decision, and the up*/down*
 // route computation. These are the operations a subnet manager (tables) and
 // a switch (arbiter) would run in production.
+//
+// With --json, runs the regression harness from bench_micro_json.cpp instead
+// (wall-clock hot-path rates written to BENCH_micro.json for CI archival).
 #include <benchmark/benchmark.h>
+
+#include <string_view>
 
 #include "arbtable/fill_algorithm.hpp"
 #include "arbtable/table_manager.hpp"
@@ -155,4 +160,17 @@ BENCHMARK(BM_Defragment);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace ibarb::bench {
+int run_json_harness(int argc, const char* const* argv);
+}
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--json")
+      return ibarb::bench::run_json_harness(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "paper_runner.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace ibarb::bench {
@@ -27,7 +29,19 @@ PaperRunConfig config_from_cli(const util::Cli& cli, PaperRunConfig base) {
   return base;
 }
 
-PaperRun::PaperRun(PaperRunConfig c) : cfg(c) {
+sim::EventQueueImpl queue_impl_from_env() {
+  // IBARB_EVENT_QUEUE=heap|wheel lets CI diff the two queue implementations
+  // through an unmodified bench binary. Anything else (including unset)
+  // means the default wheel.
+  const char* v = std::getenv("IBARB_EVENT_QUEUE");
+  if (v != nullptr && std::strcmp(v, "heap") == 0)
+    return sim::EventQueueImpl::kBinaryHeap;
+  return sim::EventQueueImpl::kWheel;
+}
+
+PaperRun::PaperRun(PaperRunConfig c) : PaperRun(c, DeferSim{}) { run(); }
+
+PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
   network::IrregularSpec spec;
   spec.switches = cfg.switches;
   spec.seed = cfg.seed;
@@ -48,6 +62,7 @@ PaperRun::PaperRun(PaperRunConfig c) : cfg(c) {
   sc.max_payload_bytes = iba::mtu_bytes(cfg.mtu);
   sc.buffer_packets = cfg.buffer_packets;
   sc.seed = cfg.seed;
+  sc.queue_impl = queue_impl_from_env();
   sim = std::make_unique<sim::Simulator>(graph, sm->routes(), sc);
 
   traffic::WorkloadConfig wc;
@@ -62,6 +77,9 @@ PaperRun::PaperRun(PaperRunConfig c) : cfg(c) {
       traffic::build_paper_workload(graph, sm->routes(), *admission, *sim, wc);
 
   sm->configure_fabric(*sim, *admission);
+}
+
+void PaperRun::run() {
   summary = sim->run_paper_phases(cfg.warmup, cfg.min_rx_packets,
                                   cfg.hard_limit);
 }

@@ -54,6 +54,13 @@ struct PaperRun {
   PaperRun& operator=(const PaperRun&) = delete;
   explicit PaperRun(PaperRunConfig c);
 
+  /// Tag for the two-phase form used by timing harnesses: the constructor
+  /// stands up the fabric/workload only, and run() executes the simulation
+  /// phases (so setup cost can be excluded from a measurement).
+  struct DeferSim {};
+  PaperRun(PaperRunConfig c, DeferSim);
+  void run();
+
   // --- Aggregations -------------------------------------------------------
 
   struct SlSeries {

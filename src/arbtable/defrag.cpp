@@ -11,7 +11,7 @@ namespace ibarb::arbtable {
 
 unsigned defragment_sequences(TableManager& manager) {
   auto& sequences = manager.sequences_;
-  auto& high = manager.table_.high();
+  auto& table = manager.table_;
 
   // Collect live spaced sequences, largest first; ties broken by current
   // buddy address so already-packed layouts stay untouched (stability keeps
@@ -61,13 +61,13 @@ unsigned defragment_sequences(TableManager& manager) {
 
   for (const auto& mv : moving)
     for (const auto p : sequences[mv.handle].positions)
-      high[p] = iba::ArbTableEntry{};
+      table.set_high_entry(p, {});
   for (const auto& mv : moving) {
     Sequence& seq = sequences[mv.handle];
     seq.positions = mv.target.positions();
     for (const auto p : seq.positions)
-      high[p] = iba::ArbTableEntry{
-          seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)};
+      table.set_high_entry(p, iba::ArbTableEntry{
+          seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)});
   }
   return static_cast<unsigned>(moving.size());
 }

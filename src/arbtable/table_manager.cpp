@@ -39,7 +39,8 @@ bool TableManager::render_low_table() {
       remaining -= chunk;
     }
   }
-  table_.low() = fresh;
+  for (unsigned slot_index = 0; slot_index < fresh.size(); ++slot_index)
+    table_.set_low_entry(slot_index, fresh[slot_index]);
   return true;
 }
 
@@ -97,12 +98,12 @@ SeqHandle TableManager::create_sequence(iba::VirtualLane vl, unsigned distance,
 void TableManager::write_sequence(const Sequence& seq) {
   assert(seq.weight_per_entry <= iba::kMaxEntryWeight);
   for (const auto p : seq.positions)
-    table_.high()[p] = iba::ArbTableEntry{
-        seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)};
+    table_.set_high_entry(p, iba::ArbTableEntry{
+        seq.vl, static_cast<std::uint8_t>(seq.weight_per_entry)});
 }
 
 void TableManager::erase_sequence(Sequence& seq) {
-  for (const auto p : seq.positions) table_.high()[p] = iba::ArbTableEntry{};
+  for (const auto p : seq.positions) table_.set_high_entry(p, {});
   seq.live = false;
   seq.positions.clear();
 }

@@ -1,11 +1,33 @@
 #include "iba/arbiter.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ibarb::iba {
 
+void VlArbiter::TableIndex::rebuild(const ArbTable& t) noexcept {
+  vl_mask = 0;
+  active_count = 0;
+  std::uint8_t first_active = kNoEntry;
+  for (unsigned i = 0; i < kArbTableEntries; ++i) {
+    if (!t[i].active()) continue;
+    vl_mask |= static_cast<std::uint16_t>(1u << t[i].vl);
+    ++active_count;
+    if (first_active == kNoEntry) first_active = static_cast<std::uint8_t>(i);
+  }
+  std::uint8_t next = kNoEntry;  // next active strictly after i, no wrap yet
+  for (int i = kArbTableEntries - 1; i >= 0; --i) {
+    next_after[i] = next;
+    if (t[i].active()) next = static_cast<std::uint8_t>(i);
+  }
+  for (auto& n : next_after)
+    if (n == kNoEntry) n = first_active;  // wrap to the table's first entry
+}
+
 void VlArbiter::set_table(const VlArbitrationTable& table) {
   table_ = table;
+  high_index_.rebuild(table_.high());
+  low_index_.rebuild(table_.low());
   high_cur_.index %= kArbTableEntries;
   low_cur_.index %= kArbTableEntries;
   // Reloading gives the current entry its (possibly new) programmed weight;
@@ -26,29 +48,52 @@ bool VlArbiter::any_ready(const ArbTable& t, const ReadyBytes& head_bytes) {
   return false;
 }
 
-std::optional<VirtualLane> VlArbiter::pick(const ArbTable& t, Cursor& cur,
+std::optional<VirtualLane> VlArbiter::pick(const ArbTable& t,
+                                           const TableIndex& ti, Cursor& cur,
                                            const ReadyBytes& head_bytes) {
-  const auto advance = [&] {
-    cur.index = (cur.index + 1) % kArbTableEntries;
-    cur.remaining = t[cur.index].weight;
-  };
-
-  // One full pass over the table is enough: if no entry matches in 64+1
-  // steps (the current entry may be revisited with a fresh weight), nothing
-  // is eligible.
-  for (unsigned step = 0; step <= kArbTableEntries; ++step) {
-    const ArbTableEntry& e = t[cur.index];
-    if (!e.active() || cur.remaining <= 0 || head_bytes[e.vl] == 0) {
-      advance();
-      continue;
-    }
+  // Equivalent to one full advance-by-one pass over the table (64+1 steps,
+  // since the current entry may be revisited with a fresh weight), but runs
+  // of entries that cannot match — inactive, or active with no packet ready —
+  // are skipped via the next-active chain. Each intermediate advance of the
+  // plain walk only reloads `remaining`, which the next advance overwrites,
+  // so jumping straight to the next candidate lands in the identical state.
+  const auto charge = [&](unsigned index) {
+    const ArbTableEntry& e = t[index];
     const auto units = static_cast<int>(
         (head_bytes[e.vl] + kWeightUnitBytes - 1) / kWeightUnitBytes);
+    cur.index = index;
     cur.remaining -= units;  // whole-packet charge; overdraft forfeited
     const VirtualLane vl = e.vl;
-    if (cur.remaining <= 0) advance();
+    if (cur.remaining <= 0) {
+      cur.index = (index + 1) % kArbTableEntries;
+      cur.remaining = t[cur.index].weight;
+    }
     return vl;
+  };
+
+  const unsigned start = cur.index;
+  const ArbTableEntry& first = t[start];
+  if (first.active() && cur.remaining > 0 && head_bytes[first.vl] > 0)
+    return charge(start);  // current entry continues on its remaining weight
+
+  // Active entries cyclically after `start` (ending with `start` itself if
+  // active: a full wrap restores its programmed weight). Each candidate
+  // reached by advancing starts with its full weight, which is nonzero by
+  // definition of active, so readiness is the only remaining condition.
+  std::uint8_t j = ti.next_after[start];
+  for (unsigned k = 0; k < ti.active_count && j != kNoEntry; ++k) {
+    if (head_bytes[t[j].vl] > 0) {
+      cur.index = j;
+      cur.remaining = t[j].weight;
+      return charge(j);
+    }
+    j = ti.next_after[j];
   }
+
+  // Nothing eligible: the plain walk would have advanced 65 times, leaving
+  // the cursor one past its starting entry with that entry's full weight.
+  cur.index = (start + 1) % kArbTableEntries;
+  cur.remaining = t[cur.index].weight;
   return std::nullopt;
 }
 
@@ -57,8 +102,15 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
   if (head_bytes[kManagementVl] > 0)
     return ArbDecision{kManagementVl, false, true};
 
-  const bool high_ready = any_ready(table_.high(), head_bytes);
-  const bool low_ready = any_ready(table_.low(), head_bytes);
+  std::uint16_t ready_mask = 0;
+  for (unsigned v = 0; v < kMaxVirtualLanes; ++v)
+    if (head_bytes[v] > 0) ready_mask |= static_cast<std::uint16_t>(1u << v);
+
+  const bool high_ready = (high_index_.vl_mask & ready_mask) != 0;
+  const bool low_ready = (low_index_.vl_mask & ready_mask) != 0;
+  assert(high_ready == any_ready(table_.high(), head_bytes) &&
+         low_ready == any_ready(table_.low(), head_bytes) &&
+         "cached VL masks diverged from the table scan");
 
   const unsigned limit = table_.limit_of_high_priority();
   const bool limit_exhausted =
@@ -67,7 +119,8 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
           static_cast<std::uint64_t>(limit) * kHighPriorityLimitUnitBytes;
 
   if (high_ready && !(limit_exhausted && low_ready)) {
-    if (const auto vl = pick(table_.high(), high_cur_, head_bytes)) {
+    if (const auto vl = pick(table_.high(), high_index_, high_cur_,
+                             head_bytes)) {
       if (!low_ready) {
         // Spec: the limit only meters high-priority data sent while low
         // packets wait; with no low packet pending the meter stays reset.
@@ -79,7 +132,8 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
     }
   }
   if (low_ready) {
-    if (const auto vl = pick(table_.low(), low_cur_, head_bytes)) {
+    if (const auto vl = pick(table_.low(), low_index_, low_cur_,
+                             head_bytes)) {
       high_bytes_since_low_ = 0;
       return ArbDecision{*vl, false, false};
     }
@@ -88,7 +142,8 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
   // failed (cannot happen: low_ready implies pick succeeds) — retry high for
   // robustness anyway.
   if (high_ready) {
-    if (const auto vl = pick(table_.high(), high_cur_, head_bytes)) {
+    if (const auto vl = pick(table_.high(), high_index_, high_cur_,
+                             head_bytes)) {
       high_bytes_since_low_ += head_bytes[*vl];
       return ArbDecision{*vl, true, false};
     }

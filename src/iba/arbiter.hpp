@@ -13,6 +13,14 @@
 //  * When the current entry's VL has no eligible packet, the arbiter advances
 //    and the entry's unused weight is forfeited (it is restored to the full
 //    programmed weight the next time the round-robin reaches it).
+//
+// The per-decision hot path is cached: set_table() precomputes, per table, a
+// mask of VLs with active entries (so the "anything ready?" test is two mask
+// ANDs instead of a 64-entry scan) and a next-active-entry skip chain (so the
+// round-robin advances over runs of inactive entries in O(1) per active
+// entry). Every cached decision is bit-identical to the plain table walk —
+// debug builds assert this against the uncached scans, and
+// tests/test_arbiter_model.cpp fuzzes it against an independent spec model.
 #pragma once
 
 #include <array>
@@ -65,13 +73,30 @@ class VlArbiter {
     int remaining = 0;  ///< Weight units left in the current entry.
   };
 
+  static constexpr std::uint8_t kNoEntry = 0xFF;
+
+  /// Aggregates derived from one table by set_table(), consulted (never
+  /// modified) by every arbitrate() call.
+  struct TableIndex {
+    std::uint16_t vl_mask = 0;      ///< VLs with at least one active entry.
+    std::uint8_t active_count = 0;  ///< Number of active entries.
+    /// First active entry cyclically *after* position i (kNoEntry when the
+    /// table has no active entries). A lone active entry points at itself.
+    std::array<std::uint8_t, kArbTableEntries> next_after{};
+
+    void rebuild(const ArbTable& t) noexcept;
+  };
+
   /// Tries to pick from one table; on success charges the entry's weight.
-  std::optional<VirtualLane> pick(const ArbTable& t, Cursor& cur,
-                                  const ReadyBytes& head_bytes);
+  /// `ti` must be the TableIndex derived from `t`.
+  std::optional<VirtualLane> pick(const ArbTable& t, const TableIndex& ti,
+                                  Cursor& cur, const ReadyBytes& head_bytes);
 
   static bool any_ready(const ArbTable& t, const ReadyBytes& head_bytes);
 
   VlArbitrationTable table_{};
+  TableIndex high_index_{};
+  TableIndex low_index_{};
   Cursor high_cur_{};
   Cursor low_cur_{};
   std::uint64_t high_bytes_since_low_ = 0;

@@ -1,43 +1,50 @@
 #include "iba/vl_arbitration.hpp"
 
+#include <cassert>
+
 namespace ibarb::iba {
 
-unsigned VlArbitrationTable::vl_weight(const ArbTable& t,
-                                       VirtualLane vl) noexcept {
-  unsigned sum = 0;
-  for (const auto& e : t)
-    if (e.active() && e.vl == vl) sum += e.weight;
-  return sum;
+VlArbitrationTable::Aggregates VlArbitrationTable::scan(
+    const ArbTable& t) noexcept {
+  Aggregates a;
+  for (const auto& e : t) {
+    if (!e.active()) continue;
+    a.vl_weight[e.vl] += e.weight;
+    ++a.vl_entries[e.vl];
+    a.total += e.weight;
+    ++a.active;
+    a.vl_mask |= static_cast<std::uint16_t>(1u << e.vl);
+  }
+  return a;
 }
 
-unsigned VlArbitrationTable::total_weight(const ArbTable& t) noexcept {
-  unsigned sum = 0;
-  for (const auto& e : t)
-    if (e.active()) sum += e.weight;
-  return sum;
+void VlArbitrationTable::set_entry(ArbTable& t, Aggregates& agg,
+                                   unsigned index, ArbTableEntry e) noexcept {
+  if (cache_valid_) {
+    const ArbTableEntry old = t[index];
+    if (old.active()) {
+      agg.vl_weight[old.vl] -= old.weight;
+      agg.total -= old.weight;
+      --agg.active;
+      if (--agg.vl_entries[old.vl] == 0)
+        agg.vl_mask &= static_cast<std::uint16_t>(~(1u << old.vl));
+    }
+    if (e.active()) {
+      agg.vl_weight[e.vl] += e.weight;
+      agg.total += e.weight;
+      ++agg.active;
+      if (agg.vl_entries[e.vl]++ == 0)
+        agg.vl_mask |= static_cast<std::uint16_t>(1u << e.vl);
+    }
+  }
+  t[index] = e;
+  assert(cache_in_sync() &&
+         "incremental aggregate update diverged from a full scan");
 }
 
-unsigned VlArbitrationTable::vl_weight_high(VirtualLane vl) const noexcept {
-  return vl_weight(high_, vl);
-}
-
-unsigned VlArbitrationTable::vl_weight_low(VirtualLane vl) const noexcept {
-  return vl_weight(low_, vl);
-}
-
-unsigned VlArbitrationTable::total_weight_high() const noexcept {
-  return total_weight(high_);
-}
-
-unsigned VlArbitrationTable::total_weight_low() const noexcept {
-  return total_weight(low_);
-}
-
-unsigned VlArbitrationTable::active_entries_high() const noexcept {
-  unsigned n = 0;
-  for (const auto& e : high_)
-    if (e.active()) ++n;
-  return n;
+bool VlArbitrationTable::cache_in_sync() const noexcept {
+  if (!cache_valid_) return true;
+  return agg_high_ == scan(high_) && agg_low_ == scan(low_);
 }
 
 bool VlArbitrationTable::valid() const noexcept {

@@ -2,8 +2,31 @@
 //
 // Ties at the same cycle are served in insertion order (monotonic sequence
 // number), which makes every simulation bit-reproducible for a given seed.
+//
+// Two interchangeable implementations share one slab pool of Event storage
+// (events are moved in on push and moved out on pop — never copied, and the
+// structures themselves only shuffle 4-byte pool indices):
+//
+//  * kWheel (default) — a bucketed timing wheel of 2^16 one-cycle buckets
+//    covering the sliding window [base, base + 2^16). Every bucket is a FIFO
+//    of pool indices; because the window is no wider than the wheel, a bucket
+//    holds at most one distinct timestamp at a time, so FIFO order *is*
+//    sequence order. A hierarchical three-level occupancy bitmap finds the
+//    next non-empty bucket in O(1). Events beyond the horizon (or, defensively,
+//    behind `base`) overflow into a binary min-heap ordered by (time, seq);
+//    pop is a two-way merge of the wheel head and the heap head under the
+//    exact (time, seq) key, so the global order is identical to a single
+//    totally-ordered queue. See docs/PERF.md for the determinism argument.
+//
+//  * kBinaryHeap — the pre-wheel behaviour (a std::priority_queue of whole
+//    Events ordered by (time, seq), which re-copies ~sizeof(Event) bytes per
+//    sift level on every push and pop), kept selectable at runtime for
+//    differential tests and old-vs-new benchmarks. Its one change from the
+//    pre-wheel code: pop() moves the top event out instead of copying it.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -32,24 +55,247 @@ struct Event {
   iba::Packet packet;     ///< Payload for kLinkDeliver / kXferComplete.
 };
 
+enum class EventQueueImpl : std::uint8_t {
+  kWheel,       ///< Bucketed timing wheel + overflow heap (default).
+  kBinaryHeap,  ///< Legacy binary heap (reference/differential baseline).
+};
+
 class EventQueue {
  public:
-  void push(Event e) {
-    e.seq = next_seq_++;
-    heap_.push(std::move(e));
+  explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kWheel)
+      : impl_(impl) {
+    if (impl_ == EventQueueImpl::kWheel) {
+      buckets_.resize(kWheelBuckets);
+      bits0_.assign(kWheelBuckets / 64, 0);
+      bits1_.assign(kWheelBuckets / (64 * 64), 0);
+    }
   }
 
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t size() const noexcept { return heap_.size(); }
-  const Event& top() const { return heap_.top(); }
+  EventQueueImpl impl() const noexcept { return impl_; }
+
+  void push(Event e) {
+    e.seq = next_seq_++;
+    if (impl_ == EventQueueImpl::kBinaryHeap) {
+      heap_.push(std::move(e));
+      ++size_;
+      return;
+    }
+    const iba::Cycle t = e.time;
+    const std::uint64_t seq = e.seq;
+    const std::uint32_t idx = alloc_slot(std::move(e));
+    if (t >= base_ && t - base_ < kWheelBuckets) {
+      const auto b = static_cast<std::uint32_t>(t & kWheelMask);
+      Bucket& bk = buckets_[b];
+      if (bk.head == kNull) {
+        bk.head = idx;
+        set_bit(b);
+      } else {
+        next_[bk.tail] = idx;
+      }
+      bk.tail = idx;
+      ++wheel_count_;
+    } else {
+      overflow_.push_back(HeapNode{t, seq, idx});
+      sift_up(overflow_.size() - 1);
+    }
+    peek_valid_ = false;
+    ++size_;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  const Event& top() const {
+    if (impl_ == EventQueueImpl::kBinaryHeap) return heap_.top();
+    return pool_[peek().idx];
+  }
 
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
-    return e;
+    if (impl_ == EventQueueImpl::kBinaryHeap) {
+      // priority_queue exposes the top read-only; moving out of it is safe
+      // (pop() only shuffles elements, never reads the payload) and skips one
+      // whole-Event copy per pop.
+      Event e = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      --size_;
+      return e;
+    }
+    const Peek p = peek();
+    peek_valid_ = false;
+    if (p.from_wheel) {
+      Bucket& bk = buckets_[p.bucket];
+      bk.head = next_[p.idx];
+      if (bk.head == kNull) clear_bit(p.bucket);
+      --wheel_count_;
+      // Nothing in either structure precedes this event, so the window may
+      // slide up to it; pushes behind it would go to the overflow heap.
+      base_ = pool_[p.idx].time;
+    } else {
+      heap_pop_root();
+      if (pool_[p.idx].time > base_) base_ = pool_[p.idx].time;
+    }
+    --size_;
+    Event out = std::move(pool_[p.idx]);
+    free_.push_back(p.idx);
+    return out;
   }
 
  private:
+  // --- Shared slab pool ----------------------------------------------------
+
+  static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;
+
+  std::uint32_t alloc_slot(Event&& e) {
+    if (free_.empty()) {
+      pool_.push_back(std::move(e));
+      next_.push_back(kNull);
+      return static_cast<std::uint32_t>(pool_.size() - 1);
+    }
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    pool_[idx] = std::move(e);
+    next_[idx] = kNull;
+    return idx;
+  }
+
+  // --- Overflow / legacy binary heap over (time, seq, pool index) ----------
+
+  struct HeapNode {
+    iba::Cycle time;
+    std::uint64_t seq;
+    std::uint32_t idx;
+
+    bool before(const HeapNode& o) const noexcept {
+      return time != o.time ? time < o.time : seq < o.seq;
+    }
+  };
+
+  void sift_up(std::size_t i) {
+    HeapNode n = overflow_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!n.before(overflow_[parent])) break;
+      overflow_[i] = overflow_[parent];
+      i = parent;
+    }
+    overflow_[i] = n;
+  }
+
+  void heap_pop_root() {
+    HeapNode last = overflow_.back();
+    overflow_.pop_back();
+    if (overflow_.empty()) return;
+    std::size_t i = 0;
+    const std::size_t n = overflow_.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      if (l >= n) break;
+      const std::size_t r = l + 1;
+      const std::size_t child =
+          (r < n && overflow_[r].before(overflow_[l])) ? r : l;
+      if (!overflow_[child].before(last)) break;
+      overflow_[i] = overflow_[child];
+      i = child;
+    }
+    overflow_[i] = last;
+  }
+
+  // --- Timing wheel --------------------------------------------------------
+
+  static constexpr std::uint32_t kWheelBuckets = 1u << 16;
+  static constexpr std::uint64_t kWheelMask = kWheelBuckets - 1;
+
+  /// Intrusive FIFO of pool indices chained through next_; 8 bytes per bucket
+  /// keeps the whole wheel at 512 KiB and one pointer chase per operation.
+  struct Bucket {
+    std::uint32_t head = kNull;
+    std::uint32_t tail = kNull;
+  };
+
+  /// Called only for a previously-empty bucket, so the upper levels need
+  /// updating only when their word was all-zero too.
+  void set_bit(std::uint32_t b) {
+    std::uint64_t& w0 = bits0_[b >> 6];
+    if (w0 == 0) {
+      std::uint64_t& w1 = bits1_[b >> 12];
+      if (w1 == 0) bits2_ |= 1ull << (b >> 12);
+      w1 |= 1ull << ((b >> 6) & 63);
+    }
+    w0 |= 1ull << (b & 63);
+  }
+
+  void clear_bit(std::uint32_t b) {
+    if ((bits0_[b >> 6] &= ~(1ull << (b & 63))) != 0) return;
+    if ((bits1_[b >> 12] &= ~(1ull << ((b >> 6) & 63))) != 0) return;
+    bits2_ &= ~(1ull << (b >> 12));
+  }
+
+  /// Bits strictly above position k of a 64-bit word.
+  static constexpr std::uint64_t above(unsigned k) noexcept {
+    return k == 63 ? 0 : ~0ull << (k + 1);
+  }
+
+  /// First occupied bucket with index >= b, or -1. O(1): at most one probe
+  /// per bitmap level.
+  int find_from(std::uint32_t b) const {
+    std::uint32_t w = b >> 6;
+    if (const auto m = bits0_[w] & (~0ull << (b & 63)))
+      return static_cast<int>((w << 6) | std::countr_zero(m));
+    std::uint32_t s = w >> 6;
+    if (const auto m1 = bits1_[s] & above(w & 63)) {
+      w = (s << 6) | static_cast<std::uint32_t>(std::countr_zero(m1));
+      return static_cast<int>((w << 6) | std::countr_zero(bits0_[w]));
+    }
+    const auto m2 = bits2_ & above(s);
+    if (m2 == 0) return -1;
+    s = static_cast<std::uint32_t>(std::countr_zero(m2));
+    w = (s << 6) | static_cast<std::uint32_t>(std::countr_zero(bits1_[s]));
+    return static_cast<int>((w << 6) | std::countr_zero(bits0_[w]));
+  }
+
+  /// First occupied bucket at or cyclically after b (the window start).
+  std::uint32_t find_next(std::uint32_t b) const {
+    int r = find_from(b);
+    if (r < 0) r = find_from(0);
+    assert(r >= 0 && "wheel_count_ > 0 but no bucket bit set");
+    return static_cast<std::uint32_t>(r);
+  }
+
+  // --- Two-way (time, seq) merge of wheel head and heap head ---------------
+
+  struct Peek {
+    std::uint32_t idx = 0;
+    bool from_wheel = false;
+    std::uint32_t bucket = 0;
+  };
+
+  /// Memoizes the merge so the usual top()-then-pop() pattern pays for one
+  /// bitmap search per event, not two. Invalidated by push and pop.
+  const Peek& peek() const {
+    if (!peek_valid_) {
+      cached_peek_ = find_peek();
+      peek_valid_ = true;
+    }
+    return cached_peek_;
+  }
+
+  Peek find_peek() const {
+    assert(size_ > 0 && "peek/pop on an empty EventQueue");
+    if (wheel_count_ == 0) return Peek{overflow_.front().idx, false, 0};
+    const std::uint32_t b =
+        find_next(static_cast<std::uint32_t>(base_ & kWheelMask));
+    const std::uint32_t wi = buckets_[b].head;
+    if (!overflow_.empty()) {
+      const Event& w = pool_[wi];
+      const HeapNode& h = overflow_.front();
+      if (h.time < w.time || (h.time == w.time && h.seq < w.seq))
+        return Peek{h.idx, false, 0};
+    }
+    return Peek{wi, true, b};
+  }
+
+  // --- Legacy binary-heap mode --------------------------------------------
+
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -57,7 +303,23 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  EventQueueImpl impl_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;  ///< kBinaryHeap.
+  std::vector<Event> pool_;
+  std::vector<std::uint32_t> next_;  ///< Per-slot intrusive bucket link.
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapNode> overflow_;  ///< Far-future/past events (kWheel).
+
+  std::vector<Bucket> buckets_;      ///< Empty in kBinaryHeap mode.
+  std::vector<std::uint64_t> bits0_; ///< One bit per bucket.
+  std::vector<std::uint64_t> bits1_; ///< One bit per bits0_ word.
+  std::uint64_t bits2_ = 0;          ///< One bit per bits1_ word.
+  iba::Cycle base_ = 0;              ///< Window start; never decreases.
+  std::size_t wheel_count_ = 0;
+  mutable Peek cached_peek_{};
+  mutable bool peek_valid_ = false;
+
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -17,7 +17,7 @@ iba::NodeId node_of(iba::Lid lid) { return static_cast<iba::NodeId>(lid - 1); }
 
 Simulator::Simulator(const network::FabricGraph& graph,
                      const network::Routes& routes, SimConfig cfg)
-    : graph_(graph), routes_(routes), cfg_(cfg),
+    : graph_(graph), routes_(routes), cfg_(cfg), queue_(cfg.queue_impl),
       trace_(cfg.trace_capacity) {
   buffer_capacity_bytes_ =
       cfg_.buffer_packets *

@@ -31,6 +31,10 @@ struct SimConfig {
   /// Ring-buffer size of the packet trace; 0 disables tracing entirely.
   std::size_t trace_capacity = 0;
   std::uint64_t seed = 1;
+  /// Event-queue implementation. kBinaryHeap keeps the pre-wheel queue
+  /// selectable for differential tests and old-vs-new benchmarks; both
+  /// produce the exact same (time, seq) event order.
+  EventQueueImpl queue_impl = EventQueueImpl::kWheel;
 };
 
 struct RunSummary {

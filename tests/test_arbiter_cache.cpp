@@ -1,0 +1,153 @@
+// Audit of the VlArbitrationTable aggregate caches under realistic mutation:
+// the incremental values maintained by set_high_entry/set_low_entry (and the
+// lazy rebuild after non-const high()/low() access) must always equal a fresh
+// scan of the underlying table, through arbitrary TableManager churn —
+// allocate, share, release, re-render of the low table, and defragmentation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arbtable/table_manager.hpp"
+#include "iba/vl_arbitration.hpp"
+#include "util/rng.hpp"
+
+namespace ibarb {
+namespace {
+
+struct ScanResult {
+  std::array<unsigned, iba::kMaxVirtualLanes> vl_weight{};
+  unsigned total = 0;
+  unsigned active = 0;
+  std::uint16_t vl_mask = 0;
+};
+
+ScanResult scan(const iba::ArbTable& t) {
+  ScanResult r;
+  for (const auto& e : t) {
+    if (!e.active()) continue;
+    r.vl_weight[e.vl] += e.weight;
+    r.total += e.weight;
+    r.active += 1;
+    r.vl_mask |= static_cast<std::uint16_t>(1u << e.vl);
+  }
+  return r;
+}
+
+void expect_caches_match(const iba::VlArbitrationTable& table,
+                         const char* when) {
+  EXPECT_TRUE(table.cache_in_sync()) << when;
+  const ScanResult high = scan(table.high());
+  const ScanResult low = scan(table.low());
+  EXPECT_EQ(table.total_weight_high(), high.total) << when;
+  EXPECT_EQ(table.total_weight_low(), low.total) << when;
+  EXPECT_EQ(table.active_entries_high(), high.active) << when;
+  EXPECT_EQ(table.active_entries_low(), low.active) << when;
+  EXPECT_EQ(table.vl_mask_high(), high.vl_mask) << when;
+  EXPECT_EQ(table.vl_mask_low(), low.vl_mask) << when;
+  for (unsigned vl = 0; vl < iba::kMaxVirtualLanes; ++vl) {
+    EXPECT_EQ(table.vl_weight_high(static_cast<iba::VirtualLane>(vl)),
+              high.vl_weight[vl])
+        << when << " vl " << vl;
+    EXPECT_EQ(table.vl_weight_low(static_cast<iba::VirtualLane>(vl)),
+              low.vl_weight[vl])
+        << when << " vl " << vl;
+  }
+}
+
+arbtable::Requirement req_for_distance(unsigned d, unsigned weight) {
+  arbtable::Requirement r;
+  r.distance = d;
+  r.entries = iba::kArbTableEntries / d;
+  r.weight_per_entry = weight;
+  r.total_weight = r.entries * r.weight_per_entry;
+  return r;
+}
+
+TEST(ArbiterAggregateCache, IncrementalSingleEntryWrites) {
+  iba::VlArbitrationTable t;
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto index = static_cast<unsigned>(rng.below(iba::kArbTableEntries));
+    const iba::ArbTableEntry e{
+        static_cast<iba::VirtualLane>(rng.below(iba::kManagementVl)),
+        static_cast<std::uint8_t>(rng.below(256))};  // weight 0 = erase
+    if (rng.chance(0.5)) {
+      t.set_high_entry(index, e);
+    } else {
+      t.set_low_entry(index, e);
+    }
+    ASSERT_TRUE(t.cache_in_sync()) << "after write " << i;
+  }
+  expect_caches_match(t, "after incremental churn");
+}
+
+TEST(ArbiterAggregateCache, DirtyReferenceAccessRebuildsLazily) {
+  iba::VlArbitrationTable t;
+  t.set_high_entry(0, {2, 50});
+  t.set_low_entry(1, {3, 10});
+  expect_caches_match(t, "before dirtying");
+  // Wholesale rewrite through the mutable reference (the fill algorithms'
+  // access pattern) — the next aggregate query must see the new contents.
+  auto& high = t.high();
+  for (unsigned i = 0; i < 8; ++i) high[i] = iba::ArbTableEntry{5, 7};
+  expect_caches_match(t, "after mutable-reference rewrite");
+  EXPECT_EQ(t.vl_weight_high(5), 8u * 7u);
+  EXPECT_EQ(t.vl_weight_high(2), 0u);
+}
+
+TEST(ArbiterAggregateCache, TableManagerChurnWithDefrag) {
+  arbtable::TableManager::Config cfg;
+  cfg.reservable_fraction = 1.0;
+  cfg.defrag_on_release = true;
+  arbtable::TableManager m(cfg);
+  m.configure_low_priority(
+      std::vector<std::pair<iba::VirtualLane, std::uint8_t>>{{14, 32},
+                                                             {13, 16}});
+  expect_caches_match(m.table(), "after low-priority config");
+
+  util::Xoshiro256 rng(47);
+  constexpr unsigned kDistances[] = {2, 4, 8, 16, 32, 64};
+  struct Live {
+    arbtable::SeqHandle h;
+    arbtable::Requirement r;
+  };
+  std::vector<Live> live;
+  for (int i = 0; i < 600; ++i) {
+    if (!live.empty() && rng.chance(0.45)) {
+      const auto k = rng.below(live.size());
+      m.release(live[k].h, live[k].r, 0.001);  // may trigger defragmentation
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      const auto vl = static_cast<iba::VirtualLane>(rng.below(8));
+      const auto r = req_for_distance(
+          kDistances[rng.below(6)],
+          1 + static_cast<unsigned>(rng.below(60)));
+      if (const auto h = m.allocate(vl, r, 0.001)) live.push_back(Live{*h, r});
+    }
+    ASSERT_TRUE(m.table().cache_in_sync()) << "after churn step " << i;
+    if (i % 50 == 0) expect_caches_match(m.table(), "during churn");
+    std::string why;
+    ASSERT_TRUE(m.check_invariants(&why)) << why;
+  }
+  for (const auto& l : live) m.release(l.h, l.r, 0.001);
+  expect_caches_match(m.table(), "after full teardown");
+  EXPECT_EQ(m.table().active_entries_high(), 0u);
+}
+
+TEST(ArbiterAggregateCache, DynamicLowTableWeights) {
+  arbtable::TableManager::Config cfg;
+  cfg.reservable_fraction = 1.0;
+  arbtable::TableManager m(cfg);
+  ASSERT_TRUE(m.add_low_weight(4, 100, 1.0));
+  expect_caches_match(m.table(), "after add_low_weight");
+  ASSERT_TRUE(m.add_low_weight(5, 300, 1.0));  // spans two 255-capped entries
+  expect_caches_match(m.table(), "after second add_low_weight");
+  EXPECT_EQ(m.table().vl_weight_low(5), 300u);
+  m.remove_low_weight(5, 300, 1.0);
+  expect_caches_match(m.table(), "after remove_low_weight");
+  EXPECT_EQ(m.table().vl_weight_low(5), 0u);
+}
+
+}  // namespace
+}  // namespace ibarb

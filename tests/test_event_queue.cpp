@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace ibarb::sim {
 namespace {
 
@@ -79,6 +84,136 @@ TEST(EventQueue, PacketPayloadSurvives) {
   const auto out = q.pop();
   EXPECT_EQ(out.packet.id, 1234u);
   EXPECT_EQ(out.packet.payload_bytes, 256u);
+}
+
+// --- Differential suite: wheel vs legacy heap vs a reference model ---------
+//
+// Both implementations must produce the exact same (time, insertion-order)
+// event sequence under any interleaving of pushes and pops — that equality is
+// what lets benches diff old-vs-new queue runs byte-for-byte.
+
+/// Runs the same operation script against both implementations and a sorted
+/// reference, then checks all three agree on every popped (time, aux) pair.
+/// A script step with `pop == false` pushes an event at `time`; `pop == true`
+/// pops (skipped when empty).
+struct Step {
+  bool pop = false;
+  iba::Cycle time = 0;
+};
+
+void run_differential(const std::vector<Step>& script) {
+  EventQueue wheel(EventQueueImpl::kWheel);
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  std::vector<std::pair<iba::Cycle, std::uint32_t>> reference;  // unpopped
+  std::uint32_t stamp = 0;
+  std::size_t checked = 0;
+
+  for (const Step& s : script) {
+    if (!s.pop) {
+      Event e = at(s.time);
+      e.aux = stamp++;
+      wheel.push(e);
+      heap.push(e);
+      reference.emplace_back(s.time, e.aux);
+      continue;
+    }
+    if (reference.empty()) {
+      EXPECT_TRUE(wheel.empty());
+      EXPECT_TRUE(heap.empty());
+      continue;
+    }
+    // Reference order: earliest time, ties by insertion stamp. aux stamps
+    // increase monotonically, so min over (time, aux) is exactly that.
+    const auto it = std::min_element(reference.begin(), reference.end());
+    const Event w = wheel.pop();
+    const Event h = heap.pop();
+    ASSERT_EQ(w.time, it->first) << "wheel time diverged at pop " << checked;
+    ASSERT_EQ(w.aux, it->second) << "wheel order diverged at pop " << checked;
+    ASSERT_EQ(h.time, it->first) << "heap time diverged at pop " << checked;
+    ASSERT_EQ(h.aux, it->second) << "heap order diverged at pop " << checked;
+    ASSERT_EQ(w.seq, h.seq) << "sequence stamps diverged at pop " << checked;
+    reference.erase(it);
+    ++checked;
+  }
+  while (!reference.empty()) {
+    const auto it = std::min_element(reference.begin(), reference.end());
+    const Event w = wheel.pop();
+    const Event h = heap.pop();
+    ASSERT_EQ(w.aux, it->second);
+    ASSERT_EQ(h.aux, it->second);
+    reference.erase(it);
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventQueueDifferential, RandomizedPushPop) {
+  util::Xoshiro256 rng(404);
+  std::vector<Step> script;
+  iba::Cycle now = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (rng.chance(0.45)) {
+      script.push_back(Step{true, 0});
+      now += static_cast<iba::Cycle>(rng.below(40));
+    } else {
+      // Mostly near-future times; `now` only advances so some pushes land
+      // behind the wheel's sliding window (the defensive overflow path).
+      script.push_back(
+          Step{false, now + static_cast<iba::Cycle>(rng.below(5'000))});
+    }
+  }
+  run_differential(script);
+}
+
+TEST(EventQueueDifferential, SameCycleTieStorm) {
+  // Bursts of dozens of events on one cycle, interleaved with pops — the
+  // crossbar-completion pattern where FIFO-within-cycle is load-bearing.
+  util::Xoshiro256 rng(405);
+  std::vector<Step> script;
+  for (iba::Cycle t = 100; t < 2'000; t += 100) {
+    const auto burst = 20 + rng.below(40);
+    for (std::uint64_t i = 0; i < burst; ++i) script.push_back(Step{false, t});
+    for (std::uint64_t i = 0; i < burst / 2; ++i)
+      script.push_back(Step{true, 0});
+  }
+  run_differential(script);
+}
+
+TEST(EventQueueDifferential, FarFutureOverflow) {
+  // Events beyond the 2^16-cycle wheel horizon must overflow to the heap yet
+  // merge back into the global order once the window reaches them.
+  util::Xoshiro256 rng(406);
+  std::vector<Step> script;
+  for (int i = 0; i < 3'000; ++i) {
+    const auto r = rng.uniform();
+    iba::Cycle t;
+    if (r < 0.5) {
+      t = rng.below(1u << 16);                       // in-window
+    } else if (r < 0.8) {
+      t = (1u << 16) + rng.below(1u << 18);          // beyond horizon
+    } else {
+      t = (1u << 20) + rng.below(1u << 22);          // far future
+    }
+    script.push_back(Step{false, t});
+    if (rng.chance(0.4)) script.push_back(Step{true, 0});
+  }
+  run_differential(script);
+}
+
+TEST(EventQueueDifferential, DrainAndRefillCrossesTheHorizon) {
+  // Repeated full drains force the wheel's base to slide far, so refills
+  // exercise bucket reuse after wrap-around.
+  util::Xoshiro256 rng(407);
+  std::vector<Step> script;
+  iba::Cycle base = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 500; ++i)
+      script.push_back(
+          Step{false, base + static_cast<iba::Cycle>(rng.below(90'000))});
+    for (int i = 0; i < 500; ++i) script.push_back(Step{true, 0});
+    base += 70'000;  // next round starts past most of the previous window
+  }
+  run_differential(script);
 }
 
 }  // namespace
