@@ -1,0 +1,210 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "iba/headers.hpp"
+
+namespace ibarb::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& sim,
+                             const network::FabricGraph& graph,
+                             FaultPlan plan, std::uint64_t seed)
+    : sim_(sim), graph_(graph), plan_(std::move(plan)),
+      rng_(seed ^ 0xFA175EEDull) {}
+
+const FaultInjector::PortFaultState* FaultInjector::find_state(
+    iba::NodeId node, iba::PortIndex port) const {
+  const auto it = ports_.find(key(node, port));
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+bool FaultInjector::link_is_down(iba::NodeId node, iba::PortIndex port) const {
+  const auto* s = find_state(node, port);
+  return s != nullptr && s->down > 0;
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("fault plan armed twice");
+  armed_ = true;
+  sim_.attach_fault_hooks(this);
+  for (const auto& ev : plan_.events()) {
+    sim_.call_at(ev.at, [this, ev] { engage(ev); });
+    if (ev.duration > 0)
+      sim_.call_at(ev.at + ev.duration, [this, ev] { disengage(ev); });
+  }
+}
+
+void FaultInjector::notify(iba::NodeId node, iba::PortIndex port,
+                           bool healthy) {
+  if (listener_) listener_(node, port, healthy, sim_.now());
+}
+
+void FaultInjector::set_link_down(iba::NodeId node, iba::PortIndex port,
+                                  bool down) {
+  // A link is full-duplex: both endpoints stop transmitting, and the
+  // hardware discards whatever was queued behind the dead transmitter.
+  const auto peer = graph_.peer(node, port);
+  assert(peer.has_value() && "fault targets a wired port");
+  if (down) {
+    ++state(node, port).down;
+    ++state(peer->node, peer->port).down;
+    stats_.flushed_packets += sim_.flush_output_queue(node, port);
+    stats_.flushed_packets += sim_.flush_output_queue(peer->node, peer->port);
+    ++stats_.link_down_events;
+  } else {
+    --state(node, port).down;
+    --state(peer->node, peer->port).down;
+    ++stats_.link_up_events;
+    sim_.kick_port(node, port);
+    sim_.kick_port(peer->node, peer->port);
+  }
+}
+
+void FaultInjector::engage(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kLinkFlap:
+      set_link_down(ev.node, ev.port, true);
+      notify(ev.node, ev.port, false);
+      break;
+    case FaultKind::kStuck:
+      ++state(ev.node, ev.port).stuck;
+      ++stats_.stuck_windows;
+      notify(ev.node, ev.port, false);
+      break;
+    case FaultKind::kSlow:
+      state(ev.node, ev.port).slow.push_back(ev.factor);
+      ++stats_.slow_windows;
+      notify(ev.node, ev.port, false);
+      break;
+    case FaultKind::kCorrupt:
+      state(ev.node, ev.port).corrupt.push_back(ev.probability);
+      break;
+    case FaultKind::kDrop:
+      state(ev.node, ev.port).drop.push_back(ev.probability);
+      break;
+    case FaultKind::kOverload:
+      sim_.set_flow_overdrive(ev.flow, ev.factor);
+      ++stats_.overload_bursts;
+      break;
+  }
+}
+
+void FaultInjector::disengage(const FaultEvent& ev) {
+  const auto erase_one = [](std::vector<double>& v, double value) {
+    const auto it = std::find(v.begin(), v.end(), value);
+    assert(it != v.end());
+    v.erase(it);
+  };
+  switch (ev.kind) {
+    case FaultKind::kLinkFlap:
+      set_link_down(ev.node, ev.port, false);
+      notify(ev.node, ev.port, true);
+      break;
+    case FaultKind::kStuck:
+      --state(ev.node, ev.port).stuck;
+      sim_.kick_port(ev.node, ev.port);
+      notify(ev.node, ev.port, true);
+      break;
+    case FaultKind::kSlow:
+      erase_one(state(ev.node, ev.port).slow, ev.factor);
+      notify(ev.node, ev.port, true);
+      break;
+    case FaultKind::kCorrupt:
+      erase_one(state(ev.node, ev.port).corrupt, ev.probability);
+      break;
+    case FaultKind::kDrop:
+      erase_one(state(ev.node, ev.port).drop, ev.probability);
+      break;
+    case FaultKind::kOverload:
+      sim_.set_flow_overdrive(ev.flow, 1.0);
+      break;
+  }
+}
+
+bool FaultInjector::may_transmit(iba::NodeId node, iba::PortIndex port) {
+  const auto* s = find_state(node, port);
+  return s == nullptr || (s->down == 0 && s->stuck == 0);
+}
+
+iba::Cycle FaultInjector::stretch_serialization(iba::NodeId node,
+                                                iba::PortIndex port,
+                                                iba::Cycle cycles) {
+  const auto* s = find_state(node, port);
+  if (s == nullptr || s->slow.empty()) return cycles;
+  const double factor = *std::max_element(s->slow.begin(), s->slow.end());
+  return std::max(cycles, static_cast<iba::Cycle>(
+                              static_cast<double>(cycles) * factor));
+}
+
+sim::FaultHooks::RxVerdict FaultInjector::on_link_rx(iba::NodeId node,
+                                                     iba::PortIndex port,
+                                                     const iba::Packet& p) {
+  const auto* s = find_state(node, port);
+  if (s == nullptr) return RxVerdict::kDeliver;
+
+  if (!s->drop.empty()) {
+    const double prob = *std::max_element(s->drop.begin(), s->drop.end());
+    if (rng_.chance(prob)) {
+      ++stats_.dropped_packets;
+      return RxVerdict::kDrop;
+    }
+  }
+  if (!s->corrupt.empty()) {
+    const double prob =
+        *std::max_element(s->corrupt.begin(), s->corrupt.end());
+    if (rng_.chance(prob)) {
+      ++stats_.corrupt_attempts;
+      // Damage the actual wire image and let the real CRC path judge it.
+      const auto mode_draw = rng_.below(10);
+      const Corruption how = mode_draw < 7   ? Corruption::kBitFlip
+                             : mode_draw < 9 ? Corruption::kBurst
+                                             : Corruption::kTruncate;
+      if (corruption_detected(p, how, rng_.next())) {
+        ++stats_.crc_rejected;
+        return RxVerdict::kDrop;
+      }
+      ++stats_.crc_escaped;  // delivered with undetected damage
+    }
+  }
+  return RxVerdict::kDeliver;
+}
+
+void FaultInjector::damage_wire_image(std::vector<std::uint8_t>& image,
+                                      Corruption how, std::uint64_t entropy) {
+  if (image.empty()) return;
+  util::SplitMix64 sm(entropy);
+  switch (how) {
+    case Corruption::kBitFlip: {
+      const auto bit = sm.next() % (image.size() * 8);
+      image[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case Corruption::kTruncate: {
+      // Chop at least one trailing byte (a cut-through link dying mid-frame).
+      const auto keep = sm.next() % image.size();
+      image.resize(keep);
+      break;
+    }
+    case Corruption::kBurst: {
+      // Up to 32 consecutive damaged bits — the classic burst-error model
+      // CRC32 is guaranteed to detect.
+      const auto len = 2 + sm.next() % 31;
+      const auto start = sm.next() % (image.size() * 8);
+      for (std::uint64_t b = start; b < start + len && b < image.size() * 8;
+           ++b)
+        image[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+      break;
+    }
+  }
+}
+
+bool FaultInjector::corruption_detected(const iba::Packet& p, Corruption how,
+                                        std::uint64_t entropy) {
+  auto image = iba::to_wire(p);
+  damage_wire_image(image, how, entropy);
+  return !iba::parse_packet(image).has_value();
+}
+
+}  // namespace ibarb::faults

@@ -1,0 +1,120 @@
+// FaultInjector: arms a FaultPlan on a Simulator and intercepts its data
+// path through the sim::FaultHooks interface.
+//
+// Every fault activation/deactivation travels through Simulator::call_at —
+// i.e. through the same deterministic EventQueue as the traffic itself — and
+// all randomness (per-packet corruption coin flips, corrupted bit choice)
+// comes from one seeded stream consumed in event order, so a (plan, seed)
+// pair replays bit-identically.
+//
+// Corruption is physical, not abstract: the packet is serialized to real
+// wire bytes (iba/headers), bits are damaged, and iba::parse_packet — the
+// same ICRC/VCRC validation path the protocol tests exercise — decides
+// whether the receiver detects it. A detected corruption becomes a drop
+// (the RC transport's retransmission recovers it); an escape would be
+// delivered and is counted separately (CRC32+CRC16 make this practically
+// impossible for the damage models used).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "network/graph.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ibarb::faults {
+
+struct FaultStats {
+  std::uint64_t link_down_events = 0;
+  std::uint64_t link_up_events = 0;
+  std::uint64_t stuck_windows = 0;
+  std::uint64_t slow_windows = 0;
+  std::uint64_t overload_bursts = 0;
+  std::uint64_t corrupt_attempts = 0;  ///< Packets picked for corruption.
+  std::uint64_t crc_rejected = 0;      ///< ... detected and dropped.
+  std::uint64_t crc_escaped = 0;       ///< ... delivered despite damage.
+  std::uint64_t dropped_packets = 0;   ///< Silent drop-window losses.
+  std::uint64_t flushed_packets = 0;   ///< Discarded from downed ports.
+};
+
+class FaultInjector final : public sim::FaultHooks {
+ public:
+  FaultInjector(sim::Simulator& sim, const network::FabricGraph& graph,
+                FaultPlan plan, std::uint64_t seed);
+
+  /// Schedules every plan event on the simulator clock and attaches the
+  /// hooks. Call once, before running.
+  void arm();
+
+  /// Observer for route-relevant health transitions (flap/stuck/slow):
+  /// healthy=false when the fault engages, true when it clears. This is
+  /// what the RecoveryCoordinator subscribes to (the modeled trap).
+  using LinkStateListener = std::function<void(
+      iba::NodeId node, iba::PortIndex port, bool healthy, iba::Cycle now)>;
+  void set_link_state_listener(LinkStateListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  const FaultStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+  bool link_is_down(iba::NodeId node, iba::PortIndex port) const;
+
+  // sim::FaultHooks
+  bool may_transmit(iba::NodeId node, iba::PortIndex port) override;
+  iba::Cycle stretch_serialization(iba::NodeId node, iba::PortIndex port,
+                                   iba::Cycle cycles) override;
+  RxVerdict on_link_rx(iba::NodeId node, iba::PortIndex port,
+                       const iba::Packet& p) override;
+
+  /// The damage models the injector applies to wire images (exposed so
+  /// test_crc proves the CRC path rejects exactly what is injected).
+  enum class Corruption : std::uint8_t { kBitFlip, kTruncate, kBurst };
+
+  /// Applies `how` to the packet's wire image (entropy seeds the damaged
+  /// bit/length choice) and runs it through iba::parse_packet. Returns true
+  /// when the receiver detects the damage (parse fails).
+  static bool corruption_detected(const iba::Packet& p, Corruption how,
+                                  std::uint64_t entropy);
+
+  /// Same damage on a caller-supplied wire image (test helper).
+  static void damage_wire_image(std::vector<std::uint8_t>& image,
+                                Corruption how, std::uint64_t entropy);
+
+ private:
+  struct PortFaultState {
+    int down = 0;   ///< Nesting count of active link-down windows.
+    int stuck = 0;  ///< Nesting count of active stuck windows.
+    std::vector<double> corrupt;  ///< Active corruption probabilities.
+    std::vector<double> drop;     ///< Active drop probabilities.
+    std::vector<double> slow;     ///< Active slowdown factors.
+  };
+
+  static std::uint32_t key(iba::NodeId node, iba::PortIndex port) {
+    return (static_cast<std::uint32_t>(node) << 8) | port;
+  }
+  PortFaultState& state(iba::NodeId node, iba::PortIndex port) {
+    return ports_[key(node, port)];
+  }
+  const PortFaultState* find_state(iba::NodeId node,
+                                   iba::PortIndex port) const;
+
+  void engage(const FaultEvent& ev);
+  void disengage(const FaultEvent& ev);
+  void set_link_down(iba::NodeId node, iba::PortIndex port, bool down);
+  void notify(iba::NodeId node, iba::PortIndex port, bool healthy);
+
+  sim::Simulator& sim_;
+  const network::FabricGraph& graph_;
+  FaultPlan plan_;
+  util::Xoshiro256 rng_;
+  std::map<std::uint32_t, PortFaultState> ports_;
+  LinkStateListener listener_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace ibarb::faults

@@ -1,0 +1,103 @@
+#include "faults/rc_session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ibarb::faults {
+
+namespace {
+
+sim::FlowSpec make_rc_flow(iba::NodeId src, iba::NodeId dst,
+                           iba::ServiceLevel sl, std::uint32_t payload,
+                           iba::Cycle interval, std::uint64_t seed) {
+  sim::FlowSpec spec;
+  spec.src_host = src;
+  spec.dst_host = dst;
+  spec.sl = sl;
+  spec.payload_bytes = payload;
+  spec.interval = interval;
+  spec.kind = sim::GeneratorKind::kCbr;
+  spec.qos = false;        // RC sessions ride a best-effort class
+  spec.external = true;    // packets come only from inject_external
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+RcSession::RcSession(sim::Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(cfg), tx_(cfg.rc),
+      rx_(/*initial_psn=*/0) {
+  if (cfg_.messages == 0) throw std::invalid_argument("empty RC session");
+  data_flow_ = sim_.add_flow(make_rc_flow(cfg_.src_host, cfg_.dst_host,
+                                          cfg_.sl, cfg_.rc.mtu_payload,
+                                          cfg_.message_interval, cfg_.seed));
+  ack_flow_ = sim_.add_flow(make_rc_flow(cfg_.dst_host, cfg_.src_host,
+                                         cfg_.sl, /*payload=*/0,
+                                         cfg_.message_interval,
+                                         cfg_.seed ^ 0xACull));
+  sim_.call_at(cfg_.start, [this] { tick(); });
+}
+
+void RcSession::tick() {
+  const iba::Cycle now = sim_.now();
+  while (posted_ < cfg_.messages &&
+         now >= cfg_.start + static_cast<iba::Cycle>(posted_) *
+                                 cfg_.message_interval) {
+    tx_.post_send(cfg_.message_bytes);
+    ++posted_;
+  }
+  tx_.on_timer(now);
+  pump();
+  if (failed() || (complete() && tx_.idle())) return;  // stop ticking
+  sim_.call_at(now + cfg_.tick, [this] { tick(); });
+}
+
+void RcSession::pump() {
+  while (const auto p = tx_.next_packet(sim_.now())) {
+    if (p->retransmission) {
+      retransmitted_.insert(p->psn);
+    } else {
+      first_injected_.emplace(p->psn, sim_.now());
+    }
+    sim_.inject_external(data_flow_, p->payload_bytes, p->psn,
+                         /*rc_op=*/1, p->last);
+  }
+}
+
+void RcSession::on_delivery(const iba::Packet& p, iba::Cycle now) {
+  if (p.connection == data_flow_) {
+    // Data landed at the destination: run the receiver and send its verdict
+    // back over the ack flow.
+    const auto act = rx_.on_packet(p.sequence, p.payload_bytes, p.rc_last);
+    if (act.deliver && retransmitted_.count(p.sequence) != 0) {
+      ++recovered_packets_;
+      const auto it = first_injected_.find(p.sequence);
+      if (it != first_injected_.end())
+        max_recovery_latency_ =
+            std::max(max_recovery_latency_, now - it->second);
+    }
+    if (act.send_ack)
+      sim_.inject_external(ack_flow_, 0, act.ack_psn, /*rc_op=*/2, false);
+    if (act.send_nak)
+      sim_.inject_external(ack_flow_, 0, act.nak_psn, /*rc_op=*/3, false);
+    return;
+  }
+  if (p.connection != ack_flow_) return;
+  if (p.rc_op == 2)
+    tx_.on_ack(p.sequence, now);
+  else if (p.rc_op == 3)
+    tx_.on_nak(p.sequence, now);
+  messages_completed_ += tx_.drain_completions().size();
+  pump();  // the window may have opened
+}
+
+RcSession::SessionStats RcSession::session_stats() const {
+  SessionStats s;
+  s.messages_completed = messages_completed_;
+  s.recovered_packets = recovered_packets_;
+  s.max_recovery_latency = max_recovery_latency_;
+  return s;
+}
+
+}  // namespace ibarb::faults

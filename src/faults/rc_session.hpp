@@ -1,0 +1,95 @@
+// RcSession: drives one RcSender/RcReceiver queue pair over the simulated
+// fabric, end to end.
+//
+// The transport state machines in transport/rc are clockless and wireless;
+// this adapter gives them both. Two external flows are registered with the
+// simulator (data src→dst, acknowledgements dst→src) so RC packets ride the
+// real arbitrated data path — through SL→VL mapping, credits, VL
+// arbitration, and whatever the fault layer does to them. A periodic
+// control tick posts messages, runs the retransmission timer and pumps the
+// send window; deliveries come back through the simulator's delivery
+// listener (the bench dispatches to sessions via wants()).
+//
+// Packets lost to injected faults — CRC-rejected corruption, drop windows,
+// link flushes — surface to the sender only as missing ACKs or NAKs, so
+// what this measures is genuine go-back-N recovery with capped exponential
+// backoff over a lossy fabric.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/simulator.hpp"
+#include "transport/rc.hpp"
+
+namespace ibarb::faults {
+
+class RcSession {
+ public:
+  struct Config {
+    iba::NodeId src_host = iba::kInvalidNode;
+    iba::NodeId dst_host = iba::kInvalidNode;
+    iba::ServiceLevel sl = 10;           ///< A best-effort class by default.
+    std::uint32_t message_bytes = 4096;
+    unsigned messages = 64;
+    iba::Cycle message_interval = 50'000;
+    iba::Cycle tick = 4'000;             ///< Timer/pump granularity.
+    iba::Cycle start = 0;
+    std::uint64_t seed = 0;
+    transport::RcConfig rc;
+  };
+
+  RcSession(sim::Simulator& sim, Config cfg);
+
+  /// True when `p` belongs to this session's data or ack flow.
+  bool wants(const iba::Packet& p) const noexcept {
+    return p.connection == data_flow_ || p.connection == ack_flow_;
+  }
+
+  /// Feed a fabric delivery (the bench's delivery listener calls this for
+  /// every packet that wants() claims).
+  void on_delivery(const iba::Packet& p, iba::Cycle now);
+
+  bool complete() const noexcept {
+    return messages_completed_ >= cfg_.messages;
+  }
+  bool failed() const noexcept { return tx_.failed(); }
+
+  struct SessionStats {
+    std::uint64_t messages_completed = 0;
+    /// Packets that needed at least one retransmission and were eventually
+    /// delivered — each one is a demonstrated fault recovery.
+    std::uint64_t recovered_packets = 0;
+    /// Worst first-injection→delivery latency among recovered packets.
+    iba::Cycle max_recovery_latency = 0;
+  };
+  SessionStats session_stats() const;
+  const transport::RcSender::Stats& tx_stats() const noexcept {
+    return tx_.stats();
+  }
+  const transport::RcReceiver::Stats& rx_stats() const noexcept {
+    return rx_.stats();
+  }
+
+ private:
+  void tick();
+  void pump();
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  transport::RcSender tx_;
+  transport::RcReceiver rx_;
+  std::uint32_t data_flow_ = 0;
+  std::uint32_t ack_flow_ = 0;
+  unsigned posted_ = 0;
+  std::uint64_t messages_completed_ = 0;
+  std::uint64_t recovered_packets_ = 0;
+  iba::Cycle max_recovery_latency_ = 0;
+  /// First-injection time per PSN (recovery-latency bookkeeping).
+  std::unordered_map<std::uint32_t, iba::Cycle> first_injected_;
+  /// PSNs that went to the wire more than once.
+  std::unordered_set<std::uint32_t> retransmitted_;
+};
+
+}  // namespace ibarb::faults

@@ -1,0 +1,111 @@
+// RecoveryCoordinator: the control-plane reaction to injected faults.
+//
+// Subscribes to the FaultInjector's link-state transitions (the modeled
+// trap). After a configurable reaction delay it drives the recovery chain:
+//
+//   1. SubnetManager::resweep over the degraded topology — directed-route
+//      SMP discovery, fresh up*/down* routes, LFT reprogramming;
+//   2. every tracked connection whose reservation path no longer matches
+//      the new routes is released and re-admitted over them — through the
+//      bit-reversal fill, so Theorem-1 invariants hold through the churn;
+//   3. guaranteed (DBTS/DB) re-admissions use graceful degradation: they
+//      may shed best-effort connections, and are suspended only when no
+//      path or capacity exists at any price (counted; shedding a guaranteed
+//      class while sheddable capacity remains would be a guarantee
+//      revocation, and the bench asserts it never happens);
+//   4. on repair, suspended and shed connections are re-admitted.
+//
+// Everything runs through Simulator::call_at, so recovery is part of the
+// same deterministic event order as the faults and the traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_injector.hpp"
+#include "network/graph.hpp"
+#include "qos/admission.hpp"
+#include "sim/simulator.hpp"
+#include "subnet/subnet_manager.hpp"
+
+namespace ibarb::faults {
+
+struct RecoveryConfig {
+  /// Trap propagation + SM scheduling latency before the re-sweep starts.
+  iba::Cycle sm_reaction_delay = 20'000;
+  /// Modeled per-SMP cost added to the recovery-latency metric (the
+  /// discovery MADs are executed functionally, not on the simulated wire).
+  iba::Cycle mad_cycles = 16;
+};
+
+struct RecoveryStats {
+  std::uint64_t resweeps = 0;
+  std::uint64_t failed_resweeps = 0;  ///< Partitioned or unroutable.
+  std::uint64_t smps_sent = 0;
+  std::uint64_t rerouted = 0;         ///< Released + re-admitted connections.
+  std::uint64_t suspended = 0;        ///< Stopped: no path or no capacity.
+  std::uint64_t suspended_guaranteed = 0;   ///< ... of which DBTS/DB.
+  std::uint64_t suspended_best_effort = 0;  ///< ... of which sheddable BE.
+  std::uint64_t restored = 0;         ///< Resumed after repair.
+  std::uint64_t shed_best_effort = 0; ///< BE victims of degradation.
+  /// In-flight packets abandoned on rerouted connections' old paths (their
+  /// VL weight left with the reservation; queued packets would starve).
+  std::uint64_t purged_in_flight = 0;
+  /// Guaranteed connections refused while sheddable best-effort capacity
+  /// remained on their path. The degradation policy makes this impossible;
+  /// the fault benches assert it stays zero.
+  std::uint64_t guarantee_revocations = 0;
+  iba::Cycle last_recovery_latency = 0;
+  iba::Cycle max_recovery_latency = 0;
+};
+
+class RecoveryCoordinator {
+ public:
+  RecoveryCoordinator(sim::Simulator& sim, const network::FabricGraph& graph,
+                      subnet::SubnetManager& sm,
+                      qos::AdmissionControl& admission,
+                      FaultInjector& injector, RecoveryConfig cfg);
+
+  /// Registers an admitted guaranteed (DBTS/DB) connection and its flow.
+  void track(qos::ConnectionId id, std::uint32_t flow);
+  /// Registers an admitted best-effort connection (sheddable).
+  void track_best_effort(qos::ConnectionId id, std::uint32_t flow);
+
+  const RecoveryStats& stats() const noexcept { return stats_; }
+
+  /// Tracked connections currently suspended (no path/capacity).
+  unsigned suspended_now() const;
+
+ private:
+  struct Tracked {
+    qos::ConnectionId id = 0;
+    std::uint32_t flow = 0;
+    bool guaranteed = false;
+    bool active = true;
+    qos::ConnectionRequest request;
+  };
+
+  void on_link_state(iba::NodeId node, iba::PortIndex port, bool healthy,
+                     iba::Cycle now);
+  void repair(iba::Cycle fault_time);
+  bool path_matches_routes(const Tracked& t) const;
+  bool path_touches_blocked(const Tracked& t);
+  bool readmit(Tracked& t, bool count_as_restore);
+  void suspend(Tracked& t, bool routes_ok);
+  void audit();
+
+  sim::Simulator& sim_;
+  const network::FabricGraph& graph_;
+  subnet::SubnetManager& sm_;
+  qos::AdmissionControl& admission_;
+  FaultInjector& injector_;
+  RecoveryConfig cfg_;
+
+  std::vector<Tracked> tracked_;
+  std::vector<network::PortRef> avoid_;  ///< Ports reported unhealthy.
+  bool repair_pending_ = false;
+  iba::Cycle first_trap_ = 0;
+  RecoveryStats stats_;
+};
+
+}  // namespace ibarb::faults

@@ -44,6 +44,16 @@ struct Packet {
   std::uint32_t sequence = 0;       ///< Packet index within its connection.
   Cycle injected_at = 0;            ///< When the source generated it.
   bool management = false;          ///< True for VL15 subnet-management MADs.
+  /// RC transport opcode when this packet belongs to a reliable connection
+  /// driven over the fabric (faults/rc_session): 0 = plain data stream
+  /// (no transport), 1 = RC data (PSN in `sequence`), 2 = ACK, 3 = NAK.
+  std::uint8_t rc_op = 0;
+  bool rc_last = false;             ///< RC data: last packet of its message.
+  /// The end-to-end guarantee contracted when this packet was injected
+  /// (0 = none). Deadline misses are judged against this, not against the
+  /// connection's current deadline: a fault-recovery reroute may tighten
+  /// the contract while packets sent under the old one are still in flight.
+  Cycle deadline = 0;
 
   /// Bytes occupying the wire (payload plus per-packet overhead).
   std::uint32_t wire_bytes() const noexcept {

@@ -1,5 +1,6 @@
 #include "qos/admission.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -126,6 +127,7 @@ std::optional<ConnectionId> AdmissionControl::request(
 
   conn.id = next_id_++;
   conn.live = true;
+  conn.category = profile->category;
   conn.deadline =
       end_to_end_guarantee(req.max_distance,
                            static_cast<unsigned>(path.size()),
@@ -133,6 +135,105 @@ std::optional<ConnectionId> AdmissionControl::request(
   connections_.emplace(conn.id, std::move(conn));
   ++accepted_;
   return connections_.rbegin()->second.id;
+}
+
+std::optional<ConnectionId> AdmissionControl::request_best_effort(
+    const ConnectionRequest& req) {
+  const SlProfile* profile = find_sl(catalogue_, req.sl);
+  if (profile == nullptr || profile->max_distance != 0)
+    throw std::invalid_argument("SL is not a best-effort class");
+
+  const auto path = routes_.path(req.src_host, req.dst_host);
+  Connection conn;
+  conn.request = req;
+
+  bool ok = true;
+  for (const auto& port : path) {
+    auto& manager = manager_for(port);
+    // Distance is irrelevant for the low table: the requirement only shapes
+    // the accumulated weight and the bandwidth accounting.
+    const auto requirement = arbtable::compute_requirement(
+        req.wire_mbps, manager.config().link_data_mbps,
+        iba::kArbTableEntries);
+    if (!requirement ||
+        !manager.add_low_weight(profile->vl, requirement->total_weight,
+                                req.wire_mbps)) {
+      ok = false;
+      break;
+    }
+    HopReservation hop;
+    hop.port = port;
+    hop.requirement = *requirement;
+    hop.mbps = req.wire_mbps;
+    hop.vl = profile->vl;
+    hop.low_table = true;
+    conn.hops.push_back(hop);
+  }
+
+  if (!ok) {
+    for (const auto& hop : conn.hops)
+      manager_for(hop.port).remove_low_weight(
+          hop.vl, hop.requirement.total_weight, hop.mbps);
+    ++rejected_;
+    return std::nullopt;
+  }
+
+  conn.id = next_id_++;
+  conn.live = true;
+  conn.category = profile->category;
+  conn.deadline = 0;  // no latency guarantee
+  connections_.emplace(conn.id, std::move(conn));
+  ++accepted_;
+  return connections_.rbegin()->second.id;
+}
+
+AdmissionControl::DegradeResult AdmissionControl::request_degrading(
+    const ConnectionRequest& req) {
+  DegradeResult result;
+  result.id = request(req);
+  if (result.id) return result;
+
+  // Ports the request needs — only shedding load that shares one of them
+  // can possibly help.
+  const auto path = routes_.path(req.src_host, req.dst_host);
+
+  const auto shed_rank = [](TrafficCategory c) -> int {
+    switch (c) {
+      case TrafficCategory::kCh: return 0;   // challenged: shed first
+      case TrafficCategory::kBe: return 1;
+      case TrafficCategory::kPbe: return 2;
+      case TrafficCategory::kDbts:
+      case TrafficCategory::kDb: return -1;  // guaranteed: never shed
+    }
+    return -1;
+  };
+
+  while (!result.id) {
+    // The most sheddable overlapping victim: lowest class rank, newest id.
+    const Connection* victim = nullptr;
+    int victim_rank = 0;
+    for (const auto& [id, conn] : connections_) {
+      if (!conn.live) continue;
+      const int rank = shed_rank(conn.category);
+      if (rank < 0) continue;
+      const bool overlaps = std::any_of(
+          conn.hops.begin(), conn.hops.end(), [&](const HopReservation& h) {
+            return std::find(path.begin(), path.end(), h.port) != path.end();
+          });
+      if (!overlaps) continue;
+      if (victim == nullptr || rank < victim_rank ||
+          (rank == victim_rank && id > victim->id)) {
+        victim = &conn;
+        victim_rank = rank;
+      }
+    }
+    if (victim == nullptr) break;  // nothing sheddable left: genuine refusal
+    const auto victim_id = victim->id;
+    release(victim_id);
+    result.shed.push_back(victim_id);
+    result.id = request(req);
+  }
+  return result;
 }
 
 void AdmissionControl::release(ConnectionId id) {
@@ -164,6 +265,19 @@ void AdmissionControl::program(sim::Simulator& sim) const {
 bool AdmissionControl::check_all_invariants(std::string* why) const {
   for (const auto& [key, manager] : managers_)
     if (!manager.check_invariants(why)) return false;
+  return true;
+}
+
+bool AdmissionControl::audit_tables(std::string* why) const {
+  if (!check_all_invariants(why)) return false;
+  for (const auto& [key, manager] : managers_) {
+    if (!manager.table().cache_in_sync()) {
+      if (why != nullptr)
+        *why = "arbiter aggregate cache out of sync on port key " +
+               std::to_string(key);
+      return false;
+    }
+  }
   return true;
 }
 

@@ -54,6 +54,26 @@ class AdmissionControl {
   /// on every output port of the path and the id is returned.
   std::optional<ConnectionId> request(const ConnectionRequest& req);
 
+  /// Admits a best-effort connection (an SL whose profile has no distance
+  /// guarantee): accumulated weight on the SL's VL in every hop's
+  /// low-priority table, counted against the reservable-bandwidth cap.
+  /// These are the connections graceful degradation sheds first.
+  std::optional<ConnectionId> request_best_effort(const ConnectionRequest& req);
+
+  struct DegradeResult {
+    std::optional<ConnectionId> id;    ///< The admitted connection, if any.
+    std::vector<ConnectionId> shed;    ///< Best-effort connections released
+                                       ///< to make room (caller stops their
+                                       ///< flows). Empty on a clean admit.
+  };
+
+  /// Graceful degradation: like request(), but when a guaranteed-class
+  /// request fails for lack of capacity, sheds best-effort connections
+  /// sharing a port with the path — CH first, then BE, then PBE, newest
+  /// first — and retries. DBTS/DB connections are never shed, so a
+  /// guaranteed request only fails once no sheddable capacity remains.
+  DegradeResult request_degrading(const ConnectionRequest& req);
+
   /// Tears a connection down, freeing (and defragmenting) each hop's table.
   void release(ConnectionId id);
 
@@ -82,6 +102,12 @@ class AdmissionControl {
 
   /// Consistency audit over every port manager (tests).
   bool check_all_invariants(std::string* why = nullptr) const;
+
+  /// Deeper debug audit: check_all_invariants plus the cached arbiter
+  /// aggregate cross-check (VlArbitrationTable::cache_in_sync) on every
+  /// port table. Debug builds run this after every fault-driven or
+  /// dynamic-scenario release.
+  bool audit_tables(std::string* why = nullptr) const;
 
  private:
   arbtable::TableManager& manager_for(const network::PortRef& port);

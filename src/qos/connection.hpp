@@ -9,6 +9,7 @@
 #include "arbtable/table_manager.hpp"
 #include "iba/types.hpp"
 #include "network/graph.hpp"
+#include "qos/traffic_classes.hpp"
 
 namespace ibarb::qos {
 
@@ -41,6 +42,9 @@ struct Connection {
   std::vector<HopReservation> hops;  ///< In path order (source first).
   iba::Cycle deadline = 0;           ///< End-to-end guarantee, cycles.
   bool live = false;
+  /// The SL's traffic class at admission time. Decides shedding priority
+  /// under graceful degradation: CH/BE/PBE are sheddable, DBTS/DB never.
+  TrafficCategory category = TrafficCategory::kDbts;
 };
 
 }  // namespace ibarb::qos

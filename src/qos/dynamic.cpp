@@ -1,7 +1,9 @@
 #include "qos/dynamic.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "traffic/cbr.hpp"
 
@@ -40,6 +42,14 @@ void DynamicScenario::process(const PendingEvent& ev) {
   }
   if (sc.state != ScheduledConnection::State::kActive) return;  // was refused
   admission_.release(*sc.id);
+#ifndef NDEBUG
+  {
+    // Post-release audit: the defragmenter must have restored the entry-set
+    // invariant and the cached arbiter aggregates must still cross-check.
+    std::string why;
+    assert(admission_.audit_tables(&why) && "post-release table audit");
+  }
+#endif
   admission_.program(sim_);  // defragmentation may have moved sequences
   sim_.stop_flow(*sc.flow);
   sc.state = ScheduledConnection::State::kDeparted;

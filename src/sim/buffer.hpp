@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <vector>
 
 #include "iba/packet.hpp"
 #include "iba/types.hpp"
@@ -51,6 +52,25 @@ class VlFifo {
     return p;
   }
 
+  /// Removes and returns every queued packet of `conn`, preserving the
+  /// relative order of the rest. Fault recovery uses this to abandon
+  /// in-flight packets of a rerouted connection: left behind, they would
+  /// starve on a VL whose arbitration weight moved away with the route.
+  std::vector<iba::Packet> extract_connection(std::uint32_t conn) {
+    std::vector<iba::Packet> out;
+    std::deque<iba::Packet> keep;
+    for (auto& p : packets_) {
+      if (p.connection == conn) {
+        used_bytes_ -= p.wire_bytes();
+        out.push_back(std::move(p));
+      } else {
+        keep.push_back(std::move(p));
+      }
+    }
+    packets_.swap(keep);
+    return out;
+  }
+
  private:
   std::deque<iba::Packet> packets_;
   std::uint32_t used_bytes_ = 0;
@@ -88,6 +108,15 @@ class PortBuffers {
     if (fifos_[v].empty())
       occupancy_ &= static_cast<std::uint16_t>(~(1u << v));
     return p;
+  }
+
+  /// Removes every queued packet of `conn` on VL `v` (see VlFifo).
+  std::vector<iba::Packet> extract_connection(iba::VirtualLane v,
+                                              std::uint32_t conn) {
+    auto out = fifos_[v].extract_connection(conn);
+    if (fifos_[v].empty())
+      occupancy_ &= static_cast<std::uint16_t>(~(1u << v));
+    return out;
   }
 
   const VlFifo& vl(iba::VirtualLane v) const { return fifos_[v]; }

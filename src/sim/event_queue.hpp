@@ -42,6 +42,7 @@ enum class EventType : std::uint8_t {
   kTxComplete,    ///< (node, port) finished serializing onto the link.
   kXferComplete,  ///< Crossbar transfer into (node, port) output finished.
   kProbe,         ///< Periodic bookkeeping (phase control).
+  kControl,       ///< Simulator::call_at callback (aux = callback id).
 };
 
 struct Event {

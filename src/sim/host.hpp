@@ -30,6 +30,11 @@ struct FlowSpec {
   iba::Cycle deadline = 0;          ///< End-to-end guarantee (metrics).
   bool qos = true;                  ///< False for best-effort background.
   bool management = false;          ///< VL15 traffic.
+  /// Externally driven flow: the simulator registers the connection (so
+  /// metrics and routing apply) but never self-generates packets — a
+  /// transport layer injects them via Simulator::inject_external. The
+  /// `interval` still serves as the nominal inter-arrival time for metrics.
+  bool external = false;
   std::uint64_t seed = 0;
 
   // kOnOffVbr shape: packets per burst (geometric mean) and the fraction of
@@ -45,6 +50,12 @@ struct FlowState {
   std::uint32_t next_sequence = 0;
   std::uint32_t burst_left = 0;  ///< kOnOffVbr packets left in this burst.
   bool stopped = false;          ///< Set by Simulator::stop_flow.
+  /// True while a kGenerate event for this flow sits in the queue. Lets
+  /// resume_flow avoid double-scheduling the generator chain.
+  bool generator_scheduled = false;
+  /// Misbehaving-source multiplier on the generation rate (1.0 = nominal).
+  /// Set by Simulator::set_flow_overdrive during fault overload bursts.
+  double overdrive = 1.0;
 };
 
 struct HostState {

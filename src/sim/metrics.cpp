@@ -23,8 +23,12 @@ void Metrics::record_delivery(std::uint32_t conn, const iba::Packet& p,
   assert(now >= p.injected_at);
   const auto delay = static_cast<double>(now - p.injected_at);
   c.delay.add(delay);
-  if (c.deadline > 0) {
-    const auto d = static_cast<double>(c.deadline);
+  // Judge against the guarantee contracted at injection time when the
+  // packet carries one; reroutes may have changed the connection's deadline
+  // while this packet was in flight.
+  const iba::Cycle contracted = p.deadline > 0 ? p.deadline : c.deadline;
+  if (contracted > 0) {
+    const auto d = static_cast<double>(contracted);
     for (std::size_t i = 0; i < kDelayThresholds; ++i)
       if (delay <= d / kDelayThresholdDivisors[i]) ++c.within_threshold[i];
     if (delay > d) ++c.deadline_misses;
@@ -63,6 +67,12 @@ void Metrics::record_tx(std::uint32_t flat_port, std::uint32_t wire_bytes,
   p.busy_cycles += serialization;
   p.wire_bytes += wire_bytes;
   ++p.packets;
+}
+
+void Metrics::record_drop(std::uint32_t conn) {
+  if (!enabled_) return;
+  if (conn >= connections.size()) return;  // management MADs carry no conn
+  ++connections[conn].dropped_packets;
 }
 
 std::uint64_t Metrics::min_qos_rx() const {

@@ -45,6 +45,9 @@ struct ConnectionMetrics {
   std::array<std::uint64_t, kDelayThresholds> within_threshold{};
   std::array<std::uint64_t, kJitterBins> jitter_bins{};
   std::uint64_t deadline_misses = 0;
+  /// Packets discarded by the fault layer (corruption, drop windows, or
+  /// flushes of a downed port) during the measurement window.
+  std::uint64_t dropped_packets = 0;
 
   iba::Cycle last_arrival = iba::kNeverCycle;  ///< For jitter pairing.
 
@@ -105,6 +108,8 @@ class Metrics {
                        iba::Cycle now);
   void record_tx(std::uint32_t flat_port, std::uint32_t wire_bytes,
                  iba::Cycle serialization);
+  /// A packet of `conn` was discarded by the fault layer before delivery.
+  void record_drop(std::uint32_t conn);
 
   /// rx packets delivered inside the window, cheap loop (phase control).
   std::uint64_t min_qos_rx() const;

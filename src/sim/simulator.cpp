@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -140,6 +141,7 @@ std::uint32_t Simulator::add_flow(const FlowSpec& spec) {
   fs.rng = util::Xoshiro256(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (idx + 1)) ^
                             spec.seed);
   fs.next_nominal = std::max(spec.start_offset, now_);
+  fs.generator_scheduled = !spec.external;
   flows_.push_back(std::move(fs));
 
   ConnectionMetrics cm;
@@ -149,11 +151,13 @@ std::uint32_t Simulator::add_flow(const FlowSpec& spec) {
   cm.qos = spec.qos;
   metrics_.connections.push_back(cm);
 
-  Event e;
-  e.time = std::max(spec.start_offset, now_);
-  e.type = EventType::kGenerate;
-  e.aux = idx;
-  queue_.push(e);
+  if (!spec.external) {
+    Event e;
+    e.time = std::max(spec.start_offset, now_);
+    e.type = EventType::kGenerate;
+    e.aux = idx;
+    queue_.push(e);
+  }
   return idx;
 }
 
@@ -161,38 +165,71 @@ void Simulator::stop_flow(std::uint32_t flow_index) {
   flows_.at(flow_index).stopped = true;
 }
 
+void Simulator::resume_flow(std::uint32_t flow_index) {
+  FlowState& f = flows_.at(flow_index);
+  if (!f.stopped) return;
+  f.stopped = false;
+  if (f.spec.external || f.generator_scheduled) return;
+  // The generator chain died while stopped: restart it from the present
+  // (the CBR nominal clock must not try to catch up on the outage).
+  f.next_nominal = now_;
+  f.generator_scheduled = true;
+  Event e;
+  e.time = now_;
+  e.type = EventType::kGenerate;
+  e.aux = flow_index;
+  queue_.push(e);
+}
+
+void Simulator::set_flow_overdrive(std::uint32_t flow_index, double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("overdrive must be > 0");
+  flows_.at(flow_index).overdrive = factor;
+}
+
 void Simulator::schedule_flow(std::uint32_t flow_index,
                               iba::Cycle not_before) {
   FlowState& f = flows_[flow_index];
+  // Misbehaving-source overdrive compresses every generator interval. The
+  // common factor-1.0 path stays in exact integer arithmetic.
+  const auto scaled = [&f](iba::Cycle interval) {
+    if (f.overdrive == 1.0) return interval;
+    return std::max<iba::Cycle>(
+        1, static_cast<iba::Cycle>(static_cast<double>(interval) /
+                                   f.overdrive));
+  };
   iba::Cycle next = not_before;
   switch (f.spec.kind) {
     case GeneratorKind::kCbr:
       // Drift-free: advance the nominal clock, never the actual send time.
-      f.next_nominal += f.spec.interval;
+      f.next_nominal += scaled(f.spec.interval);
       next = f.next_nominal;
       break;
     case GeneratorKind::kPoisson:
       next = now_ + static_cast<iba::Cycle>(
-                        f.rng.exponential(static_cast<double>(f.spec.interval)) + 1.0);
+                        f.rng.exponential(static_cast<double>(
+                            scaled(f.spec.interval))) + 1.0);
       break;
     case GeneratorKind::kOnOffVbr: {
       if (f.burst_left > 0) {
         --f.burst_left;
         const auto peak = static_cast<iba::Cycle>(
-            static_cast<double>(f.spec.interval) * f.spec.on_fraction + 1.0);
+            static_cast<double>(scaled(f.spec.interval)) *
+                f.spec.on_fraction + 1.0);
         next = now_ + peak;
       } else {
         // Draw a new burst; the silence restores the long-run mean rate.
         const double burst =
             1.0 + f.rng.exponential(f.spec.burst_mean_packets - 1.0);
         f.burst_left = static_cast<std::uint32_t>(burst);
-        const double off_mean = static_cast<double>(f.spec.interval) * burst *
-                                (1.0 - f.spec.on_fraction);
+        const double off_mean =
+            static_cast<double>(scaled(f.spec.interval)) * burst *
+            (1.0 - f.spec.on_fraction);
         next = now_ + static_cast<iba::Cycle>(f.rng.exponential(off_mean) + 1.0);
       }
       break;
     }
   }
+  f.generator_scheduled = true;
   Event e;
   e.time = next;
   e.type = EventType::kGenerate;
@@ -202,6 +239,7 @@ void Simulator::schedule_flow(std::uint32_t flow_index,
 
 void Simulator::on_generate(std::uint32_t flow_index) {
   FlowState& f = flows_[flow_index];
+  f.generator_scheduled = false;
   if (f.stopped) return;  // torn down: neither generate nor reschedule
   const FlowSpec& spec = f.spec;
 
@@ -215,6 +253,7 @@ void Simulator::on_generate(std::uint32_t flow_index) {
   p.sequence = f.next_sequence++;
   p.injected_at = now_;
   p.management = spec.management;
+  p.deadline = metrics_.connections[flow_index].deadline;
 
   metrics_.record_injection(flow_index, p);
 
@@ -231,6 +270,9 @@ void Simulator::on_generate(std::uint32_t flow_index) {
 void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
   OutputPort& op = output_port(node, port);
   if (!op.wired || op.tx_busy || op.queues.all_empty()) return;
+  // Downed or stuck transmitter: hold everything; the fault layer calls
+  // kick_port when the condition clears.
+  if (hooks_ && !hooks_->may_transmit(node, port)) return;
 
   const auto ready = op.ready_bytes();
   const auto decision = op.arbiter.arbitrate(ready);
@@ -242,7 +284,8 @@ void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
   op.tx_busy = true;
   trace_.record(now_, TraceEvent::kLinkTx, node, port, decision->vl, p);
 
-  const auto ser = iba::serialization_cycles(wire, op.link.rate);
+  auto ser = iba::serialization_cycles(wire, op.link.rate);
+  if (hooks_) ser = hooks_->stretch_serialization(node, port, ser);
   metrics_.record_tx(op.flat_id, wire, ser);
 
   Event done;
@@ -268,6 +311,21 @@ void Simulator::on_tx_complete(iba::NodeId node, iba::PortIndex port) {
 }
 
 void Simulator::on_link_deliver(const Event& e) {
+  if (hooks_ && !e.packet.management &&
+      hooks_->on_link_rx(e.node, e.port, e.packet) ==
+          FaultHooks::RxVerdict::kDrop) {
+    // Discarded on arrival (corrupted past the CRC, or a drop-fault window).
+    // The receiver still frees the notional buffer, so upstream credits are
+    // returned — a lost packet must not wedge the sender.
+    trace_.record(now_, TraceEvent::kDrop, e.node, e.port, e.vl, e.packet);
+    metrics_.record_drop(e.packet.connection);
+    const auto up = graph_.peer(e.node, e.port);
+    assert(up.has_value());
+    OutputPort& upstream = output_port(up->node, up->port);
+    upstream.credits.release(e.vl, e.packet.wire_bytes());
+    try_transmit(up->node, up->port);
+    return;
+  }
   if (graph_.is_switch(e.node)) {
     SwitchState& sw = switches_[index_[e.node]];
     sw.in[e.port].buffers.push(e.vl, e.packet);
@@ -278,6 +336,7 @@ void Simulator::on_link_deliver(const Event& e) {
   // immediately (hosts drain their receive buffers at line rate).
   trace_.record(now_, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
   metrics_.record_delivery(e.packet.connection, e.packet, now_);
+  if (delivery_listener_) delivery_listener_(e.packet, now_);
   const auto up = graph_.peer(e.node, 0);
   assert(up.has_value());
   OutputPort& upstream = output_port(up->node, up->port);
@@ -300,11 +359,21 @@ void Simulator::on_xfer_complete(const Event& e) {
   upstream.credits.release(e.vl, p.wire_bytes());
   try_transmit(up->node, up->port);
 
-  // Enqueue at the output on the VL this port's SLtoVL table dictates.
+  // Enqueue at the output on the VL this port's SLtoVL table dictates —
+  // unless recovery abandoned this connection on this port (the packet was
+  // in flight when the purge ran; queuing it now would strand it on a VL
+  // whose arbitration weight left with the reservation).
   const iba::VirtualLane out_vl =
       p.management ? iba::kManagementVl : op.sl_map.map(p.sl);
-  trace_.record(now_, TraceEvent::kXbar, e.node, e.port, out_vl, p);
-  op.queues.push(out_vl, std::move(p));
+  if (!p.management && !purged_flows_.empty() &&
+      purged_flows_.count({flat_port_id(e.node, e.port), p.connection}) > 0) {
+    trace_.record(now_, TraceEvent::kDrop, e.node, e.port, out_vl, p);
+    metrics_.record_drop(p.connection);
+    ++purged_late_;
+  } else {
+    trace_.record(now_, TraceEvent::kXbar, e.node, e.port, out_vl, p);
+    op.queues.push(out_vl, std::move(p));
+  }
 
   ip.xbar_tx_busy = false;
   op.xbar_rx_busy = false;
@@ -394,7 +463,108 @@ void Simulator::handle(const Event& e) {
       break;
     case EventType::kProbe:
       break;  // phase control polls state between events
+    case EventType::kControl: {
+      const auto it = controls_.find(e.aux);
+      assert(it != controls_.end() && "control callback fired twice");
+      auto fn = std::move(it->second);
+      controls_.erase(it);  // erase first: fn may call_at again
+      fn();
+      break;
+    }
   }
+}
+
+void Simulator::call_at(iba::Cycle t, std::function<void()> fn) {
+  const auto id = next_control_id_++;
+  controls_.emplace(id, std::move(fn));
+  Event e;
+  e.time = std::max(t, now_);
+  e.type = EventType::kControl;
+  e.aux = id;
+  queue_.push(e);
+}
+
+std::uint64_t Simulator::inject_external(std::uint32_t flow_index,
+                                         std::uint32_t payload_bytes,
+                                         std::uint32_t sequence,
+                                         std::uint8_t rc_op, bool rc_last) {
+  FlowState& f = flows_.at(flow_index);
+  if (!f.spec.external)
+    throw std::invalid_argument("inject_external needs an external flow");
+  const FlowSpec& spec = f.spec;
+
+  iba::Packet p;
+  p.id = next_packet_id_++;
+  p.connection = flow_index;
+  p.sl = spec.sl;
+  p.source = lid_of(spec.src_host);
+  p.destination = lid_of(spec.dst_host);
+  p.payload_bytes = payload_bytes;
+  p.sequence = sequence;
+  p.injected_at = now_;
+  p.management = spec.management;
+  p.rc_op = rc_op;
+  p.rc_last = rc_last;
+  p.deadline = metrics_.connections[flow_index].deadline;
+  const auto id = p.id;
+
+  metrics_.record_injection(flow_index, p);
+
+  HostState& host = hosts_[index_[spec.src_host]];
+  const iba::VirtualLane vl =
+      spec.management ? iba::kManagementVl : host.out.sl_map.map(spec.sl);
+  trace_.record(now_, TraceEvent::kInject, spec.src_host, 0, vl, p);
+  host.out.queues.push(vl, std::move(p));
+  try_transmit(spec.src_host, 0);
+  return id;
+}
+
+void Simulator::kick_port(iba::NodeId node, iba::PortIndex port) {
+  try_transmit(node, port);
+}
+
+std::uint64_t Simulator::flush_output_queue(iba::NodeId node,
+                                            iba::PortIndex port) {
+  OutputPort& op = output_port(node, port);
+  std::uint64_t flushed = 0;
+  // Queued packets never consumed this port's credits (that happens when
+  // serialization starts), so discarding them is pure local state.
+  while (!op.queues.all_empty()) {
+    const auto vl = static_cast<iba::VirtualLane>(
+        std::countr_zero(op.queues.occupancy()));
+    iba::Packet p = op.queues.pop(vl);
+    trace_.record(now_, TraceEvent::kDrop, node, port, vl, p);
+    metrics_.record_drop(p.connection);
+    ++flushed;
+  }
+  return flushed;
+}
+
+std::uint64_t Simulator::purge_flow_from_output(iba::NodeId node,
+                                                iba::PortIndex port,
+                                                std::uint32_t flow) {
+  OutputPort& op = output_port(node, port);
+  std::uint64_t purged = 0;
+  // Like flushed packets, queued packets hold no credits yet: removal is
+  // pure local state.
+  for (unsigned v = 0; v < iba::kMaxVirtualLanes; ++v) {
+    const auto vl = static_cast<iba::VirtualLane>(v);
+    for (auto& p : op.queues.extract_connection(vl, flow)) {
+      trace_.record(now_, TraceEvent::kDrop, node, port, vl, p);
+      metrics_.record_drop(p.connection);
+      ++purged;
+    }
+  }
+  // Arm the barrier: anything still in flight towards this port (crossbar
+  // transfer or link traversal) lands after the purge and is dropped on
+  // enqueue, until clear_flow_purge re-admits the flow here.
+  purged_flows_.insert({flat_port_id(node, port), flow});
+  return purged;
+}
+
+void Simulator::clear_flow_purge(iba::NodeId node, iba::PortIndex port,
+                                 std::uint32_t flow) {
+  purged_flows_.erase({flat_port_id(node, port), flow});
 }
 
 void Simulator::run_until(iba::Cycle t) {

@@ -5,6 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "iba/vl_arbitration.hpp"
@@ -44,6 +48,36 @@ struct RunSummary {
   std::uint64_t events = 0;
 };
 
+/// Fault-layer interception points on the simulator's data path. The
+/// simulator calls these inline (single-threaded, deterministic event
+/// order), so an implementation may keep its own RNG and still reproduce
+/// bit-identically. All hooks default to "healthy hardware".
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// False blocks (node, port) from starting a new serialization — a downed
+  /// link or a stuck transmitter. The port is NOT polled; when the fault
+  /// clears, the fault layer must call Simulator::kick_port.
+  virtual bool may_transmit(iba::NodeId, iba::PortIndex) { return true; }
+
+  /// Slow-port faults: return the (possibly stretched) serialization time.
+  virtual iba::Cycle stretch_serialization(iba::NodeId, iba::PortIndex,
+                                           iba::Cycle cycles) {
+    return cycles;
+  }
+
+  enum class RxVerdict : std::uint8_t { kDeliver, kDrop };
+
+  /// Called for every non-management packet completing link traversal into
+  /// (node, port). kDrop discards it (upstream credits are still released,
+  /// as real hardware frees the buffer after the CRC check fails).
+  virtual RxVerdict on_link_rx(iba::NodeId, iba::PortIndex,
+                               const iba::Packet&) {
+    return RxVerdict::kDeliver;
+  }
+};
+
 class Simulator {
  public:
   Simulator(const network::FabricGraph& graph, const network::Routes& routes,
@@ -81,6 +115,66 @@ class Simulator {
   /// Stops a flow's generator (already-queued packets still drain). Used by
   /// the dynamic scenario driver when a connection is torn down.
   void stop_flow(std::uint32_t flow_index);
+
+  /// Restarts a stopped (non-external) flow's generator at the current time.
+  /// No-op if the flow was never stopped.
+  void resume_flow(std::uint32_t flow_index);
+
+  /// Misbehaving-source dial: the flow generates at `factor` times its
+  /// nominal rate until reset to 1.0. Takes effect from the next packet.
+  void set_flow_overdrive(std::uint32_t flow_index, double factor);
+
+  // --- Fault injection & transport plumbing -------------------------------
+
+  /// Installs (or clears, with nullptr) the fault interception hooks. The
+  /// hooks object must outlive the simulator or be detached first.
+  void attach_fault_hooks(FaultHooks* hooks) { hooks_ = hooks; }
+
+  /// Schedules `fn` to run at max(t, now) through the event queue — same
+  /// deterministic (time, insertion) order as every other event. One-shot.
+  void call_at(iba::Cycle t, std::function<void()> fn);
+
+  /// Observer for every host-side packet delivery (called after metrics).
+  /// Used by transports (faults/rc_session) to terminate their packets.
+  void set_delivery_listener(
+      std::function<void(const iba::Packet&, iba::Cycle)> fn) {
+    delivery_listener_ = std::move(fn);
+  }
+
+  /// Injects one packet on an `external` flow as if its generator fired at
+  /// the current time. Returns the packet id.
+  std::uint64_t inject_external(std::uint32_t flow_index,
+                                std::uint32_t payload_bytes,
+                                std::uint32_t sequence, std::uint8_t rc_op,
+                                bool rc_last);
+
+  /// Re-polls a port whose fault (down/stuck) cleared.
+  void kick_port(iba::NodeId node, iba::PortIndex port);
+
+  /// Discards everything queued at (node, port)'s output — the hardware
+  /// flush when a link goes down or its routes move away. Dropped packets
+  /// are recorded per connection. Returns the number of packets discarded.
+  std::uint64_t flush_output_queue(iba::NodeId node, iba::PortIndex port);
+
+  /// Discards `flow`'s packets queued at (node, port)'s output — recovery
+  /// abandons in-flight packets on a rerouted connection's old path, where
+  /// the VL's arbitration weight left with the reservation and anything
+  /// still queued would starve until an unrelated reprogram revived it.
+  /// Dropped packets are recorded per connection; returns the count.
+  std::uint64_t purge_flow_from_output(iba::NodeId node, iba::PortIndex port,
+                                       std::uint32_t flow);
+
+  /// Lifts a purge_flow_from_output barrier: `flow`'s packets may enqueue at
+  /// (node, port) again. Recovery calls this for every switch hop of a
+  /// re-admitted path, since a later re-route may legitimately reuse a port
+  /// that an earlier one abandoned.
+  void clear_flow_purge(iba::NodeId node, iba::PortIndex port,
+                        std::uint32_t flow);
+
+  /// Packets dropped by a purge barrier after the purge itself — they were
+  /// in flight (crossbar or link) at the purge instant and landed on the
+  /// abandoned port afterwards.
+  std::uint64_t purged_in_flight_late() const noexcept { return purged_late_; }
 
   // --- Execution ----------------------------------------------------------
 
@@ -133,6 +227,18 @@ class Simulator {
   iba::Cycle now_ = 0;
   std::uint64_t events_ = 0;
   std::uint64_t next_packet_id_ = 1;
+
+  FaultHooks* hooks_ = nullptr;
+  /// Active purge barriers: (flat output port, connection). A packet of a
+  /// purged connection arriving at that output is dropped on enqueue, so the
+  /// crossbar/link in-flight race cannot strand it on an abandoned VL.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> purged_flows_;
+  std::uint64_t purged_late_ = 0;
+  std::function<void(const iba::Packet&, iba::Cycle)> delivery_listener_;
+  /// Pending call_at callbacks, keyed by the id carried in Event::aux. An
+  /// ordered map keeps destruction order deterministic.
+  std::map<std::uint32_t, std::function<void()>> controls_;
+  std::uint32_t next_control_id_ = 0;
 
   // Dense state. index_[node] is the position within switches_ or hosts_.
   std::vector<std::uint32_t> index_;

@@ -10,6 +10,7 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kLinkTx: return "link-tx";
     case TraceEvent::kXbar: return "xbar";
     case TraceEvent::kDeliver: return "deliver";
+    case TraceEvent::kDrop: return "drop";
   }
   return "?";
 }

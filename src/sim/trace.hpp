@@ -18,6 +18,7 @@ enum class TraceEvent : std::uint8_t {
   kLinkTx,   ///< Started serializing at (node, port).
   kXbar,     ///< Crossed a switch crossbar onto (node, out-port).
   kDeliver,  ///< Landed at the destination host.
+  kDrop,     ///< Discarded by a fault (corruption, drop window, or flush).
 };
 
 const char* to_string(TraceEvent e);

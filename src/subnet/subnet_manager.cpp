@@ -1,8 +1,10 @@
 #include "subnet/subnet_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <queue>
 #include <sstream>
+#include <stdexcept>
 
 namespace ibarb::subnet {
 
@@ -22,26 +24,30 @@ DrSmp node_info_probe(const std::vector<std::uint8_t>& path,
 
 }  // namespace
 
-SubnetManager::SubnetManager(const network::FabricGraph& graph)
-    : graph_(graph) {
-  dr_paths_.resize(graph_.node_count());
-  if (graph_.node_count() == 0) {
-    report_.complete = true;
-    return;
+DiscoveryReport SubnetManager::discover(
+    const network::FabricGraph& topology, std::vector<iba::NodeId>& order,
+    std::vector<std::vector<std::uint8_t>>& paths) {
+  DiscoveryReport report;
+  order.clear();
+  paths.assign(topology.node_count(), {});
+  if (topology.node_count() == 0) {
+    report.complete = true;
+    return report;
   }
 
   // Discovery: BFS conducted entirely through directed-route Get(NodeInfo)
   // SMPs. We start at node 0 (where the SM "runs") and extend every known
   // node's path by one egress port at a time; a probe that times out
-  // (unwired port) is simply dropped, as on a real fabric.
-  DirectedRouteWalker walker(graph_);
-  std::vector<bool> seen(graph_.node_count(), false);
+  // (unwired port — or, on a re-sweep, a port behind a dead link) is simply
+  // dropped, as on a real fabric.
+  DirectedRouteWalker walker(topology);
+  std::vector<bool> seen(topology.node_count(), false);
   std::uint64_t tid = 1;
 
   const auto probe = [&](const std::vector<std::uint8_t>& path)
       -> std::optional<NodeInfo> {
     DrSmp smp = node_info_probe(path, tid++);
-    ++report_.smps_sent;
+    ++report.smps_sent;
     // Encode/decode round trip: the SM talks wire MADs, not structs.
     const auto wire = encode(smp);
     auto parsed = decode_smp(wire);
@@ -62,39 +68,110 @@ SubnetManager::SubnetManager(const network::FabricGraph& graph)
   while (!frontier.empty()) {
     const auto at = frontier.front();
     frontier.pop();
-    sweep_order_.push_back(at);
-    if (graph_.is_switch(at)) {
-      ++report_.switches;
+    order.push_back(at);
+    if (topology.is_switch(at)) {
+      ++report.switches;
     } else {
-      ++report_.hosts;
+      ++report.hosts;
     }
-    const auto& base_path = dr_paths_[at];
+    const auto& base_path = paths[at];
     if (base_path.size() + 1 >= kMaxDrHops) continue;  // DR depth limit
-    for (unsigned p = 0; p < graph_.port_count(at); ++p) {
+    for (unsigned p = 0; p < topology.port_count(at); ++p) {
       auto path = base_path;
       path.push_back(static_cast<std::uint8_t>(p));
       const auto info = probe(path);
       if (!info) continue;  // unwired port: probe timed out
-      ++report_.links;      // counted once per direction; halved below
+      ++report.links;       // counted once per direction; halved below
       if (!seen[info->node_guid]) {
         seen[info->node_guid] = true;
-        dr_paths_[info->node_guid] = std::move(path);
+        paths[info->node_guid] = std::move(path);
         frontier.push(info->node_guid);
       }
     }
   }
-  report_.links /= 2;  // every cable was probed from both ends
-  report_.sweep_hops = static_cast<unsigned>(walker.hops_walked());
-  report_.complete = sweep_order_.size() == graph_.node_count();
+  report.links /= 2;  // every cable was probed from both ends
+  report.sweep_hops = static_cast<unsigned>(walker.hops_walked());
+  report.complete = order.size() == topology.node_count();
+  return report;
+}
 
+SubnetManager::SubnetManager(const network::FabricGraph& graph)
+    : graph_(graph) {
+  report_ = discover(graph_, sweep_order_, dr_paths_);
+  if (graph_.node_count() == 0) return;
   routes_ = network::compute_updown_routes(graph_);
+}
+
+ResweepReport SubnetManager::resweep(
+    sim::Simulator& sim, const std::vector<network::PortRef>& down_ports) {
+  ResweepReport out;
+
+  // Rebuild the fabric as the traps describe it: same nodes in the same
+  // order (so node ids and LIDs are stable), minus every link with a downed
+  // endpoint. The copy must outlive the Routes computed on it.
+  auto degraded = std::make_unique<network::FabricGraph>();
+  for (iba::NodeId id = 0; id < graph_.node_count(); ++id) {
+    if (graph_.is_switch(id)) {
+      degraded->add_switch(graph_.port_count(id));
+    } else {
+      degraded->add_host();
+    }
+  }
+  const auto is_down = [&](iba::NodeId n, iba::PortIndex p) {
+    return std::find(down_ports.begin(), down_ports.end(),
+                     network::PortRef{n, p}) != down_ports.end();
+  };
+  for (iba::NodeId id = 0; id < graph_.node_count(); ++id) {
+    for (unsigned p = 0; p < graph_.port_count(id); ++p) {
+      const auto port = static_cast<iba::PortIndex>(p);
+      const auto peer = graph_.peer(id, port);
+      if (!peer) continue;
+      // Each cable once (canonical end).
+      if (peer->node < id || (peer->node == id && peer->port <= port))
+        continue;
+      if (is_down(id, port) || is_down(peer->node, peer->port)) {
+        ++out.links_down;
+        continue;
+      }
+      degraded->connect(id, port, peer->node, peer->port,
+                        graph_.link(id, port));
+    }
+  }
+
+  // Re-sweep with real directed-route SMPs over the degraded topology.
+  std::vector<iba::NodeId> order;
+  std::vector<std::vector<std::uint8_t>> paths;
+  const auto report = discover(*degraded, order, paths);
+  out.smps_sent = report.smps_sent;
+  out.sweep_hops = report.sweep_hops;
+  out.complete = report.complete;
+  if (!out.complete) return out;  // partitioned: fail-static
+
+  network::Routes routes;
+  try {
+    routes = network::compute_updown_routes(*degraded);
+  } catch (const std::runtime_error&) {
+    return out;  // no legal up*/down* assignment: keep old routes
+  }
+
+  report_ = report;
+  sweep_order_ = std::move(order);
+  dr_paths_ = std::move(paths);
+  routes_ = std::move(routes);
+  filtered_ = std::move(degraded);  // routes_ points into this graph
+  program_forwarding(sim);
+  out.routes_changed = true;
+  return out;
 }
 
 void SubnetManager::configure_fabric(
     sim::Simulator& sim, const qos::AdmissionControl& admission) const {
   sim.set_sl_to_vl_all(iba::SlToVlMappingTable::identity(iba::kManagementVl));
   admission.program(sim);
+  program_forwarding(sim);
+}
 
+void SubnetManager::program_forwarding(sim::Simulator& sim) const {
   // Program every switch's linear forwarding table, going through the wire
   // representation (Set(LinearForwardingTable) MAD blocks) exactly as a real
   // SM would: build blocks, encode, decode, apply.

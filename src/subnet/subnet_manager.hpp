@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,18 @@ struct DiscoveryReport {
   unsigned smps_sent = 0;      ///< Directed-route probes issued.
   unsigned sweep_hops = 0;     ///< Total hops those probes walked.
   bool complete = false;       ///< Every node of the fabric was reached.
+};
+
+/// Outcome of a fault-triggered re-sweep (see SubnetManager::resweep).
+struct ResweepReport {
+  unsigned smps_sent = 0;       ///< Directed-route probes of this sweep.
+  unsigned sweep_hops = 0;
+  unsigned links_down = 0;      ///< Links excluded by the health mask.
+  bool complete = false;        ///< Sweep still reached every node.
+  /// New up*/down* routes were computed and the LFTs reprogrammed. False
+  /// when the degraded fabric is partitioned or unroutable — the old
+  /// forwarding state is then left untouched (fail-static).
+  bool routes_changed = false;
 };
 
 class SubnetManager {
@@ -60,15 +73,33 @@ class SubnetManager {
   void configure_fabric(sim::Simulator& sim,
                         const qos::AdmissionControl& admission) const;
 
+  /// Reaction to a link-state trap: re-sweeps the fabric with the given
+  /// ports (and their link partners) masked out, recomputes up*/down*
+  /// routes on the degraded topology, and reprograms every switch LFT
+  /// through wire MADs. With an empty mask this restores the full-fabric
+  /// routes (repair path). On partition/unroutability the previous routes
+  /// stay installed and routes_changed is false.
+  ResweepReport resweep(sim::Simulator& sim,
+                        const std::vector<network::PortRef>& down_ports);
+
   /// Human-readable fabric summary (example binaries print it).
   std::string describe() const;
 
  private:
+  DiscoveryReport discover(const network::FabricGraph& topology,
+                           std::vector<iba::NodeId>& order,
+                           std::vector<std::vector<std::uint8_t>>& paths);
+  void program_forwarding(sim::Simulator& sim) const;
+
   const network::FabricGraph& graph_;
   DiscoveryReport report_;
   std::vector<iba::NodeId> sweep_order_;
   std::vector<std::vector<std::uint8_t>> dr_paths_;
   network::Routes routes_;
+  /// The degraded-topology copy the current routes_ were computed on (the
+  /// Routes object keeps a pointer into its source graph). Null while the
+  /// routes are the pristine full-fabric ones.
+  std::unique_ptr<network::FabricGraph> filtered_;
 };
 
 }  // namespace ibarb::subnet

@@ -82,17 +82,25 @@ void RcSender::on_nak(std::uint32_t expected_psn, iba::Cycle now) {
   // Everything before expected_psn is implicitly acknowledged.
   if (!pending_.empty() && psn_before(pending_.front().psn, expected_psn))
     on_ack(psn_add(expected_psn, kPsnMask), now);  // ack expected_psn - 1
-  // Go-back-N: resend from the front of the remaining window.
+  // Go-back-N: resend from the front of the remaining window. A NAK proves
+  // the peer is alive, so the backoff schedule restarts from the base value.
   retransmit_high_ = std::max(retransmit_high_, resend_cursor_);
   resend_cursor_ = 0;
+  retries_ = 0;
   last_progress_ = now;
+}
+
+iba::Cycle RcSender::current_timeout() const noexcept {
+  const unsigned shift = std::min(static_cast<unsigned>(retries_),
+                                  cfg_.backoff_shift_cap);
+  return cfg_.retransmit_timeout << shift;
 }
 
 void RcSender::on_timer(iba::Cycle now) {
   if (failed_ || pending_.empty()) return;
   const bool in_flight = resend_cursor_ > 0;
   if (!in_flight) return;
-  if (now - last_progress_ < cfg_.retransmit_timeout) return;
+  if (now - last_progress_ < current_timeout()) return;
   ++stats_.timeouts;
   if (++retries_ > cfg_.max_retries) {
     failed_ = true;  // QP error state: retry budget exhausted

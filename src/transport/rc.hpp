@@ -41,8 +41,11 @@ constexpr bool psn_before(std::uint32_t a, std::uint32_t b) {
 struct RcConfig {
   std::uint32_t mtu_payload = 256;        ///< Path MTU (payload bytes).
   std::uint32_t window_packets = 64;      ///< Max unacknowledged packets.
-  iba::Cycle retransmit_timeout = 200000; ///< Cycles before go-back-N.
+  iba::Cycle retransmit_timeout = 200000; ///< Base cycles before go-back-N.
   unsigned max_retries = 7;               ///< Then the QP enters error state.
+  /// Capped exponential backoff: after k consecutive timeouts the next
+  /// retransmission waits retransmit_timeout << min(k, backoff_shift_cap).
+  unsigned backoff_shift_cap = 5;
 };
 
 class RcSender {
@@ -74,6 +77,10 @@ class RcSender {
 
   /// Drives the retransmission timer; call periodically with the clock.
   void on_timer(iba::Cycle now);
+
+  /// Current timeout under the capped exponential backoff schedule: grows
+  /// with each consecutive timeout, resets on forward progress (ACK/NAK).
+  iba::Cycle current_timeout() const noexcept;
 
   /// Messages whose last packet has been acknowledged since the last call.
   std::vector<std::uint64_t> drain_completions();

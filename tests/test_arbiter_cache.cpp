@@ -9,6 +9,10 @@
 
 #include "arbtable/table_manager.hpp"
 #include "iba/vl_arbitration.hpp"
+#include "network/topology.hpp"
+#include "qos/admission.hpp"
+#include "qos/traffic_classes.hpp"
+#include "subnet/subnet_manager.hpp"
 #include "util/rng.hpp"
 
 namespace ibarb {
@@ -133,6 +137,70 @@ TEST(ArbiterAggregateCache, TableManagerChurnWithDefrag) {
   for (const auto& l : live) m.release(l.h, l.r, 0.001);
   expect_caches_match(m.table(), "after full teardown");
   EXPECT_EQ(m.table().active_entries_high(), 0u);
+}
+
+TEST(ArbiterAggregateCache, SurvivesFaultStyleAdmissionChurn) {
+  // The recovery coordinator's exact mutation pattern: release a batch of
+  // connections (defrag fires per release), re-admit over possibly different
+  // paths with graceful degradation shedding best-effort load in between.
+  // audit_tables() — every port's invariants plus the aggregate-cache
+  // cross-check — must hold after every single release-shaped step.
+  const auto graph = network::make_fat_tree(2, 3, 2);
+  subnet::SubnetManager sm(graph);
+  qos::AdmissionControl::Config ac;
+  ac.seed = 9;
+  qos::AdmissionControl admission(graph, sm.routes(), qos::paper_catalogue(),
+                                  ac);
+  const auto hosts = graph.hosts();
+
+  util::Xoshiro256 rng(53);
+  std::vector<qos::ConnectionId> guaranteed;
+  std::vector<qos::ConnectionId> besteffort;
+  const auto random_pair = [&](qos::ConnectionRequest& req) {
+    req.src_host = hosts[rng.below(hosts.size())];
+    do {
+      req.dst_host = hosts[rng.below(hosts.size())];
+    } while (req.dst_host == req.src_host);
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const auto dice = rng.below(10);
+    if (dice < 3 && !guaranteed.empty()) {
+      const auto k = rng.below(guaranteed.size());
+      admission.release(guaranteed[k]);
+      guaranteed[k] = guaranteed.back();
+      guaranteed.pop_back();
+    } else if (dice < 5 && !besteffort.empty()) {
+      const auto k = rng.below(besteffort.size());
+      if (admission.is_live(besteffort[k]))  // may have been shed already
+        admission.release(besteffort[k]);
+      besteffort[k] = besteffort.back();
+      besteffort.pop_back();
+    } else if (dice < 8) {
+      qos::ConnectionRequest req;
+      random_pair(req);
+      req.sl = static_cast<iba::ServiceLevel>(rng.below(10));
+      req.max_distance =
+          qos::find_sl(admission.catalogue(), req.sl)->max_distance;
+      req.wire_mbps = 5 + static_cast<double>(rng.below(40));
+      const auto result = admission.request_degrading(req);
+      if (result.id) guaranteed.push_back(*result.id);
+    } else {
+      qos::ConnectionRequest req;
+      random_pair(req);
+      req.sl = static_cast<iba::ServiceLevel>(10 + rng.below(3));
+      req.wire_mbps = 10 + static_cast<double>(rng.below(80));
+      if (const auto id = admission.request_best_effort(req))
+        besteffort.push_back(*id);
+    }
+    std::string why;
+    ASSERT_TRUE(admission.audit_tables(&why)) << "step " << step << ": " << why;
+  }
+  for (const auto id : guaranteed) admission.release(id);
+  for (const auto id : besteffort)
+    if (admission.is_live(id)) admission.release(id);
+  std::string why;
+  EXPECT_TRUE(admission.audit_tables(&why)) << why;
 }
 
 TEST(ArbiterAggregateCache, DynamicLowTableWeights) {

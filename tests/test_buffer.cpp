@@ -85,5 +85,46 @@ TEST(PortBuffers, FrontPeeksWithoutRemoving) {
   EXPECT_EQ(b.total_packets(), 1u);
 }
 
+iba::Packet conn_pkt(std::uint32_t conn, std::uint64_t id) {
+  iba::Packet p;
+  p.payload_bytes = 100;
+  p.connection = conn;
+  p.id = id;
+  return p;
+}
+
+TEST(VlFifo, ExtractConnectionRemovesOnlyThatFlowInOrder) {
+  VlFifo f;
+  f.push(conn_pkt(1, 10));
+  f.push(conn_pkt(2, 11));
+  f.push(conn_pkt(1, 12));
+  const auto bytes_before = f.used_bytes();
+  auto out = f.extract_connection(1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 10u);
+  EXPECT_EQ(out[1].id, 12u);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.used_bytes(), bytes_before - out[0].wire_bytes() -
+                                out[1].wire_bytes());
+  EXPECT_EQ(f.pop().id, 11u);
+}
+
+TEST(VlFifo, ExtractConnectionNoMatchLeavesQueueIntact) {
+  VlFifo f;
+  f.push(conn_pkt(1, 10));
+  EXPECT_TRUE(f.extract_connection(9).empty());
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(PortBuffers, ExtractConnectionClearsOccupancyWhenVlDrains) {
+  PortBuffers b;
+  b.push(2, conn_pkt(5, 1));
+  b.push(2, conn_pkt(6, 2));
+  EXPECT_EQ(b.extract_connection(2, 5).size(), 1u);
+  EXPECT_EQ(b.occupancy(), 1u << 2) << "other flow still queued";
+  EXPECT_EQ(b.extract_connection(2, 6).size(), 1u);
+  EXPECT_TRUE(b.all_empty()) << "occupancy bit must clear with the VL";
+}
+
 }  // namespace
 }  // namespace ibarb::sim

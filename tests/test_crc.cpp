@@ -5,6 +5,10 @@
 #include <string_view>
 #include <vector>
 
+#include "faults/fault_injector.hpp"
+#include "iba/headers.hpp"
+#include "iba/packet.hpp"
+
 namespace ibarb::iba {
 namespace {
 
@@ -48,6 +52,69 @@ TEST(Crc, ConstexprUsable) {
   constexpr auto c = vcrc(kData);
   static_assert(c != 0);
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-packet rejection: the fault injector damages real wire images
+// (iba::to_wire) and the real receive path (iba::parse_packet, which checks
+// structure, the LRH length field, ICRC and VCRC) must refuse every one.
+
+Packet sample_packet() {
+  Packet p;
+  p.connection = 7;
+  p.sl = 3;
+  p.source = 12;
+  p.destination = 34;
+  p.payload_bytes = 96;
+  p.sequence = 41;
+  return p;
+}
+
+TEST(CrcPacket, EverySingleBitFlipIsRejected) {
+  const auto image = to_wire(sample_packet());
+  ASSERT_TRUE(parse_packet(image).has_value()) << "pristine image must parse";
+  for (std::size_t bit = 0; bit < image.size() * 8; ++bit) {
+    auto copy = image;
+    copy[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(parse_packet(copy).has_value())
+        << "flip of bit " << bit << " went undetected";
+  }
+}
+
+TEST(CrcPacket, EveryTruncationIsRejected) {
+  const auto image = to_wire(sample_packet());
+  for (std::size_t keep = 0; keep < image.size(); ++keep) {
+    auto copy = image;
+    copy.resize(keep);
+    EXPECT_FALSE(parse_packet(copy).has_value())
+        << "truncation to " << keep << " bytes went undetected";
+  }
+}
+
+TEST(CrcPacket, InjectorBurstDamageIsRejected) {
+  // Bursts of <= 32 damaged bits are within CRC32's guaranteed detection
+  // length; exercise the injector's own damage generator across seeds.
+  const auto pristine = to_wire(sample_packet());
+  for (std::uint64_t entropy = 1; entropy <= 200; ++entropy) {
+    auto copy = pristine;
+    faults::FaultInjector::damage_wire_image(
+        copy, faults::FaultInjector::Corruption::kBurst, entropy);
+    ASSERT_NE(copy, pristine) << "damage generator produced a no-op";
+    EXPECT_FALSE(parse_packet(copy).has_value()) << "entropy " << entropy;
+  }
+}
+
+TEST(CrcPacket, InjectorVerdictMatchesReceivePath) {
+  // corruption_detected() is exactly "damage the wire image, run the
+  // receive-path parser": all three damage modes must report detection on
+  // this packet for a spread of entropies.
+  const auto p = sample_packet();
+  using Corruption = faults::FaultInjector::Corruption;
+  for (const auto how :
+       {Corruption::kBitFlip, Corruption::kTruncate, Corruption::kBurst}) {
+    for (std::uint64_t entropy = 1; entropy <= 50; ++entropy)
+      EXPECT_TRUE(faults::FaultInjector::corruption_detected(p, how, entropy));
+  }
 }
 
 }  // namespace

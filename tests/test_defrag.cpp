@@ -118,6 +118,49 @@ TEST(Defrag, MaxGapNeverWorseAfterDefrag) {
   EXPECT_TRUE(m.check_invariants());
 }
 
+TEST(Defrag, EveryFaultStyleReleaseLeavesAuditableTables) {
+  // Fault recovery releases connections in bursts (reroute after a re-sweep
+  // sheds and re-admits whole path sets). After *every* release-triggered
+  // defragmentation the full invariant set AND the arbiter aggregate cache
+  // must check out — this is the audit debug builds run inside the recovery
+  // path itself.
+  TableManager m(cfg(true));
+  struct Live {
+    SeqHandle h;
+    Requirement r;
+  };
+  std::vector<Live> live;
+  const unsigned distances[] = {4, 8, 16, 32, 64};
+  // Deterministic mixed-distance load, then tear it down in an interleaved
+  // order so defrag sees both buddy and non-buddy frees.
+  for (int round = 0; round < 4; ++round) {
+    for (const auto d : distances) {
+      Requirement r;
+      r.distance = d;
+      r.entries = iba::kArbTableEntries / d;
+      r.weight_per_entry = 10 + d;
+      r.total_weight = r.entries * r.weight_per_entry;
+      if (const auto h = m.allocate(
+              static_cast<iba::VirtualLane>(1 + round % 7), r, 1.0))
+        live.push_back(Live{*h, r});
+    }
+  }
+  ASSERT_GE(live.size(), 8u);
+  // Release even indices first, then the rest (maximally non-contiguous).
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = pass; i < live.size(); i += 2) {
+      m.release(live[i].h, live[i].r, 1.0);
+      std::string why;
+      ASSERT_TRUE(m.check_invariants(&why))
+          << "release " << i << " pass " << pass << ": " << why;
+      ASSERT_TRUE(m.table().cache_in_sync())
+          << "aggregate cache desynced by defrag after release " << i;
+    }
+  }
+  EXPECT_EQ(m.table().active_entries_high(), 0u);
+  EXPECT_EQ(m.free_entries(), iba::kArbTableEntries);
+}
+
 TEST(Defrag, ScatteredSequencesDisableDefrag) {
   TableManager::Config c = cfg(true);
   c.policy = FillPolicy::kScattered;

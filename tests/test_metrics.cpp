@@ -128,5 +128,19 @@ TEST(Metrics, DelayStatsAccumulate) {
   EXPECT_DOUBLE_EQ(d.max(), 150.0);
 }
 
+TEST(Metrics, PacketDeadlineOverridesConnectionDeadline) {
+  auto m = fresh(/*deadline=*/3000, /*iat=*/0);
+  m.start_window(0);
+  // Stamped at injection under a tighter (pre-reroute) contract: judged
+  // against the stamp, not the connection's current deadline.
+  auto stamped = pkt(10, 0);
+  stamped.deadline = 500;
+  m.record_delivery(0, stamped, 600);
+  // Unstamped packet falls back to the connection deadline.
+  m.record_delivery(0, pkt(10, 0), 600);
+  EXPECT_EQ(m.connections[0].deadline_misses, 1u);
+  EXPECT_EQ(m.connections[0].rx_packets, 2u);
+}
+
 }  // namespace
 }  // namespace ibarb::sim

@@ -99,17 +99,114 @@ TEST(RcSender, TimeoutRetransmitsAndEventuallyFails) {
   RcSender tx(small_cfg());  // timeout 1000, 3 retries
   tx.post_send(256);
   (void)tx.next_packet(0);
+  // Each consecutive timeout waits current_timeout() — the exponential
+  // backoff schedule — so the clock must follow it, not a fixed period.
+  iba::Cycle now = 0;
   for (unsigned k = 1; k <= 3; ++k) {
-    tx.on_timer(1000 * k + 1);
+    now += tx.current_timeout();
+    tx.on_timer(now + 1);
     EXPECT_EQ(tx.stats().timeouts, k);
     ASSERT_FALSE(tx.failed());
-    const auto r = tx.next_packet(1000 * k + 1);
+    const auto r = tx.next_packet(now + 1);
     ASSERT_TRUE(r.has_value());
     EXPECT_TRUE(r->retransmission);
   }
-  tx.on_timer(99999);
+  now += tx.current_timeout();
+  tx.on_timer(now + 1);
   EXPECT_TRUE(tx.failed());
-  EXPECT_FALSE(tx.next_packet(99999).has_value());
+  EXPECT_FALSE(tx.next_packet(now + 1).has_value());
+}
+
+TEST(RcSender, BackoffDoublesPerTimeoutAndCaps) {
+  RcConfig cfg = small_cfg();  // base timeout 1000
+  cfg.max_retries = 100;
+  cfg.backoff_shift_cap = 3;   // cap at 8x
+  RcSender tx(cfg);
+  tx.post_send(256);
+  (void)tx.next_packet(0);
+  EXPECT_EQ(tx.current_timeout(), 1000u);
+  iba::Cycle now = 0;
+  const iba::Cycle expected[] = {2000, 4000, 8000, 8000, 8000};
+  for (const auto next : expected) {
+    now += tx.current_timeout();
+    tx.on_timer(now);          // exactly at the deadline: fires
+    (void)tx.next_packet(now);
+    EXPECT_EQ(tx.current_timeout(), next);
+  }
+  // A timer tick strictly inside the backed-off wait must NOT fire.
+  const auto timeouts_before = tx.stats().timeouts;
+  tx.on_timer(now + tx.current_timeout() - 1);
+  EXPECT_EQ(tx.stats().timeouts, timeouts_before);
+}
+
+TEST(RcSender, StaleAckIsNotProgress) {
+  RcSender tx(small_cfg());
+  tx.post_send(256 * 3);
+  (void)tx.next_packet(0);
+  (void)tx.next_packet(0);
+  (void)tx.next_packet(0);
+  tx.on_ack(1, 10);  // packets 0,1 acked
+  EXPECT_EQ(tx.packets_in_flight(), 1u);
+  tx.on_timer(1011);  // timeout on packet 2
+  EXPECT_EQ(tx.current_timeout(), 2000u);
+  // A duplicate of the old cumulative ACK acknowledges nothing new: the
+  // window must not move and the backoff schedule must not restart.
+  tx.on_ack(1, 1500);
+  tx.on_ack(0, 1500);
+  EXPECT_EQ(tx.packets_in_flight(), 0u) << "timeout rewound the cursor";
+  EXPECT_EQ(tx.current_timeout(), 2000u)
+      << "stale ACK must not count as forward progress";
+  // The real (new) ACK still completes the message afterwards.
+  (void)tx.next_packet(1500);
+  tx.on_ack(2, 1600);
+  EXPECT_TRUE(tx.idle());
+  EXPECT_EQ(tx.drain_completions().size(), 1u);
+}
+
+TEST(RcSender, NakRestartsBackoffSchedule) {
+  RcConfig cfg = small_cfg();
+  cfg.max_retries = 10;
+  RcSender tx(cfg);
+  tx.post_send(256 * 4);
+  for (int i = 0; i < 4; ++i) (void)tx.next_packet(0);
+  iba::Cycle now = 0;
+  for (int k = 0; k < 3; ++k) {
+    now += tx.current_timeout();
+    tx.on_timer(now);
+    (void)tx.next_packet(now);
+  }
+  EXPECT_EQ(tx.current_timeout(), 8000u);
+  // A NAK proves the peer is alive: backoff restarts from the base value
+  // and the retry budget resets.
+  tx.on_nak(1, now + 10);
+  EXPECT_EQ(tx.current_timeout(), 1000u);
+  const auto r = tx.next_packet(now + 10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->psn, 1u);
+  EXPECT_TRUE(r->retransmission);
+  EXPECT_FALSE(tx.failed());
+}
+
+TEST(RcSender, RetryExhaustionIsTerminalErrorState) {
+  RcSender tx(small_cfg());  // 3 retries
+  tx.post_send(256);
+  (void)tx.next_packet(0);
+  iba::Cycle now = 0;
+  while (!tx.failed()) {
+    now += tx.current_timeout();
+    tx.on_timer(now);
+    (void)tx.next_packet(now);
+  }
+  EXPECT_EQ(tx.stats().timeouts, 4u);  // 3 retries + the fatal one
+  // The QP is in error state: nothing goes out, late ACKs are ignored,
+  // the flag never clears.
+  EXPECT_FALSE(tx.next_packet(now).has_value());
+  tx.on_ack(0, now + 1);
+  tx.on_nak(0, now + 2);
+  EXPECT_TRUE(tx.failed());
+  EXPECT_TRUE(tx.drain_completions().empty());
+  tx.post_send(256);
+  EXPECT_FALSE(tx.next_packet(now + 3).has_value());
 }
 
 TEST(RcSender, AckResetsRetryBudget) {
