@@ -38,6 +38,8 @@
 #include "network/graph.hpp"
 #include "qos/admission.hpp"
 #include "qos/traffic_classes.hpp"
+#include "report_common.hpp"
+#include "sim/trace.hpp"
 #include "subnet/subnet_manager.hpp"
 #include "sweep_runner.hpp"
 #include "traffic/cbr.hpp"
@@ -62,6 +64,8 @@ struct BenchConfig {
   unsigned jobs = 1;
   bool with_baseline = true;
   bool json = false;
+  /// Trace-ring size for run 0 of the storm (0 = off); set by --trace-out.
+  std::size_t trace_capacity = 0;
 };
 
 struct ClassAgg {
@@ -87,6 +91,9 @@ struct RunResult {
   bool rc_failed = false;
   std::uint64_t events = 0;
   std::string plan;              ///< The storm actually applied.
+  obs::Snapshot telemetry;       ///< Per-run registry snapshot.
+  sim::PacketTrace trace;        ///< Populated only when tracing this run.
+  std::vector<obs::PhaseSpan> fault_spans;  ///< Fault windows, for the trace.
 };
 
 constexpr iba::ServiceLevel kGuaranteedSls[] = {2, 3, 4, 5, 6, 7, 8, 9};
@@ -118,8 +125,10 @@ network::FabricGraph make_asym_fabric(const BenchConfig& bc) {
 }
 
 /// One self-contained experiment. `faulty` false gives the baseline run:
-/// identical fabric, workload and seeds, no fault plan armed.
-RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty) {
+/// identical fabric, workload and seeds, no fault plan armed. A nonzero
+/// `trace_capacity` enables the packet-trace ring for this run.
+RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty,
+                  std::size_t trace_capacity = 0) {
   RunResult res;
   res.run_seed = run_seed;
 
@@ -131,6 +140,7 @@ RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty) {
                                   ac);
   sim::SimConfig scfg;
   scfg.seed = run_seed ^ 0x5117ull;
+  scfg.trace_capacity = trace_capacity;
   sim::Simulator sim(graph, sm.routes(), scfg);
 
   const auto hosts = graph.hosts();
@@ -314,6 +324,27 @@ RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty) {
     res.rc_failed = res.rc_failed || s->failed();
   }
   res.events = sim.events_processed();
+  // While injector/coordinator/sessions are still alive their probes are
+  // registered, so the snapshot sees the full faults/recovery/rc counters.
+  res.telemetry = sim.telemetry_snapshot();
+  if (trace_capacity != 0) {
+    res.trace = sim.trace();
+    // Fault windows as control-plane phase spans, one viewer track per kind.
+    for (const auto& ev : plan.events()) {
+      obs::PhaseSpan span;
+      span.track = faults::to_string(ev.kind);
+      std::ostringstream nm;
+      nm << faults::to_string(ev.kind) << " ";
+      if (ev.kind == faults::FaultKind::kOverload)
+        nm << "f" << ev.flow;
+      else
+        nm << ev.node << "." << ev.port;
+      span.name = nm.str();
+      span.begin = ev.at;
+      span.end = ev.duration != 0 ? ev.at + ev.duration : bc.length;
+      res.fault_spans.push_back(std::move(span));
+    }
+  }
 
   std::string why;
   if (!admission.audit_tables(&why))
@@ -321,67 +352,99 @@ RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty) {
   return res;
 }
 
-void print_json(const BenchConfig& bc, const std::vector<RunResult>& storm,
-                const std::vector<RunResult>& baseline, std::ostream& out) {
-  const auto agg_field = [](const ClassAgg& a) {
-    std::ostringstream os;
-    os << "{\"tx\":" << a.tx << ",\"rx\":" << a.rx << ",\"dropped\":"
-       << a.dropped << ",\"misses\":" << a.misses << "}";
-    return os.str();
-  };
-  out << "{\"bench\":\"bench_faults\",\"length\":" << bc.length
-      << ",\"runs\":[";
-  for (std::size_t i = 0; i < storm.size(); ++i) {
-    const auto& r = storm[i];
-    if (i) out << ",";
-    out << "{\"seed\":" << r.run_seed
-        << ",\"guaranteed\":" << r.guaranteed
-        << ",\"besteffort\":" << r.besteffort
-        << ",\"dbts\":" << agg_field(r.dbts)
-        << ",\"db\":" << agg_field(r.db)
-        << ",\"be\":" << agg_field(r.be);
-    if (i < baseline.size())
-      out << ",\"be_baseline_rx\":" << baseline[i].be.rx;
-    out << ",\"violations\":" << (r.dbts.misses + r.db.misses)
-        << ",\"revocations\":" << r.recovery.guarantee_revocations
-        << ",\"resweeps\":" << r.recovery.resweeps
-        << ",\"rerouted\":" << r.recovery.rerouted
-        << ",\"shed\":" << r.recovery.shed_best_effort
-        << ",\"suspended\":" << r.recovery.suspended
-        << ",\"suspended_guaranteed\":" << r.recovery.suspended_guaranteed
-        << ",\"suspended_best_effort\":" << r.recovery.suspended_best_effort
-        << ",\"restored\":" << r.recovery.restored
-        << ",\"purged_in_flight\":" << r.recovery.purged_in_flight
-        << ",\"max_recovery_latency\":" << r.recovery.max_recovery_latency
-        << ",\"corrupt_attempts\":" << r.fault.corrupt_attempts
-        << ",\"crc_rejected\":" << r.fault.crc_rejected
-        << ",\"crc_escaped\":" << r.fault.crc_escaped
-        << ",\"dropped\":" << r.fault.dropped_packets
-        << ",\"flushed\":" << r.fault.flushed_packets
-        << ",\"rc_messages\":" << r.rc_messages
-        << ",\"rc_recovered\":" << r.rc_recovered
-        << ",\"rc_retransmits\":" << r.rc_retransmits
-        << ",\"rc_max_recovery\":" << r.rc_max_recovery
-        << ",\"rc_failed\":" << (r.rc_failed ? "true" : "false")
-        << ",\"events\":" << r.events << "}";
-  }
-  std::uint64_t violations = 0;
-  std::uint64_t revocations = 0;
-  std::uint64_t escaped = 0;
-  for (const auto& r : storm) {
-    violations += r.dbts.misses + r.db.misses;
-    revocations += r.recovery.guarantee_revocations;
-    escaped += r.fault.crc_escaped;
-  }
-  out << "],\"total_violations\":" << violations
-      << ",\"total_revocations\":" << revocations
-      << ",\"total_crc_escaped\":" << escaped << "}\n";
+void write_class_agg(util::JsonWriter& w, const ClassAgg& a) {
+  w.begin_object();
+  w.kv("tx", a.tx);
+  w.kv("rx", a.rx);
+  w.kv("dropped", a.dropped);
+  w.kv("misses", a.misses);
+  w.end_object();
+}
+
+obs::Report make_report(const BenchConfig& bc,
+                        const std::vector<RunResult>& storm,
+                        const std::vector<RunResult>& baseline) {
+  obs::Report report("bench_faults");
+  report.config("length", static_cast<std::uint64_t>(bc.length));
+  report.config("spines", static_cast<std::uint64_t>(bc.spines));
+  report.config("leaves", static_cast<std::uint64_t>(bc.leaves));
+  report.config("hosts_per_leaf",
+                static_cast<std::uint64_t>(bc.hosts_per_leaf));
+  report.config("seed", bc.seed);
+  report.config("runs", static_cast<std::uint64_t>(bc.runs));
+  report.config("with_baseline", bc.with_baseline);
+
+  std::vector<obs::Snapshot> parts;
+  parts.reserve(storm.size());
+  for (const auto& r : storm) parts.push_back(r.telemetry);
+  report.telemetry(obs::Snapshot::merge(parts));
+
+  report.figure("runs", [&bc, &storm, &baseline](util::JsonWriter& w) {
+    w.begin_array();
+    for (std::size_t i = 0; i < storm.size(); ++i) {
+      const auto& r = storm[i];
+      w.begin_object();
+      w.kv("seed", r.run_seed);
+      w.kv("guaranteed", static_cast<std::uint64_t>(r.guaranteed));
+      w.kv("besteffort", static_cast<std::uint64_t>(r.besteffort));
+      w.key("dbts");
+      write_class_agg(w, r.dbts);
+      w.key("db");
+      write_class_agg(w, r.db);
+      w.key("be");
+      write_class_agg(w, r.be);
+      if (i < baseline.size()) w.kv("be_baseline_rx", baseline[i].be.rx);
+      w.kv("violations", r.dbts.misses + r.db.misses);
+      w.kv("revocations", r.recovery.guarantee_revocations);
+      w.kv("resweeps", r.recovery.resweeps);
+      w.kv("rerouted", r.recovery.rerouted);
+      w.kv("shed", r.recovery.shed_best_effort);
+      w.kv("suspended", r.recovery.suspended);
+      w.kv("suspended_guaranteed", r.recovery.suspended_guaranteed);
+      w.kv("suspended_best_effort", r.recovery.suspended_best_effort);
+      w.kv("restored", r.recovery.restored);
+      w.kv("purged_in_flight", r.recovery.purged_in_flight);
+      w.kv("max_recovery_latency",
+           static_cast<std::uint64_t>(r.recovery.max_recovery_latency));
+      w.kv("corrupt_attempts", r.fault.corrupt_attempts);
+      w.kv("crc_rejected", r.fault.crc_rejected);
+      w.kv("crc_escaped", r.fault.crc_escaped);
+      w.kv("dropped", r.fault.dropped_packets);
+      w.kv("flushed", r.fault.flushed_packets);
+      w.kv("rc_messages", r.rc_messages);
+      w.kv("rc_recovered", r.rc_recovered);
+      w.kv("rc_retransmits", r.rc_retransmits);
+      w.kv("rc_max_recovery", static_cast<std::uint64_t>(r.rc_max_recovery));
+      w.kv("rc_failed", r.rc_failed);
+      w.kv("events", r.events);
+      if (bc.runs == 1 && !r.plan.empty()) w.kv("plan", r.plan);
+      w.end_object();
+    }
+    w.end_array();
+  });
+  report.figure("totals", [&storm](util::JsonWriter& w) {
+    std::uint64_t violations = 0;
+    std::uint64_t revocations = 0;
+    std::uint64_t escaped = 0;
+    for (const auto& r : storm) {
+      violations += r.dbts.misses + r.db.misses;
+      revocations += r.recovery.guarantee_revocations;
+      escaped += r.fault.crc_escaped;
+    }
+    w.begin_object();
+    w.kv("violations", violations);
+    w.kv("revocations", revocations);
+    w.kv("crc_escaped", escaped);
+    w.end_object();
+  });
+  return report;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(1);
   BenchConfig bc;
   bc.spines = static_cast<unsigned>(cli.get_int("spines", 2));
   bc.leaves = static_cast<unsigned>(cli.get_int("leaves", 4));
@@ -389,13 +452,14 @@ int main(int argc, char** argv) {
   bc.length = static_cast<iba::Cycle>(
       cli.get_int("length", cli.get_bool("quick", false) ? 1'200'000
                                                          : 3'000'000));
-  bc.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bc.seed = sf.seed;
   bc.storm_seed = static_cast<std::uint64_t>(cli.get_int("storm-seed", 0));
   bc.plan_spec = cli.get("fault-plan", "");
   bc.runs = static_cast<unsigned>(cli.get_int("runs", 1));
-  bc.jobs = cli.jobs();
+  bc.jobs = sf.jobs;
   bc.with_baseline = !cli.get_bool("no-baseline", false);
-  bc.json = cli.get_bool("json", false);
+  bc.json = sf.json;
+  if (!sf.trace_out.empty()) bc.trace_capacity = bench::kTraceOutCapacity;
 
   // Deterministic sweep: results land in slot i, every run's seed is a pure
   // function of (seed, i), printing happens afterwards in index order.
@@ -403,13 +467,17 @@ int main(int argc, char** argv) {
   std::vector<RunResult> baseline(bc.with_baseline ? bc.runs : 0);
   util::parallel_for(bc.jobs, bc.runs, [&](std::size_t i) {
     const auto run_seed = bench::derive_run_seed(bc.seed, i);
-    storm[i] = run_one(bc, run_seed, /*faulty=*/true);
+    // Only the first storm run traces: one self-contained deterministic run,
+    // so the exported file is byte-identical for any --jobs.
+    storm[i] = run_one(bc, run_seed, /*faulty=*/true,
+                       i == 0 ? bc.trace_capacity : 0);
     if (bc.with_baseline)
       baseline[i] = run_one(bc, run_seed, /*faulty=*/false);
   });
 
+  int rc = 0;
   if (bc.json) {
-    print_json(bc, storm, baseline, std::cout);
+    rc = bench::emit_report(make_report(bc, storm, baseline), cli);
   } else {
     std::cout << "=== Fault storm: " << bc.runs << " run(s), " << bc.length
               << " cycles each, dual-spine " << bc.spines << "x" << bc.leaves
@@ -481,7 +549,10 @@ int main(int argc, char** argv) {
                 << storm.front().plan << "\n";
   }
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  if (!sf.trace_out.empty())
+    bench::emit_trace(sf.trace_out, storm.front().trace,
+                      storm.front().fault_spans);
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

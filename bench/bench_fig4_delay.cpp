@@ -10,6 +10,7 @@
 // saturate at very tight thresholds already.
 #include <iostream>
 
+#include "report_common.hpp"
 #include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
@@ -41,21 +42,41 @@ void print_panel(const char* title, const bench::PaperRun& run) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(21);
   const auto base = bench::config_from_cli(cli);
-
-  std::cout << "=== Figure 4: distribution of packet delay "
-               "(% received before Deadline/k) ===\n\n";
 
   std::vector<bench::PaperRunConfig> cfgs(2, base);
   cfgs[0].mtu = iba::Mtu::kMtu256;
   cfgs[1].mtu = iba::Mtu::kMtu4096;
+  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+
+  if (!sf.json)
+    std::cout << "=== Figure 4: distribution of packet delay "
+                 "(% received before Deadline/k) ===\n\n";
+
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "fig4"));
 
-  print_panel("(a) small packet size (256 B)", *sweep.runs[0]);
-  print_panel("(b) large packet size (4 KB)", *sweep.runs[1]);
+  int rc = 0;
+  if (sf.json) {
+    obs::Report report("fig4_delay");
+    bench::echo_config(report, base);
+    report.telemetry(bench::merged_telemetry(sweep));
+    report.figure("panel_small", [&](util::JsonWriter& w) {
+      bench::write_sl_series(w, sweep.runs[0]->per_sl());
+    });
+    report.figure("panel_large", [&](util::JsonWriter& w) {
+      bench::write_sl_series(w, sweep.runs[1]->per_sl());
+    });
+    rc = bench::emit_report(report, cli);
+  } else {
+    print_panel("(a) small packet size (256 B)", *sweep.runs[0]);
+    print_panel("(b) large packet size (4 KB)", *sweep.runs[1]);
+  }
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  if (!sf.trace_out.empty())
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

@@ -14,6 +14,7 @@
 // (5 and 9) show a Gaussian-like spread that never exceeds +-IAT.
 #include <iostream>
 
+#include "report_common.hpp"
 #include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
@@ -60,31 +61,51 @@ void print_panel(const char* title,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(21);
   const auto cfg = bench::config_from_cli(cli);
   const auto replicas =
       static_cast<std::size_t>(cli.get_int("replicas", 1));
 
-  std::cout << "=== Figure 5: average packet jitter (% of packets per "
-               "interval, relative to IAT) ===\n";
-  std::cout << "packet size: "
-            << (cfg.mtu == iba::Mtu::kMtu256 ? "small (256 B)" : "other")
-            << "\n\n";
+  if (!sf.json) {
+    std::cout << "=== Figure 5: average packet jitter (% of packets per "
+                 "interval, relative to IAT) ===\n";
+    std::cout << "packet size: "
+              << (cfg.mtu == iba::Mtu::kMtu256 ? "small (256 B)" : "other")
+              << "\n\n";
+  }
 
-  const std::vector<bench::PaperRunConfig> cfgs(replicas == 0 ? 1 : replicas,
-                                                cfg);
+  std::vector<bench::PaperRunConfig> cfgs(replicas == 0 ? 1 : replicas, cfg);
+  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "fig5"));
   const auto series = mean_series(sweep.runs);
-  print_panel("(a) SLs 0-4", series, 0, 4);
-  print_panel("(b) SLs 5-9", series, 5, 9);
 
   double outside = 0.0;
   for (const auto& s : series)
     outside += s.jitter[0] + s.jitter[sim::kJitterBins - 1];
-  std::cout << "fraction of deviations beyond +-IAT (all SLs summed): "
-            << util::TablePrinter::num(outside * 100.0, 3) << "%\n";
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  int rc = 0;
+  if (sf.json) {
+    obs::Report report("fig5_jitter");
+    bench::echo_config(report, cfg);
+    report.config("replicas", static_cast<std::uint64_t>(cfgs.size()));
+    report.telemetry(bench::merged_telemetry(sweep));
+    report.figure("per_sl", [&](util::JsonWriter& w) {
+      bench::write_sl_series(w, series);
+    });
+    report.figure("outside_iat_fraction",
+                  [&](util::JsonWriter& w) { w.value(outside); });
+    rc = bench::emit_report(report, cli);
+  } else {
+    print_panel("(a) SLs 0-4", series, 0, 4);
+    print_panel("(b) SLs 5-9", series, 5, 9);
+    std::cout << "fraction of deviations beyond +-IAT (all SLs summed): "
+              << util::TablePrinter::num(outside * 100.0, 3) << "%\n";
+  }
+
+  if (!sf.trace_out.empty())
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

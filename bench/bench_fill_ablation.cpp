@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arbtable/baselines.hpp"
+#include "report_common.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table_printer.hpp"
@@ -21,6 +22,7 @@ using namespace ibarb;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(1);
   arbtable::AcceptanceWorkload w;
   w.requests =
       static_cast<unsigned>(cli.get_int("requests", 5000));
@@ -32,24 +34,31 @@ int main(int argc, char** argv) {
   w.max_mbps = cli.get_double("max-mbps", 32.0);
   const unsigned seeds = static_cast<unsigned>(cli.get_int("seeds", 10));
 
-  std::cout << "=== Fill-algorithm ablation: acceptance under churn ===\n";
-  std::cout << w.requests << " requests/seed, " << seeds
-            << " seeds, departure probability " << w.departure_probability
-            << "\n\n";
+  if (!sf.json) {
+    std::cout << "=== Fill-algorithm ablation: acceptance under churn ===\n";
+    std::cout << w.requests << " requests/seed, " << seeds
+              << " seeds, departure probability " << w.departure_probability
+              << "\n\n";
+  }
 
   struct Case {
     const char* name;
+    const char* key;
     arbtable::FillPolicy policy;
     bool defrag;
   };
   const Case cases[] = {
-      {"bit-reversal + defrag (paper)", arbtable::FillPolicy::kBitReversal,
-       true},
-      {"bit-reversal, no defrag", arbtable::FillPolicy::kBitReversal, false},
-      {"sequential + defrag", arbtable::FillPolicy::kSequential, true},
-      {"sequential, no defrag", arbtable::FillPolicy::kSequential, false},
-      {"random, no defrag", arbtable::FillPolicy::kRandom, false},
-      {"scattered (no spacing)", arbtable::FillPolicy::kScattered, false},
+      {"bit-reversal + defrag (paper)", "bitrev_defrag",
+       arbtable::FillPolicy::kBitReversal, true},
+      {"bit-reversal, no defrag", "bitrev",
+       arbtable::FillPolicy::kBitReversal, false},
+      {"sequential + defrag", "sequential_defrag",
+       arbtable::FillPolicy::kSequential, true},
+      {"sequential, no defrag", "sequential",
+       arbtable::FillPolicy::kSequential, false},
+      {"random, no defrag", "random", arbtable::FillPolicy::kRandom, false},
+      {"scattered (no spacing)", "scattered", arbtable::FillPolicy::kScattered,
+       false},
   };
   const std::size_t n_cases = std::size(cases);
 
@@ -62,34 +71,68 @@ int main(int argc, char** argv) {
     cells[i] = arbtable::run_acceptance_experiment(c.policy, c.defrag, ws);
   });
 
-  util::TablePrinter table({"policy", "accepted (%)", "rej: bandwidth",
-                            "rej: entries", "avoidable rejections",
-                            "defrag moves"});
+  // Fixed-order aggregation: byte-identical for any --jobs.
+  std::vector<arbtable::AcceptanceResult> sums(n_cases);
   for (std::size_t k = 0; k < n_cases; ++k) {
-    arbtable::AcceptanceResult sum;
     for (unsigned s = 0; s < seeds; ++s) {
       const auto& r = cells[k * seeds + s];
-      sum.offered += r.offered;
-      sum.accepted += r.accepted;
-      sum.rejected_bandwidth += r.rejected_bandwidth;
-      sum.rejected_entries += r.rejected_entries;
-      sum.avoidable_rejections += r.avoidable_rejections;
-      sum.defrag_moves += r.defrag_moves;
+      sums[k].offered += r.offered;
+      sums[k].accepted += r.accepted;
+      sums[k].rejected_bandwidth += r.rejected_bandwidth;
+      sums[k].rejected_entries += r.rejected_entries;
+      sums[k].avoidable_rejections += r.avoidable_rejections;
+      sums[k].defrag_moves += r.defrag_moves;
     }
-    table.add_row({cases[k].name,
-                   util::TablePrinter::num(sum.acceptance_ratio() * 100.0, 2),
-                   std::to_string(sum.rejected_bandwidth),
-                   std::to_string(sum.rejected_entries),
-                   std::to_string(sum.avoidable_rejections),
-                   std::to_string(sum.defrag_moves)});
   }
-  table.print(std::cout);
-  std::cout << "\nNote: 'scattered' accepts by count alone (it ignores the\n"
-               "distance requirement entirely), so its acceptance is an\n"
-               "upper bound that comes at the cost of the latency guarantee\n"
-               "— see bench_micro / the simulator tests for the gap bound.\n";
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  int rc = 0;
+  if (sf.json) {
+    obs::Report report("fill_ablation");
+    report.config("requests", static_cast<std::uint64_t>(w.requests));
+    report.config("seeds", static_cast<std::uint64_t>(seeds));
+    report.config("departure_probability", w.departure_probability);
+    report.config("reservable_fraction", w.reservable_fraction);
+    report.config("min_mbps", w.min_mbps);
+    report.config("max_mbps", w.max_mbps);
+    report.figure("policies", [&](util::JsonWriter& jw) {
+      jw.begin_array();
+      for (std::size_t k = 0; k < n_cases; ++k) {
+        const auto& sum = sums[k];
+        jw.begin_object();
+        jw.kv("policy", cases[k].key);
+        jw.kv("defrag", cases[k].defrag);
+        jw.kv("offered", sum.offered);
+        jw.kv("accepted", sum.accepted);
+        jw.kv("acceptance_ratio", sum.acceptance_ratio());
+        jw.kv("rejected_bandwidth", sum.rejected_bandwidth);
+        jw.kv("rejected_entries", sum.rejected_entries);
+        jw.kv("avoidable_rejections", sum.avoidable_rejections);
+        jw.kv("defrag_moves", sum.defrag_moves);
+        jw.end_object();
+      }
+      jw.end_array();
+    });
+    rc = bench::emit_report(report, cli);
+  } else {
+    util::TablePrinter table({"policy", "accepted (%)", "rej: bandwidth",
+                              "rej: entries", "avoidable rejections",
+                              "defrag moves"});
+    for (std::size_t k = 0; k < n_cases; ++k) {
+      const auto& sum = sums[k];
+      table.add_row({cases[k].name,
+                     util::TablePrinter::num(sum.acceptance_ratio() * 100.0, 2),
+                     std::to_string(sum.rejected_bandwidth),
+                     std::to_string(sum.rejected_entries),
+                     std::to_string(sum.avoidable_rejections),
+                     std::to_string(sum.defrag_moves)});
+    }
+    table.print(std::cout);
+    std::cout << "\nNote: 'scattered' accepts by count alone (it ignores the\n"
+                 "distance requirement entirely), so its acceptance is an\n"
+                 "upper bound that comes at the cost of the latency guarantee\n"
+                 "— see bench_micro / the simulator tests for the gap bound.\n";
+  }
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

@@ -15,7 +15,8 @@
 // the situation the paper's scheme is designed to survive.
 #include <iostream>
 
-#include "paper_runner.hpp"
+#include "report_common.hpp"
+#include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
@@ -53,50 +54,89 @@ Outcome evaluate(const bench::PaperRun& run) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(21);
   auto base = bench::config_from_cli(cli);
   const double factor = cli.get_double("oversend", 3.0);
 
-  std::cout << "=== Misbehaving-source experiment: DBTS classes (SL0-5) send "
-            << factor << "x their reservation ===\n\n";
-
-  util::TablePrinter table({"scheme", "oversend", "DB delivered/reserved",
-                            "DB deadline-miss frac"});
+  if (!sf.json)
+    std::cout << "=== Misbehaving-source experiment: DBTS classes (SL0-5) send "
+              << factor << "x their reservation ===\n\n";
 
   struct Case {
     const char* name;
+    const char* key;
     qos::Scheme scheme;
     double factor;
   };
   const Case cases[] = {
-      {"new proposal", qos::Scheme::kNewProposal, 1.0},
-      {"new proposal", qos::Scheme::kNewProposal, factor},
-      {"legacy (DB in low table)", qos::Scheme::kLegacy, 1.0},
-      {"legacy (DB in low table)", qos::Scheme::kLegacy, factor},
+      {"new proposal", "new_proposal_base", qos::Scheme::kNewProposal, 1.0},
+      {"new proposal", "new_proposal_oversend", qos::Scheme::kNewProposal,
+       factor},
+      {"legacy (DB in low table)", "legacy_base", qos::Scheme::kLegacy, 1.0},
+      {"legacy (DB in low table)", "legacy_oversend", qos::Scheme::kLegacy,
+       factor},
   };
+  std::vector<bench::PaperRunConfig> cfgs;
   for (const auto& c : cases) {
     auto cfg = base;
     cfg.scheme = c.scheme;
     cfg.oversend_sl_mask = 0x3F;  // SLs 0..5: every DBTS class misbehaves
     cfg.oversend_factor = c.factor;
     cfg.besteffort_load = 0.0;  // isolate the QoS classes
-    const auto run = bench::run_paper_experiment(cfg);
-    const auto o = evaluate(*run);
-    table.add_row({c.name, util::TablePrinter::num(c.factor, 1),
-                   util::TablePrinter::num(o.db_delivered_over_reserved, 3),
-                   util::TablePrinter::pct(o.db_miss_fraction, 2)});
-    std::cerr << "[" << c.name << " x" << c.factor
-              << "] window=" << run->summary.window_cycles
-              << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+    cfgs.push_back(cfg);
   }
-  table.print(std::cout);
-  std::cout <<
-      "\nExpected shape: under the new proposal DB keeps delivering its\n"
-      "reservation (ratio ~1, near-zero misses) even though every DBTS\n"
-      "class floods the fabric; under the legacy scheme the oversending\n"
-      "high-priority classes starve the low-priority table and DB's\n"
-      "delivered/reserved ratio (and deadline record) collapses.\n";
+  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+  const auto sweep = bench::run_sweep(
+      cfgs, bench::sweep_options_from_cli(cli, "misbehavior"));
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  int rc = 0;
+  if (sf.json) {
+    obs::Report report("misbehavior");
+    bench::echo_config(report, base);
+    report.config("oversend_factor", factor);
+    report.telemetry(bench::merged_telemetry(sweep));
+    report.figure("cases", [&](util::JsonWriter& w) {
+      w.begin_array();
+      for (std::size_t i = 0; i < std::size(cases); ++i) {
+        const auto o = evaluate(*sweep.runs[i]);
+        w.begin_object();
+        w.kv("case", cases[i].key);
+        w.kv("scheme", cases[i].scheme == qos::Scheme::kNewProposal
+                           ? "new_proposal"
+                           : "legacy");
+        w.kv("oversend_factor", cases[i].factor);
+        w.kv("db_delivered_over_reserved", o.db_delivered_over_reserved);
+        w.kv("db_miss_fraction", o.db_miss_fraction);
+        w.end_object();
+      }
+      w.end_array();
+    });
+    rc = bench::emit_report(report, cli);
+  } else {
+    util::TablePrinter table({"scheme", "oversend", "DB delivered/reserved",
+                              "DB deadline-miss frac"});
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+      const auto& run = *sweep.runs[i];
+      const auto o = evaluate(run);
+      table.add_row({cases[i].name, util::TablePrinter::num(cases[i].factor, 1),
+                     util::TablePrinter::num(o.db_delivered_over_reserved, 3),
+                     util::TablePrinter::pct(o.db_miss_fraction, 2)});
+      std::cerr << "[" << cases[i].name << " x" << cases[i].factor
+                << "] window=" << run.summary.window_cycles
+                << (run.summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+    }
+    table.print(std::cout);
+    std::cout <<
+        "\nExpected shape: under the new proposal DB keeps delivering its\n"
+        "reservation (ratio ~1, near-zero misses) even though every DBTS\n"
+        "class floods the fabric; under the legacy scheme the oversending\n"
+        "high-priority classes starve the low-priority table and DB's\n"
+        "delivered/reserved ratio (and deadline record) collapses.\n";
+  }
+
+  if (!sf.trace_out.empty())
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

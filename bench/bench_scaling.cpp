@@ -8,17 +8,57 @@
 // 64 switches is expensive; it runs only with --full.
 #include <iostream>
 
+#include "report_common.hpp"
 #include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
 using namespace ibarb;
 
+namespace {
+
+struct SizeRow {
+  unsigned switches = 0;
+  std::uint64_t hosts = 0;
+  std::uint64_t connections = 0;
+  double acceptance = 0.0;
+  double mean_hops = 0.0;
+  double switch_utilization = 0.0;
+  double meet_deadline = 0.0;
+  std::uint64_t misses = 0;
+};
+
+SizeRow summarize(const bench::PaperRun& run) {
+  SizeRow row;
+  row.switches = run.cfg.switches;
+  row.hosts = run.graph.hosts().size();
+  row.connections = run.workload.accepted;
+  std::uint64_t rx = 0;
+  double hops = 0.0;
+  for (const auto& ec : run.workload.connections) {
+    const auto& c = run.sim->metrics().connections[ec.flow];
+    rx += c.rx_packets;
+    row.misses += c.deadline_misses;
+    hops += ec.stages - 1;
+  }
+  if (run.workload.offered > 0)
+    row.acceptance = 100.0 * double(run.workload.accepted) /
+                     double(run.workload.offered);
+  if (!run.workload.connections.empty())
+    row.mean_hops = hops / double(run.workload.connections.size());
+  row.switch_utilization = run.table2().switch_utilization;
+  if (rx > 0) row.meet_deadline = 100.0 * (1.0 - double(row.misses) / double(rx));
+  return row;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(21);
   auto base = bench::config_from_cli(cli);
   const bool full = cli.get_bool("full", false);
 
-  std::cout << "=== Scaling: 8..64 switches, small packets ===\n\n";
+  if (!sf.json) std::cout << "=== Scaling: 8..64 switches, small packets ===\n\n";
 
   std::vector<unsigned> sizes{8, 16, 32};
   if (full) sizes.push_back(64);
@@ -28,46 +68,60 @@ int main(int argc, char** argv) {
     cfg.switches = n;
     cfgs.push_back(cfg);
   }
+  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "scaling"));
 
-  util::TablePrinter table({"switches", "hosts", "connections",
-                            "acceptance (%)", "mean hops", "switch util (%)",
-                            "meet deadline (%)", "misses"});
-  for (const auto& run : sweep.runs) {
-    const auto n = run->cfg.switches;
-    std::uint64_t rx = 0, misses = 0;
-    double hops = 0.0;
-    for (const auto& ec : run->workload.connections) {
-      const auto& c = run->sim->metrics().connections[ec.flow];
-      rx += c.rx_packets;
-      misses += c.deadline_misses;
-      hops += ec.stages - 1;
+  int rc = 0;
+  if (sf.json) {
+    obs::Report report("scaling");
+    bench::echo_config(report, base);
+    report.config("full", full);
+    report.telemetry(bench::merged_telemetry(sweep));
+    report.figure("sizes", [&](util::JsonWriter& w) {
+      w.begin_array();
+      for (const auto& run : sweep.runs) {
+        const auto row = summarize(*run);
+        w.begin_object();
+        w.kv("switches", static_cast<std::uint64_t>(row.switches));
+        w.kv("hosts", row.hosts);
+        w.kv("connections", row.connections);
+        w.kv("acceptance_pct", row.acceptance);
+        w.kv("mean_hops", row.mean_hops);
+        w.kv("switch_utilization", row.switch_utilization);
+        w.kv("meet_deadline_pct", row.meet_deadline);
+        w.kv("deadline_misses", row.misses);
+        w.end_object();
+      }
+      w.end_array();
+    });
+    rc = bench::emit_report(report, cli);
+  } else {
+    util::TablePrinter table({"switches", "hosts", "connections",
+                              "acceptance (%)", "mean hops", "switch util (%)",
+                              "meet deadline (%)", "misses"});
+    for (const auto& run : sweep.runs) {
+      const auto row = summarize(*run);
+      table.add_row(
+          {std::to_string(row.switches), std::to_string(row.hosts),
+           std::to_string(row.connections),
+           util::TablePrinter::num(row.acceptance, 1),
+           util::TablePrinter::num(row.mean_hops, 2),
+           util::TablePrinter::num(row.switch_utilization * 100.0, 2),
+           util::TablePrinter::num(row.meet_deadline, 3),
+           std::to_string(row.misses)});
+      std::cerr << "[" << row.switches
+                << " switches] window=" << run->summary.window_cycles
+                << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
     }
-    const double meet =
-        rx ? 100.0 * (1.0 - double(misses) / double(rx)) : 0.0;
-    const auto t2 = run->table2();
-    table.add_row(
-        {std::to_string(n), std::to_string(run->graph.hosts().size()),
-         std::to_string(run->workload.accepted),
-         util::TablePrinter::num(100.0 * double(run->workload.accepted) /
-                                     double(run->workload.offered),
-                                 1),
-         util::TablePrinter::num(
-             run->workload.connections.empty()
-                 ? 0.0
-                 : hops / double(run->workload.connections.size()),
-             2),
-         util::TablePrinter::num(t2.switch_utilization * 100.0, 2),
-         util::TablePrinter::num(meet, 3), std::to_string(misses)});
-    std::cerr << "[" << n << " switches] window=" << run->summary.window_cycles
-              << (run->summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+    table.print(std::cout);
+    std::cout << "\nExpected shape: deadline compliance stays at 100% across\n"
+                 "sizes (pass --full to include the 64-switch network).\n";
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: deadline compliance stays at 100% across\n"
-               "sizes (pass --full to include the 64-switch network).\n";
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  if (!sf.trace_out.empty())
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

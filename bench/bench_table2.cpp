@@ -11,6 +11,7 @@
 // protocol bytes for the same payload bandwidth.
 #include <iostream>
 
+#include "report_common.hpp"
 #include "sweep_runner.hpp"
 #include "util/table_printer.hpp"
 
@@ -18,20 +19,24 @@ using namespace ibarb;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const auto sf = cli.std_flags(21);
   const auto base = bench::config_from_cli(cli);
 
-  std::cout << "=== Table 2: traffic and utilization for different packet "
-               "sizes ===\n";
-  std::cout << "network: " << base.switches << " switches / "
-            << base.switches * 4 << " hosts, 1x links, seed " << base.seed
-            << "\n\n";
+  if (!sf.json) {
+    std::cout << "=== Table 2: traffic and utilization for different packet "
+                 "sizes ===\n";
+    std::cout << "network: " << base.switches << " switches / "
+              << base.switches * 4 << " hosts, 1x links, seed " << base.seed
+              << "\n\n";
+  }
 
   struct Case {
     const char* name;
+    const char* key;
     iba::Mtu mtu;
   };
-  const Case cases[] = {{"Small (256B)", iba::Mtu::kMtu256},
-                        {"Large (4KB)", iba::Mtu::kMtu4096}};
+  const Case cases[] = {{"Small (256B)", "small", iba::Mtu::kMtu256},
+                        {"Large (4KB)", "large", iba::Mtu::kMtu4096}};
 
   std::vector<bench::PaperRunConfig> cfgs;
   for (const auto& c : cases) {
@@ -39,36 +44,55 @@ int main(int argc, char** argv) {
     cfg.mtu = c.mtu;
     cfgs.push_back(cfg);
   }
+  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "table2"));
 
-  util::TablePrinter table({"Packet size", "Injected (B/cyc/node)",
-                            "Delivered (B/cyc/node)", "Host util (%)",
-                            "Switch util (%)", "Host resv (Mbps)",
-                            "Switch resv (Mbps)"});
-  for (std::size_t i = 0; i < std::size(cases); ++i) {
-    const auto& run = *sweep.runs[i];
-    const auto row = run.table2();
-    table.add_row({cases[i].name,
-                   util::TablePrinter::num(
-                       row.injected_bytes_per_cycle_per_node, 4),
-                   util::TablePrinter::num(
-                       row.delivered_bytes_per_cycle_per_node, 4),
-                   util::TablePrinter::num(row.host_utilization * 100.0, 2),
-                   util::TablePrinter::num(row.switch_utilization * 100.0, 2),
-                   util::TablePrinter::num(row.host_reserved_mbps, 1),
-                   util::TablePrinter::num(row.switch_reserved_mbps, 1)});
-    std::cerr << "[" << cases[i].name << "] connections=" << run.workload.accepted
-              << " window=" << run.summary.window_cycles << " cycles"
-              << (run.summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+  int rc = 0;
+  if (sf.json) {
+    obs::Report report("table2");
+    bench::echo_config(report, base);
+    report.telemetry(bench::merged_telemetry(sweep));
+    report.figure("rows", [&](util::JsonWriter& w) {
+      w.begin_object();
+      for (std::size_t i = 0; i < std::size(cases); ++i) {
+        w.key(cases[i].key);
+        bench::write_table2(w, sweep.runs[i]->table2());
+      }
+      w.end_object();
+    });
+    rc = bench::emit_report(report, cli);
+  } else {
+    util::TablePrinter table({"Packet size", "Injected (B/cyc/node)",
+                              "Delivered (B/cyc/node)", "Host util (%)",
+                              "Switch util (%)", "Host resv (Mbps)",
+                              "Switch resv (Mbps)"});
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+      const auto& run = *sweep.runs[i];
+      const auto row = run.table2();
+      table.add_row({cases[i].name,
+                     util::TablePrinter::num(
+                         row.injected_bytes_per_cycle_per_node, 4),
+                     util::TablePrinter::num(
+                         row.delivered_bytes_per_cycle_per_node, 4),
+                     util::TablePrinter::num(row.host_utilization * 100.0, 2),
+                     util::TablePrinter::num(row.switch_utilization * 100.0, 2),
+                     util::TablePrinter::num(row.host_reserved_mbps, 1),
+                     util::TablePrinter::num(row.switch_reserved_mbps, 1)});
+      std::cerr << "[" << cases[i].name << "] connections=" << run.workload.accepted
+                << " window=" << run.summary.window_cycles << " cycles"
+                << (run.summary.hit_hard_limit ? " (HARD LIMIT)" : "") << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\nNote: the reservable ceiling is 80% of each link; 20% is\n"
+                 "kept for best-effort/challenged traffic on the low-priority\n"
+                 "table, so utilization close to (but below) 80% matches the\n"
+                 "paper's quasi-fully-loaded scenario.\n";
   }
-  table.print(std::cout);
-  std::cout << "\nNote: the reservable ceiling is 80% of each link; 20% is\n"
-               "kept for best-effort/challenged traffic on the low-priority\n"
-               "table, so utilization close to (but below) 80% matches the\n"
-               "paper's quasi-fully-loaded scenario.\n";
 
-  const auto unused = cli.unused_flags();
-  if (!unused.empty()) std::cerr << "warning: unused flags " << unused << "\n";
-  return 0;
+  if (!sf.trace_out.empty())
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+
+  cli.warn_unused(std::cerr);
+  return rc;
 }

@@ -63,6 +63,7 @@ PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
   sc.buffer_packets = cfg.buffer_packets;
   sc.seed = cfg.seed;
   sc.queue_impl = queue_impl_from_env();
+  sc.trace_capacity = cfg.trace_capacity;
   sim = std::make_unique<sim::Simulator>(graph, sm->routes(), sc);
 
   traffic::WorkloadConfig wc;

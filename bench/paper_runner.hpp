@@ -33,6 +33,10 @@ struct PaperRunConfig {
   double vbr_on_fraction = 0.25;
   unsigned buffer_packets = 4;       ///< Per-VL buffer depth.
   std::uint8_t limit_of_high_priority = iba::kUnlimitedHighPriority;
+  /// Packet-trace ring size (0 = off). Benches enable it on run 0 of a
+  /// sweep when --trace-out is given; the run is self-contained and
+  /// deterministic, so the exported trace is byte-identical for any --jobs.
+  std::size_t trace_capacity = 0;
 };
 
 /// Applies the common bench flags (--switches --mtu --seed --packets

@@ -1,0 +1,99 @@
+#include "report_common.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace ibarb::bench {
+
+obs::Snapshot merged_telemetry(
+    const std::vector<std::unique_ptr<PaperRun>>& runs) {
+  std::vector<obs::Snapshot> parts;
+  parts.reserve(runs.size());
+  for (const auto& run : runs) parts.push_back(run->sim->telemetry_snapshot());
+  return obs::Snapshot::merge(parts);
+}
+
+obs::Snapshot merged_telemetry(const SweepResult& sweep) {
+  return merged_telemetry(sweep.runs);
+}
+
+void echo_config(obs::Report& report, const PaperRunConfig& cfg) {
+  report.config("switches", static_cast<std::uint64_t>(cfg.switches));
+  report.config("mtu_bytes",
+                static_cast<std::uint64_t>(iba::mtu_bytes(cfg.mtu)));
+  report.config("seed", cfg.seed);
+  report.config("min_rx_packets", cfg.min_rx_packets);
+  report.config("warmup", static_cast<std::uint64_t>(cfg.warmup));
+  report.config("besteffort_load", cfg.besteffort_load);
+  report.config("scheme", cfg.scheme == qos::Scheme::kNewProposal
+                              ? "new_proposal"
+                              : "legacy");
+  report.config("buffer_packets",
+                static_cast<std::uint64_t>(cfg.buffer_packets));
+  report.config("limit_of_high_priority",
+                static_cast<std::uint64_t>(cfg.limit_of_high_priority));
+}
+
+void write_sl_series(util::JsonWriter& w,
+                     const std::vector<PaperRun::SlSeries>& series) {
+  w.begin_array();
+  for (const auto& s : series) {
+    w.begin_object();
+    w.kv("sl", static_cast<std::uint64_t>(s.sl));
+    w.kv("connections", s.connections);
+    w.kv("rx_packets", s.rx_packets);
+    w.kv("deadline_misses", s.deadline_misses);
+    w.key("within").begin_array();
+    for (const double v : s.within) w.value(v);
+    w.end_array();
+    w.key("jitter").begin_array();
+    for (const double v : s.jitter) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_table2(util::JsonWriter& w, const PaperRun::Table2Row& row) {
+  w.begin_object();
+  w.kv("injected_bytes_per_cycle_per_node",
+       row.injected_bytes_per_cycle_per_node);
+  w.kv("delivered_bytes_per_cycle_per_node",
+       row.delivered_bytes_per_cycle_per_node);
+  w.kv("host_utilization", row.host_utilization);
+  w.kv("switch_utilization", row.switch_utilization);
+  w.kv("host_reserved_mbps", row.host_reserved_mbps);
+  w.kv("switch_reserved_mbps", row.switch_reserved_mbps);
+  w.end_object();
+}
+
+int emit_report(const obs::Report& report, const util::Cli& cli) {
+  const auto out = cli.get("out", "");
+  if (out.empty() || out == "-") {
+    report.write(std::cout);
+    return 0;
+  }
+  std::ofstream f(out, std::ios::binary);
+  if (!f) {
+    std::cerr << "error: cannot open --out file " << out << "\n";
+    return 1;
+  }
+  report.write(f);
+  std::cerr << "wrote " << out << "\n";
+  return 0;
+}
+
+bool emit_trace(const std::string& path, const sim::PacketTrace& trace,
+                const std::vector<obs::PhaseSpan>& spans) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "error: cannot open --trace-out file " << path << "\n";
+    return false;
+  }
+  obs::write_chrome_trace(f, trace, spans);
+  std::cerr << "wrote " << path << " (" << trace.size()
+            << " trace records)\n";
+  return true;
+}
+
+}  // namespace ibarb::bench

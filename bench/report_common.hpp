@@ -1,0 +1,53 @@
+// Shared machine-readable reporting for the paper benches. Every bench
+// builds an obs::Report (schema "ibarb.report/1"), attaches its figures and
+// the merged telemetry snapshot, and emits through emit_report — the ONE
+// serialization path (util::JsonWriter). There are no hand-rolled JSON
+// printers in bench/ anymore; tools/report_schema.json +
+// tools/validate_report.py check the envelope in CI.
+//
+// Determinism: reports must diff byte-identical across --jobs, so nothing
+// wall-clock or machine-dependent goes into them — timing stays on stderr.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+#include "sweep_runner.hpp"
+#include "util/cli.hpp"
+#include "util/json_writer.hpp"
+
+namespace ibarb::bench {
+
+/// Trace-ring size used for --trace-out runs: big enough to keep every
+/// milestone of a quick run, bounded for long ones.
+inline constexpr std::size_t kTraceOutCapacity = 1u << 18;
+
+/// Per-run telemetry snapshots merged in run-index order — byte-identical
+/// for any --jobs value by the sweep determinism contract.
+obs::Snapshot merged_telemetry(const SweepResult& sweep);
+obs::Snapshot merged_telemetry(
+    const std::vector<std::unique_ptr<PaperRun>>& runs);
+
+/// Standard config echo of a PaperRunConfig into report.config.
+void echo_config(obs::Report& report, const PaperRunConfig& cfg);
+
+/// Figure payload: the per-SL series array (within/jitter fractions).
+void write_sl_series(util::JsonWriter& w,
+                     const std::vector<PaperRun::SlSeries>& series);
+
+/// Figure payload: one Table-2 aggregate row object.
+void write_table2(util::JsonWriter& w, const PaperRun::Table2Row& row);
+
+/// Writes the report to `--out FILE` when given (or "-"/absent: stdout).
+/// Returns the process exit code.
+int emit_report(const obs::Report& report, const util::Cli& cli);
+
+/// Writes a Chrome trace_event file for --trace-out.
+/// Returns false (and prints to stderr) when the file cannot be opened.
+bool emit_trace(const std::string& path, const sim::PacketTrace& trace,
+                const std::vector<obs::PhaseSpan>& spans = {});
+
+}  // namespace ibarb::bench

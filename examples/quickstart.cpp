@@ -9,22 +9,31 @@
 //   5. Check the guarantee: every packet arrived before its deadline.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+// With --json, the same run is emitted as an obs::Report (the machine
+// format every bench shares) including the simulator's telemetry snapshot.
 #include <cstdio>
 
+#include <iostream>
+
 #include "network/topology.hpp"
+#include "obs/report.hpp"
 #include "qos/admission.hpp"
 #include "subnet/subnet_manager.hpp"
 #include "traffic/cbr.hpp"
+#include "util/cli.hpp"
+#include "util/json_writer.hpp"
 
 using namespace ibarb;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool json = cli.get_bool("json", false);
   // 1. Fabric.
   const auto fabric = network::make_single_switch(/*hosts=*/4);
 
   // 2. Subnet management plane.
   subnet::SubnetManager sm(fabric);
-  std::printf("%s\n", sm.describe().c_str());
+  if (!json) std::printf("%s\n", sm.describe().c_str());
 
   // 3. A connection with QoS: 20 Mbps (wire) and a deadline tight enough to
   //    need entries every 8 slots of the arbitration table.
@@ -42,9 +51,10 @@ int main() {
     std::printf("connection rejected?!\n");
     return 1;
   }
-  std::printf("connection %u admitted, end-to-end deadline %.1f us\n", *conn,
-              double(admission.connection(*conn).deadline) * iba::kNsPerCycle /
-                  1000.0);
+  if (!json)
+    std::printf("connection %u admitted, end-to-end deadline %.1f us\n", *conn,
+                double(admission.connection(*conn).deadline) *
+                    iba::kNsPerCycle / 1000.0);
 
   // 4. Simulate CBR traffic on it.
   sim::Simulator simulator(fabric, sm.routes(), {});
@@ -57,13 +67,30 @@ int main() {
 
   // 5. Verify the guarantee.
   const auto& stats = simulator.metrics().connections[flow];
-  std::printf("delivered %llu packets, mean delay %.1f us, worst %.1f us, "
-              "deadline misses: %llu\n",
-              static_cast<unsigned long long>(stats.rx_packets),
-              stats.delay.mean() * iba::kNsPerCycle / 1000.0,
-              stats.delay.max() * iba::kNsPerCycle / 1000.0,
-              static_cast<unsigned long long>(stats.deadline_misses));
-  std::printf("%s\n", stats.deadline_misses == 0 ? "QoS guarantee held."
-                                                 : "QoS guarantee VIOLATED");
+  if (json) {
+    obs::Report report("quickstart");
+    report.config("sl", static_cast<std::uint64_t>(request.sl));
+    report.config("wire_mbps", request.wire_mbps);
+    report.telemetry(simulator.telemetry_snapshot());
+    report.figure("connection", [&](util::JsonWriter& w) {
+      w.begin_object();
+      w.kv("rx_packets", stats.rx_packets);
+      w.kv("mean_delay_us", stats.delay.mean() * iba::kNsPerCycle / 1000.0);
+      w.kv("worst_delay_us", stats.delay.max() * iba::kNsPerCycle / 1000.0);
+      w.kv("deadline_misses", stats.deadline_misses);
+      w.kv("guarantee_held", stats.deadline_misses == 0);
+      w.end_object();
+    });
+    report.write(std::cout);
+  } else {
+    std::printf("delivered %llu packets, mean delay %.1f us, worst %.1f us, "
+                "deadline misses: %llu\n",
+                static_cast<unsigned long long>(stats.rx_packets),
+                stats.delay.mean() * iba::kNsPerCycle / 1000.0,
+                stats.delay.max() * iba::kNsPerCycle / 1000.0,
+                static_cast<unsigned long long>(stats.deadline_misses));
+    std::printf("%s\n", stats.deadline_misses == 0 ? "QoS guarantee held."
+                                                   : "QoS guarantee VIOLATED");
+  }
   return stats.deadline_misses == 0 ? 0 : 1;
 }

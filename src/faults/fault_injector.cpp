@@ -12,7 +12,22 @@ FaultInjector::FaultInjector(sim::Simulator& sim,
                              const network::FabricGraph& graph,
                              FaultPlan plan, std::uint64_t seed)
     : sim_(sim), graph_(graph), plan_(std::move(plan)),
-      rng_(seed ^ 0xFA175EEDull) {}
+      rng_(seed ^ 0xFA175EEDull) {
+  probe_ = sim_.telemetry().add_probe([this](obs::Snapshot& snap) {
+    snap.add_counter("faults.link_down_events", stats_.link_down_events);
+    snap.add_counter("faults.link_up_events", stats_.link_up_events);
+    snap.add_counter("faults.stuck_windows", stats_.stuck_windows);
+    snap.add_counter("faults.slow_windows", stats_.slow_windows);
+    snap.add_counter("faults.overload_bursts", stats_.overload_bursts);
+    snap.add_counter("faults.corrupt_attempts", stats_.corrupt_attempts);
+    snap.add_counter("faults.crc_rejected", stats_.crc_rejected);
+    snap.add_counter("faults.crc_escaped", stats_.crc_escaped);
+    snap.add_counter("faults.dropped_packets", stats_.dropped_packets);
+    snap.add_counter("faults.flushed_packets", stats_.flushed_packets);
+  });
+}
+
+FaultInjector::~FaultInjector() { sim_.telemetry().remove_probe(probe_); }
 
 const FaultInjector::PortFaultState* FaultInjector::find_state(
     iba::NodeId node, iba::PortIndex port) const {

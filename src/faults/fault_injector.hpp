@@ -43,8 +43,14 @@ struct FaultStats {
 
 class FaultInjector final : public sim::FaultHooks {
  public:
+  /// Registers a telemetry probe publishing "faults.*" counters into the
+  /// simulator's registry; the destructor removes it.
   FaultInjector(sim::Simulator& sim, const network::FabricGraph& graph,
                 FaultPlan plan, std::uint64_t seed);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Schedules every plan event on the simulator clock and attaches the
   /// hooks. Call once, before running.
@@ -115,6 +121,7 @@ class FaultInjector final : public sim::FaultHooks {
   LinkStateListener listener_;
   FaultStats stats_;
   bool armed_ = false;
+  obs::TelemetryRegistry::ProbeId probe_ = 0;
 };
 
 }  // namespace ibarb::faults

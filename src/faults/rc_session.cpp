@@ -37,7 +37,26 @@ RcSession::RcSession(sim::Simulator& sim, Config cfg)
                                          cfg_.message_interval,
                                          cfg_.seed ^ 0xACull));
   sim_.call_at(cfg_.start, [this] { tick(); });
+  probe_ = sim_.telemetry().add_probe([this](obs::Snapshot& snap) {
+    const transport::RcSender::Stats& tx = tx_.stats();
+    const transport::RcReceiver::Stats& rx = rx_.stats();
+    snap.add_counter("rc.packets_sent", tx.packets_sent);
+    snap.add_counter("rc.retransmitted_packets", tx.retransmitted_packets);
+    snap.add_counter("rc.timeouts", tx.timeouts);
+    snap.add_counter("rc.naks", tx.naks);
+    snap.add_counter("rc.messages_completed", messages_completed_);
+    snap.add_counter("rc.delivered_packets", rx.delivered_packets);
+    snap.add_counter("rc.delivered_bytes", rx.delivered_bytes);
+    snap.add_counter("rc.duplicates", rx.duplicates);
+    snap.add_counter("rc.out_of_order", rx.out_of_order);
+    snap.add_counter("rc.recovered_packets", recovered_packets_);
+    snap.merge_gauge("rc.max_recovery_latency",
+                     static_cast<double>(max_recovery_latency_),
+                     obs::MergePolicy::kMax);
+  });
 }
+
+RcSession::~RcSession() { sim_.telemetry().remove_probe(probe_); }
 
 void RcSession::tick() {
   const iba::Cycle now = sim_.now();

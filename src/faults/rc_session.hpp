@@ -40,7 +40,14 @@ class RcSession {
     transport::RcConfig rc;
   };
 
+  /// Registers a telemetry probe publishing "rc.*" counters into the
+  /// simulator's registry (several sessions aggregate into the same names);
+  /// the destructor removes it.
   RcSession(sim::Simulator& sim, Config cfg);
+  ~RcSession();
+
+  RcSession(const RcSession&) = delete;
+  RcSession& operator=(const RcSession&) = delete;
 
   /// True when `p` belongs to this session's data or ack flow.
   bool wants(const iba::Packet& p) const noexcept {
@@ -90,6 +97,7 @@ class RcSession {
   std::unordered_map<std::uint32_t, iba::Cycle> first_injected_;
   /// PSNs that went to the wire more than once.
   std::unordered_set<std::uint32_t> retransmitted_;
+  obs::TelemetryRegistry::ProbeId probe_ = 0;
 };
 
 }  // namespace ibarb::faults

@@ -17,6 +17,29 @@ RecoveryCoordinator::RecoveryCoordinator(sim::Simulator& sim,
   injector_.set_link_state_listener(
       [this](iba::NodeId node, iba::PortIndex port, bool healthy,
              iba::Cycle now) { on_link_state(node, port, healthy, now); });
+  probe_ = sim_.telemetry().add_probe([this](obs::Snapshot& snap) {
+    snap.add_counter("recovery.resweeps", stats_.resweeps);
+    snap.add_counter("recovery.failed_resweeps", stats_.failed_resweeps);
+    snap.add_counter("recovery.smps_sent", stats_.smps_sent);
+    snap.add_counter("recovery.rerouted", stats_.rerouted);
+    snap.add_counter("recovery.suspended", stats_.suspended);
+    snap.add_counter("recovery.suspended_guaranteed",
+                     stats_.suspended_guaranteed);
+    snap.add_counter("recovery.suspended_best_effort",
+                     stats_.suspended_best_effort);
+    snap.add_counter("recovery.restored", stats_.restored);
+    snap.add_counter("recovery.shed_best_effort", stats_.shed_best_effort);
+    snap.add_counter("recovery.purged_in_flight", stats_.purged_in_flight);
+    snap.add_counter("recovery.guarantee_revocations",
+                     stats_.guarantee_revocations);
+    snap.merge_gauge("recovery.max_recovery_latency",
+                     static_cast<double>(stats_.max_recovery_latency),
+                     obs::MergePolicy::kMax);
+  });
+}
+
+RecoveryCoordinator::~RecoveryCoordinator() {
+  sim_.telemetry().remove_probe(probe_);
 }
 
 void RecoveryCoordinator::track(qos::ConnectionId id, std::uint32_t flow) {

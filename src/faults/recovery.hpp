@@ -61,10 +61,16 @@ struct RecoveryStats {
 
 class RecoveryCoordinator {
  public:
+  /// Registers a telemetry probe publishing "recovery.*" counters into the
+  /// simulator's registry; the destructor removes it.
   RecoveryCoordinator(sim::Simulator& sim, const network::FabricGraph& graph,
                       subnet::SubnetManager& sm,
                       qos::AdmissionControl& admission,
                       FaultInjector& injector, RecoveryConfig cfg);
+  ~RecoveryCoordinator();
+
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
 
   /// Registers an admitted guaranteed (DBTS/DB) connection and its flow.
   void track(qos::ConnectionId id, std::uint32_t flow);
@@ -106,6 +112,7 @@ class RecoveryCoordinator {
   bool repair_pending_ = false;
   iba::Cycle first_trap_ = 0;
   RecoveryStats stats_;
+  obs::TelemetryRegistry::ProbeId probe_ = 0;
 };
 
 }  // namespace ibarb::faults

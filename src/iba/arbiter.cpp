@@ -50,7 +50,8 @@ bool VlArbiter::any_ready(const ArbTable& t, const ReadyBytes& head_bytes) {
 
 std::optional<VirtualLane> VlArbiter::pick(const ArbTable& t,
                                            const TableIndex& ti, Cursor& cur,
-                                           const ReadyBytes& head_bytes) {
+                                           const ReadyBytes& head_bytes,
+                                           std::uint64_t& skips) {
   // Equivalent to one full advance-by-one pass over the table (64+1 steps,
   // since the current entry may be revisited with a fresh weight), but runs
   // of entries that cannot match — inactive, or active with no packet ready —
@@ -83,12 +84,14 @@ std::optional<VirtualLane> VlArbiter::pick(const ArbTable& t,
   std::uint8_t j = ti.next_after[start];
   for (unsigned k = 0; k < ti.active_count && j != kNoEntry; ++k) {
     if (head_bytes[t[j].vl] > 0) {
+      skips += k;
       cur.index = j;
       cur.remaining = t[j].weight;
       return charge(j);
     }
     j = ti.next_after[j];
   }
+  skips += ti.active_count;
 
   // Nothing eligible: the plain walk would have advanced 65 times, leaving
   // the cursor one past its starting entry with that entry's full weight.
@@ -98,9 +101,12 @@ std::optional<VirtualLane> VlArbiter::pick(const ArbTable& t,
 }
 
 std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
+  ++stats_.decisions;
   // VL15 absolute priority, outside both tables.
-  if (head_bytes[kManagementVl] > 0)
+  if (head_bytes[kManagementVl] > 0) {
+    ++stats_.vl15_bypasses;
     return ArbDecision{kManagementVl, false, true};
+  }
 
   std::uint16_t ready_mask = 0;
   for (unsigned v = 0; v < kMaxVirtualLanes; ++v)
@@ -118,9 +124,10 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
       high_bytes_since_low_ >=
           static_cast<std::uint64_t>(limit) * kHighPriorityLimitUnitBytes;
 
+  if (high_ready && limit_exhausted && low_ready) ++stats_.limit_blocks;
   if (high_ready && !(limit_exhausted && low_ready)) {
     if (const auto vl = pick(table_.high(), high_index_, high_cur_,
-                             head_bytes)) {
+                             head_bytes, stats_.high_skips)) {
       if (!low_ready) {
         // Spec: the limit only meters high-priority data sent while low
         // packets wait; with no low packet pending the meter stays reset.
@@ -128,13 +135,15 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
       } else {
         high_bytes_since_low_ += head_bytes[*vl];
       }
+      ++stats_.high_picks;
       return ArbDecision{*vl, true, false};
     }
   }
   if (low_ready) {
     if (const auto vl = pick(table_.low(), low_index_, low_cur_,
-                             head_bytes)) {
+                             head_bytes, stats_.low_skips)) {
       high_bytes_since_low_ = 0;
+      ++stats_.low_picks;
       return ArbDecision{*vl, false, false};
     }
   }
@@ -143,11 +152,13 @@ std::optional<ArbDecision> VlArbiter::arbitrate(const ReadyBytes& head_bytes) {
   // robustness anyway.
   if (high_ready) {
     if (const auto vl = pick(table_.high(), high_index_, high_cur_,
-                             head_bytes)) {
+                             head_bytes, stats_.high_skips)) {
       high_bytes_since_low_ += head_bytes[*vl];
+      ++stats_.high_picks;
       return ArbDecision{*vl, true, false};
     }
   }
+  ++stats_.idle;
   return std::nullopt;
 }
 

@@ -45,6 +45,21 @@ struct ArbDecision {
 
 class VlArbiter {
  public:
+  /// Always-on decision accounting, published to obs::TelemetryRegistry by
+  /// the simulator's snapshot probe. Plain increments — arbitrate() is a
+  /// hot path (bench_micro measures Mdecisions/s) and must not touch any
+  /// registry indirection.
+  struct Stats {
+    std::uint64_t decisions = 0;       ///< arbitrate() calls.
+    std::uint64_t vl15_bypasses = 0;   ///< Management traffic preemptions.
+    std::uint64_t high_picks = 0;
+    std::uint64_t low_picks = 0;
+    std::uint64_t high_skips = 0;      ///< Not-ready entries stepped over.
+    std::uint64_t low_skips = 0;
+    std::uint64_t limit_blocks = 0;    ///< High table deferred by the limit.
+    std::uint64_t idle = 0;            ///< Nothing eligible anywhere.
+  };
+
   VlArbiter() = default;
   explicit VlArbiter(const VlArbitrationTable& table) { set_table(table); }
 
@@ -67,6 +82,8 @@ class VlArbiter {
     return high_bytes_since_low_;
   }
 
+  const Stats& stats() const noexcept { return stats_; }
+
  private:
   struct Cursor {
     unsigned index = 0;
@@ -88,9 +105,11 @@ class VlArbiter {
   };
 
   /// Tries to pick from one table; on success charges the entry's weight.
-  /// `ti` must be the TableIndex derived from `t`.
+  /// `ti` must be the TableIndex derived from `t`. Not-ready active entries
+  /// stepped over are added to `skips`.
   std::optional<VirtualLane> pick(const ArbTable& t, const TableIndex& ti,
-                                  Cursor& cur, const ReadyBytes& head_bytes);
+                                  Cursor& cur, const ReadyBytes& head_bytes,
+                                  std::uint64_t& skips);
 
   static bool any_ready(const ArbTable& t, const ReadyBytes& head_bytes);
 
@@ -100,6 +119,7 @@ class VlArbiter {
   Cursor high_cur_{};
   Cursor low_cur_{};
   std::uint64_t high_bytes_since_low_ = 0;
+  Stats stats_;
 };
 
 }  // namespace ibarb::iba

@@ -1,0 +1,143 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "sim/trace.hpp"
+#include "util/json_writer.hpp"
+
+namespace ibarb::obs {
+
+namespace {
+
+/// pid for the control-plane (phase-span) rows; real connection ids are
+/// dense from 0, so a large sentinel cannot collide in practice.
+constexpr std::uint64_t kControlPid = 1'000'000'000;
+
+const char* segment_name(sim::TraceEvent from, sim::TraceEvent to) {
+  using E = sim::TraceEvent;
+  if (from == E::kInject && to == E::kLinkTx) return "inject_queue";
+  if (from == E::kLinkTx && to == E::kXbar) return "link+xbar";
+  if (from == E::kXbar && to == E::kLinkTx) return "switch_queue";
+  if (to == E::kDeliver) return "final_hop";
+  return "segment";
+}
+
+void write_common(util::JsonWriter& w, const char* name, const char* ph,
+                  std::uint64_t pid, std::uint64_t tid, std::uint64_t ts) {
+  w.kv("name", name);
+  w.kv("ph", ph);
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.kv("ts", ts);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const sim::PacketTrace& trace,
+                        const std::vector<PhaseSpan>& spans) {
+  // Group milestones per packet. The ring is already chronological; a
+  // stable grouping keyed by (connection, packet) keeps output ordering a
+  // pure function of trace contents.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<sim::TraceRecord>>
+      journeys;
+  for (const sim::TraceRecord& r : trace.chronological()) {
+    journeys[{r.connection, r.packet}].push_back(r);
+  }
+
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Name the process rows after their connections.
+  std::uint64_t last_conn = ~std::uint64_t{0};
+  for (const auto& [key, recs] : journeys) {
+    if (key.first == last_conn) continue;
+    last_conn = key.first;
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", key.first);
+    w.key("args").begin_object();
+    w.kv("name", "connection " + std::to_string(key.first));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& [key, recs] : journeys) {
+    const auto [conn, packet] = key;
+    for (std::size_t i = 0; i + 1 < recs.size(); ++i) {
+      const sim::TraceRecord& a = recs[i];
+      const sim::TraceRecord& b = recs[i + 1];
+      if (b.event == sim::TraceEvent::kDrop) continue;  // instant below
+      w.begin_object();
+      write_common(w, segment_name(a.event, b.event), "X", conn, packet,
+                   a.time);
+      w.kv("dur", b.time - a.time);
+      w.key("args").begin_object();
+      w.kv("node", static_cast<std::uint64_t>(a.node));
+      w.kv("port", static_cast<std::uint64_t>(a.port));
+      w.kv("vl", static_cast<std::uint64_t>(a.vl));
+      w.end_object();
+      w.end_object();
+    }
+    for (const sim::TraceRecord& r : recs) {
+      if (r.event != sim::TraceEvent::kDrop) continue;
+      w.begin_object();
+      write_common(w, "drop", "i", conn, packet, r.time);
+      w.kv("s", "t");
+      w.key("args").begin_object();
+      w.kv("node", static_cast<std::uint64_t>(r.node));
+      w.kv("port", static_cast<std::uint64_t>(r.port));
+      w.kv("vl", static_cast<std::uint64_t>(r.vl));
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  // Control-plane phase spans: one tid per distinct track, in first-seen
+  // order of the (caller-sorted) span list.
+  std::map<std::string, std::uint64_t> track_tids;
+  for (const PhaseSpan& s : spans) {
+    auto [it, inserted] =
+        track_tids.emplace(s.track, track_tids.size());
+    if (inserted) {
+      w.begin_object();
+      w.kv("name", "thread_name");
+      w.kv("ph", "M");
+      w.kv("pid", kControlPid);
+      w.kv("tid", it->second);
+      w.key("args").begin_object();
+      w.kv("name", s.track);
+      w.end_object();
+      w.end_object();
+    }
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("ph", "X");
+    w.kv("pid", kControlPid);
+    w.kv("tid", it->second);
+    w.kv("ts", s.begin);
+    w.kv("dur", s.end >= s.begin ? s.end - s.begin : 0);
+    w.end_object();
+  }
+
+  if (!spans.empty()) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", kControlPid);
+    w.key("args").begin_object();
+    w.kv("name", "control plane");
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace ibarb::obs

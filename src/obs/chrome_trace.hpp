@@ -1,0 +1,45 @@
+// Chrome trace_event export: turns the simulator's PacketTrace ring (and
+// optional component phase spans) into a JSON file loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Mapping (docs/OBSERVABILITY.md#trace-viewer):
+//  * pid  = connection id (one process row per connection),
+//  * tid  = packet id (one thread lane per packet),
+//  * each pair of consecutive milestones of a packet becomes a complete
+//    ("X") event named after the segment (inject→link_tx = "queue",
+//    link_tx→xbar = "hop", xbar→link_tx = "switch", ...→deliver = "final"),
+//  * kDrop becomes an instant ("i") event,
+//  * PhaseSpans (fault windows, recovery phases) land on a reserved
+//    control-plane pid with one tid per track.
+//
+// Timestamps are simulator cycles written as microseconds; only relative
+// structure matters in the viewer. Output is a pure function of the trace
+// contents — byte-identical across --jobs by construction.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ibarb::sim {
+class PacketTrace;
+}
+
+namespace ibarb::obs {
+
+/// A labelled [begin, end] interval on a named control-plane track —
+/// e.g. a fault window or a recovery sweep.
+struct PhaseSpan {
+  std::string track;  ///< Groups spans into one viewer row.
+  std::string name;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Writes {"traceEvents":[...]} . Spans are emitted in the given order
+/// after the packet journeys; pass them pre-sorted for deterministic files.
+void write_chrome_trace(std::ostream& os, const sim::PacketTrace& trace,
+                        const std::vector<PhaseSpan>& spans = {});
+
+}  // namespace ibarb::obs

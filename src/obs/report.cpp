@@ -1,0 +1,62 @@
+#include "obs/report.hpp"
+
+#include "util/json_writer.hpp"
+
+namespace ibarb::obs {
+
+Report& Report::meta(std::string_view key, Scalar v) {
+  meta_.emplace_back(std::string(key), std::move(v));
+  return *this;
+}
+
+Report& Report::config(std::string_view key, Scalar v) {
+  config_.emplace_back(std::string(key), std::move(v));
+  return *this;
+}
+
+Report& Report::telemetry(Snapshot snapshot) {
+  telemetry_ = std::move(snapshot);
+  return *this;
+}
+
+Report& Report::figure(std::string_view name, FigureFn fn) {
+  figures_.emplace_back(std::string(name), std::move(fn));
+  return *this;
+}
+
+void Report::write_scalar(util::JsonWriter& w, const Scalar& v) {
+  std::visit([&w](const auto& x) { w.value(x); }, v);
+}
+
+void Report::write(std::ostream& os, bool pretty) const {
+  util::JsonWriter w(os, pretty);
+  w.begin_object();
+  w.kv("schema", "ibarb.report/1");
+  w.kv("bench", bench_);
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta_) {
+    w.key(k);
+    write_scalar(w, v);
+  }
+  w.end_object();
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) {
+    w.key(k);
+    write_scalar(w, v);
+  }
+  w.end_object();
+  if (telemetry_) {
+    w.key("telemetry");
+    telemetry_->write_json(w);
+  }
+  w.key("figures").begin_object();
+  for (const auto& [name, fn] : figures_) {
+    w.key(name);
+    fn(w);
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace ibarb::obs

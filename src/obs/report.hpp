@@ -1,0 +1,67 @@
+// obs::Report — the one reporting API for every bench's machine-readable
+// output. Replaces the per-bench hand-rolled JSON printers with a single
+// schema ("ibarb.report/1"):
+//
+//   {
+//     "schema":   "ibarb.report/1",
+//     "bench":    "<bench name>",
+//     "meta":     { run metadata: seed, jobs, wall_ms, ... },
+//     "config":   { config echo, insertion order },
+//     "telemetry": { counters/gauges/histograms snapshot (optional) },
+//     "figures":  { bench-specific payloads, insertion order }
+//   }
+//
+// meta/config values are scalars; figures are free-form sub-trees a bench
+// emits through a JsonWriter callback, so figure payloads stay streaming
+// and each bench keeps full control of its own data shape under a shared
+// envelope. tools/report_schema.json validates the envelope in CI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace ibarb::obs {
+
+class Report {
+ public:
+  using Scalar = std::variant<std::string, std::int64_t, std::uint64_t,
+                              double, bool>;
+  using FigureFn = std::function<void(util::JsonWriter&)>;
+
+  explicit Report(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Run metadata (seed, jobs, wall-clock, host-independent facts only if
+  /// the output must diff clean across runs).
+  Report& meta(std::string_view key, Scalar v);
+  /// Config echo. Insertion order preserved.
+  Report& config(std::string_view key, Scalar v);
+  /// Attaches the (merged) registry snapshot. At most one; later wins.
+  Report& telemetry(Snapshot snapshot);
+  /// Registers a named figure payload; `fn` must write exactly one JSON
+  /// value. Insertion order preserved.
+  Report& figure(std::string_view name, FigureFn fn);
+
+  /// Emits the whole report. `pretty` is for humans eyeballing the file;
+  /// CI diffs use the default compact form.
+  void write(std::ostream& os, bool pretty = false) const;
+
+ private:
+  static void write_scalar(util::JsonWriter& w, const Scalar& v);
+
+  std::string bench_;
+  std::vector<std::pair<std::string, Scalar>> meta_;
+  std::vector<std::pair<std::string, Scalar>> config_;
+  std::optional<Snapshot> telemetry_;
+  std::vector<std::pair<std::string, FigureFn>> figures_;
+};
+
+}  // namespace ibarb::obs

@@ -1,0 +1,145 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+
+#include "util/json_writer.hpp"
+
+namespace ibarb::obs {
+
+namespace {
+
+void combine_gauge(std::pair<double, MergePolicy>& acc, double v,
+                   MergePolicy policy) {
+  switch (policy) {
+    case MergePolicy::kSum:
+      acc.first += v;
+      break;
+    case MergePolicy::kMax:
+      acc.first = std::max(acc.first, v);
+      break;
+    case MergePolicy::kMin:
+      acc.first = std::min(acc.first, v);
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t t = 0;
+  for (auto b : bins_) t += b;
+  return t;
+}
+
+void Snapshot::add_counter(std::string_view name, std::uint64_t v) {
+  auto it = counters.find(name);
+  if (it == counters.end()) {
+    counters.emplace(std::string(name), v);
+  } else {
+    it->second += v;
+  }
+}
+
+void Snapshot::merge_gauge(std::string_view name, double v,
+                           MergePolicy policy) {
+  auto it = gauges.find(name);
+  if (it == gauges.end()) {
+    gauges.emplace(std::string(name), std::make_pair(v, policy));
+  } else {
+    combine_gauge(it->second, v, policy);
+  }
+}
+
+void Snapshot::add_histogram(std::string_view name, const std::uint64_t* bins,
+                             std::size_t n) {
+  auto it = histograms.find(name);
+  if (it == histograms.end()) {
+    it = histograms.emplace(std::string(name),
+                            std::vector<std::uint64_t>(n, 0)).first;
+  }
+  auto& acc = it->second;
+  if (acc.size() < n) acc.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) acc[i] += bins[i];
+}
+
+Counter& TelemetryRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& TelemetryRegistry::gauge(std::string_view name, MergePolicy policy) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge(policy)).first;
+  }
+  return it->second;
+}
+
+Histogram& TelemetryRegistry::histogram(std::string_view name,
+                                        std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(bins)).first;
+  }
+  return it->second;
+}
+
+TelemetryRegistry::ProbeId TelemetryRegistry::add_probe(ProbeFn fn) {
+  ProbeId id = next_probe_id_++;
+  probes_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void TelemetryRegistry::remove_probe(ProbeId id) {
+  std::erase_if(probes_, [id](const auto& p) { return p.first == id; });
+}
+
+Snapshot TelemetryRegistry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.add_counter(name, c.value());
+  for (const auto& [name, g] : gauges_) {
+    s.merge_gauge(name, g.value(), g.policy());
+  }
+  for (const auto& [name, h] : histograms_) {
+    s.add_histogram(name, h.bins().data(), h.bins().size());
+  }
+  for (const auto& [id, fn] : probes_) fn(s);
+  return s;
+}
+
+Snapshot Snapshot::merge(const std::vector<Snapshot>& parts) {
+  Snapshot out;
+  for (const Snapshot& p : parts) {
+    for (const auto& [name, v] : p.counters) out.add_counter(name, v);
+    for (const auto& [name, gv] : p.gauges) {
+      out.merge_gauge(name, gv.first, gv.second);
+    }
+    for (const auto& [name, bins] : p.histograms) {
+      out.add_histogram(name, bins.data(), bins.size());
+    }
+  }
+  return out;
+}
+
+void Snapshot::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, gv] : gauges) w.kv(name, gv.first);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, bins] : histograms) {
+    w.key(name).begin_array();
+    for (auto b : bins) w.value(b);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace ibarb::obs

@@ -38,9 +38,14 @@ class VlFifo {
            used_bytes_ + wire_bytes <= capacity_bytes_;
   }
 
+  std::uint32_t peak_bytes() const noexcept { return peak_bytes_; }
+  std::size_t peak_packets() const noexcept { return peak_packets_; }
+
   void push(iba::Packet p) {
     used_bytes_ += p.wire_bytes();
     packets_.push_back(std::move(p));
+    if (used_bytes_ > peak_bytes_) peak_bytes_ = used_bytes_;
+    if (packets_.size() > peak_packets_) peak_packets_ = packets_.size();
   }
 
   const iba::Packet& front() const { return packets_.front(); }
@@ -75,6 +80,8 @@ class VlFifo {
   std::deque<iba::Packet> packets_;
   std::uint32_t used_bytes_ = 0;
   std::uint32_t capacity_bytes_ = kUnbounded;
+  std::uint32_t peak_bytes_ = 0;    ///< High-water mark (telemetry).
+  std::size_t peak_packets_ = 0;
 };
 
 /// The 16 per-VL FIFOs of one port side (input or output).

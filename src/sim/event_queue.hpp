@@ -25,6 +25,7 @@
 //    pre-wheel code: pop() moves the top event out instead of copying it.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -63,6 +64,21 @@ enum class EventQueueImpl : std::uint8_t {
 
 class EventQueue {
  public:
+  /// Always-on plain counters published to obs::TelemetryRegistry by the
+  /// simulator's snapshot probe. A handful of uint64 increments per
+  /// operation keeps the hot path free of any registry indirection.
+  static constexpr std::size_t kResidencyBins = 18;
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    /// Wheel mode only: events pushed beyond the 2^16-cycle horizon.
+    std::uint64_t overflow_pushes = 0;
+    std::uint64_t peak_size = 0;
+    /// Wheel mode only: bin i counts pushes whose distance-to-window-start
+    /// had bit_width i (bin 0 = "due now", last bin = saturated).
+    std::array<std::uint64_t, kResidencyBins> residency_log2{};
+  };
+
   explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kWheel)
       : impl_(impl) {
     if (impl_ == EventQueueImpl::kWheel) {
@@ -76,9 +92,11 @@ class EventQueue {
 
   void push(Event e) {
     e.seq = next_seq_++;
+    ++stats_.pushes;
     if (impl_ == EventQueueImpl::kBinaryHeap) {
       heap_.push(std::move(e));
       ++size_;
+      if (size_ > stats_.peak_size) stats_.peak_size = size_;
       return;
     }
     const iba::Cycle t = e.time;
@@ -86,6 +104,8 @@ class EventQueue {
     const std::uint32_t idx = alloc_slot(std::move(e));
     if (t >= base_ && t - base_ < kWheelBuckets) {
       const auto b = static_cast<std::uint32_t>(t & kWheelMask);
+      const auto bin = static_cast<std::size_t>(std::bit_width(t - base_));
+      ++stats_.residency_log2[bin < kResidencyBins ? bin : kResidencyBins - 1];
       Bucket& bk = buckets_[b];
       if (bk.head == kNull) {
         bk.head = idx;
@@ -96,11 +116,14 @@ class EventQueue {
       bk.tail = idx;
       ++wheel_count_;
     } else {
+      ++stats_.overflow_pushes;
+      ++stats_.residency_log2[kResidencyBins - 1];
       overflow_.push_back(HeapNode{t, seq, idx});
       sift_up(overflow_.size() - 1);
     }
     peek_valid_ = false;
     ++size_;
+    if (size_ > stats_.peak_size) stats_.peak_size = size_;
   }
 
   bool empty() const noexcept { return size_ == 0; }
@@ -111,7 +134,10 @@ class EventQueue {
     return pool_[peek().idx];
   }
 
+  const Stats& stats() const noexcept { return stats_; }
+
   Event pop() {
+    ++stats_.pops;
     if (impl_ == EventQueueImpl::kBinaryHeap) {
       // priority_queue exposes the top read-only; moving out of it is safe
       // (pop() only shuffles elements, never reads the payload) and skips one
@@ -322,6 +348,7 @@ class EventQueue {
 
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
 };
 
 }  // namespace ibarb::sim

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -70,6 +71,81 @@ Simulator::Simulator(const network::FabricGraph& graph,
       hosts_.push_back(std::move(host));
     }
   }
+
+  // Publish the simulator's always-on component counters into the registry
+  // at snapshot time. Arbiter/port/buffer figures are aggregated across all
+  // output ports; per-VL output occupancy peaks keep the "which VL starved?"
+  // question answerable without per-port blow-up.
+  telemetry_.add_probe([this](obs::Snapshot& snap) {
+    const EventQueue::Stats& qs = queue_.stats();
+    snap.add_counter("queue.pushes", qs.pushes);
+    snap.add_counter("queue.pops", qs.pops);
+    snap.add_counter("queue.overflow_pushes", qs.overflow_pushes);
+    snap.merge_gauge("queue.peak_size", static_cast<double>(qs.peak_size),
+                     obs::MergePolicy::kMax);
+    snap.add_histogram("queue.residency_log2", qs.residency_log2.data(),
+                       qs.residency_log2.size());
+
+    snap.add_counter("sim.events", events_);
+    snap.add_counter("sim.purged_in_flight_late", purged_late_);
+    snap.add_counter("trace.records", trace_.total_recorded());
+
+    iba::VlArbiter::Stats arb;
+    std::uint64_t credit_stalls = 0;
+    std::uint64_t out_peak_bytes = 0;
+    std::array<std::uint64_t, iba::kMaxVirtualLanes> vl_peak_packets{};
+    const auto fold = [&](const OutputPort& op) {
+      if (!op.wired) return;
+      const iba::VlArbiter::Stats& s = op.arbiter.stats();
+      arb.decisions += s.decisions;
+      arb.vl15_bypasses += s.vl15_bypasses;
+      arb.high_picks += s.high_picks;
+      arb.low_picks += s.low_picks;
+      arb.high_skips += s.high_skips;
+      arb.low_skips += s.low_skips;
+      arb.limit_blocks += s.limit_blocks;
+      arb.idle += s.idle;
+      credit_stalls += op.credit_stalls;
+      for (unsigned v = 0; v < iba::kMaxVirtualLanes; ++v) {
+        const VlFifo& f = op.queues.vl(static_cast<iba::VirtualLane>(v));
+        out_peak_bytes = std::max<std::uint64_t>(out_peak_bytes,
+                                                 f.peak_bytes());
+        vl_peak_packets[v] =
+            std::max<std::uint64_t>(vl_peak_packets[v], f.peak_packets());
+      }
+    };
+    for (const SwitchState& sw : switches_)
+      for (const OutputPort& op : sw.out) fold(op);
+    for (const HostState& h : hosts_) fold(h.out);
+
+    snap.add_counter("arb.decisions", arb.decisions);
+    snap.add_counter("arb.vl15_bypasses", arb.vl15_bypasses);
+    snap.add_counter("arb.high_picks", arb.high_picks);
+    snap.add_counter("arb.low_picks", arb.low_picks);
+    snap.add_counter("arb.high_skips", arb.high_skips);
+    snap.add_counter("arb.low_skips", arb.low_skips);
+    snap.add_counter("arb.limit_blocks", arb.limit_blocks);
+    snap.add_counter("arb.idle", arb.idle);
+    snap.add_counter("port.credit_stalls", credit_stalls);
+    snap.merge_gauge("buffer.out.peak_bytes",
+                     static_cast<double>(out_peak_bytes),
+                     obs::MergePolicy::kMax);
+    snap.add_histogram("buffer.out.peak_packets_by_vl",
+                       vl_peak_packets.data(), vl_peak_packets.size());
+
+    std::uint64_t in_peak_bytes = 0;
+    for (const SwitchState& sw : switches_)
+      for (const InputPort& ip : sw.in) {
+        if (!ip.wired) continue;
+        for (unsigned v = 0; v < iba::kMaxVirtualLanes; ++v)
+          in_peak_bytes = std::max<std::uint64_t>(
+              in_peak_bytes,
+              ip.buffers.vl(static_cast<iba::VirtualLane>(v)).peak_bytes());
+      }
+    snap.merge_gauge("buffer.in.peak_bytes",
+                     static_cast<double>(in_peak_bytes),
+                     obs::MergePolicy::kMax);
+  });
 }
 
 OutputPort& Simulator::output_port(iba::NodeId node, iba::PortIndex port) {

@@ -14,6 +14,7 @@
 #include "iba/vl_arbitration.hpp"
 #include "network/graph.hpp"
 #include "network/routing.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/host.hpp"
 #include "sim/metrics.hpp"
@@ -82,6 +83,10 @@ class Simulator {
  public:
   Simulator(const network::FabricGraph& graph, const network::Routes& routes,
             SimConfig cfg);
+
+  /// The telemetry probe registered at construction captures `this`.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   // --- Configuration (the subnet-management plane) -----------------------
 
@@ -201,6 +206,16 @@ class Simulator {
 
   const PacketTrace& trace() const noexcept { return trace_; }
 
+  /// This run's instrument registry. Components attached to the simulator
+  /// (fault layer, transports) register their probes here at construction;
+  /// the simulator's own probe publishes event-queue, arbiter, buffer and
+  /// credit telemetry. One registry per simulator — never shared across
+  /// runs — so --jobs parallelism stays race-free (see docs/OBSERVABILITY.md).
+  obs::TelemetryRegistry& telemetry() noexcept { return telemetry_; }
+
+  /// Runs all probes and returns the deterministic instrument snapshot.
+  obs::Snapshot telemetry_snapshot() { return telemetry_.snapshot(); }
+
  private:
   void handle(const Event& e);
   void on_generate(std::uint32_t flow_index);
@@ -247,6 +262,7 @@ class Simulator {
   std::vector<FlowState> flows_;
   Metrics metrics_;
   PacketTrace trace_;
+  obs::TelemetryRegistry telemetry_;
 };
 
 }  // namespace ibarb::sim

@@ -33,10 +33,13 @@ struct OutputPort {
   bool wired = false;
   bool tx_busy = false;               ///< Serializing onto the link.
   bool xbar_rx_busy = false;          ///< Receiving from the crossbar.
+  /// Head-of-VL packets held back for lack of downstream credits, summed
+  /// over every readiness scan (telemetry: credit back-pressure intensity).
+  std::uint64_t credit_stalls = 0;
 
   /// Eligible head-packet sizes per VL for the arbiter: nonempty queue with
   /// enough downstream credits.
-  iba::ReadyBytes ready_bytes() const {
+  iba::ReadyBytes ready_bytes() {
     iba::ReadyBytes ready{};
     std::uint16_t occ = queues.occupancy();
     while (occ != 0) {
@@ -44,7 +47,11 @@ struct OutputPort {
           static_cast<iba::VirtualLane>(std::countr_zero(occ));
       occ &= static_cast<std::uint16_t>(occ - 1);
       const auto bytes = queues.front(v).wire_bytes();
-      if (credits.can_send(v, bytes)) ready[v] = bytes;
+      if (credits.can_send(v, bytes)) {
+        ready[v] = bytes;
+      } else {
+        ++credit_stalls;
+      }
     }
     return ready;
   }

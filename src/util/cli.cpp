@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <charconv>
+#include <ostream>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -90,6 +91,26 @@ unsigned Cli::jobs() const {
                                 std::to_string(n));
   }
   return n == 0 ? default_jobs() : static_cast<unsigned>(n);
+}
+
+StdFlags Cli::std_flags(std::uint64_t default_seed) const {
+  StdFlags f;
+  f.jobs = jobs();
+  f.json = get_bool("json", false);
+  const auto seed = get_int("seed", static_cast<std::int64_t>(default_seed));
+  if (seed < 0) {
+    throw std::invalid_argument("flag --seed expects a value >= 0, got " +
+                                std::to_string(seed));
+  }
+  f.seed = static_cast<std::uint64_t>(seed);
+  f.trace_out = get("trace-out", "");
+  f.quiet = get_bool("quiet", false);
+  return f;
+}
+
+void Cli::warn_unused(std::ostream& err) const {
+  const auto unused = unused_flags();
+  if (!unused.empty()) err << "warning: unused flags " << unused << "\n";
 }
 
 std::string Cli::unused_flags() const {

@@ -5,12 +5,27 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 
 namespace ibarb::util {
+
+/// The flag block every bench shares (parsed once via Cli::std_flags):
+///   --jobs N        parallel sweep workers (0/absent = hardware concurrency)
+///   --json          machine-readable obs::Report to stdout (or --out file)
+///   --seed S        base RNG seed for the sweep
+///   --trace-out F   write a Chrome trace_event JSON of run 0 to F
+///   --quiet         suppress progress/timing chatter on stderr
+struct StdFlags {
+  unsigned jobs = 1;
+  bool json = false;
+  std::uint64_t seed = 1;
+  std::string trace_out;  ///< Empty = tracing disabled.
+  bool quiet = false;
+};
 
 class Cli {
  public:
@@ -29,8 +44,15 @@ class Cli {
   /// machine unless told otherwise; `--jobs 1` forces the sequential path.
   unsigned jobs() const;
 
+  /// Queries the standard bench flag block in one shot.
+  StdFlags std_flags(std::uint64_t default_seed = 1) const;
+
   /// Flags that were supplied but never queried — typo detection.
   std::string unused_flags() const;
+
+  /// Prints the standard "unknown flags" warning to `err` when any supplied
+  /// flag was never queried. Call after all get_* calls, right before exit.
+  void warn_unused(std::ostream& err) const;
 
  private:
   std::map<std::string, std::string, std::less<>> values_;

@@ -1,0 +1,173 @@
+#include "util/json_writer.hpp"
+
+#include <array>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace ibarb::util {
+
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+}  // namespace
+
+void JsonWriter::escape(std::string_view s, std::string& out) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < depth(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    // key() already positioned us; the value follows the ": ".
+    key_pending_ = false;
+    return;
+  }
+  assert((stack_.empty() && !wrote_root_) ||
+         (!stack_.empty() && stack_.back() == Frame::kArray));
+  if (!stack_.empty()) {
+    if (has_members_.back()) os_ << ',';
+    has_members_.back() = true;
+    newline_indent();
+  }
+  if (stack_.empty()) wrote_root_ = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject && !key_pending_);
+  if (has_members_.back()) os_ << ',';
+  has_members_.back() = true;
+  newline_indent();
+  std::string escaped;
+  escape(name, escaped);
+  os_ << '"' << escaped << (pretty_ ? "\": " : "\":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject && !key_pending_);
+  bool had = has_members_.back();
+  stack_.pop_back();
+  has_members_.pop_back();
+  if (had) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray && !key_pending_);
+  bool had = has_members_.back();
+  stack_.pop_back();
+  has_members_.pop_back();
+  if (had) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  std::string escaped;
+  escaped.reserve(s.size() + 2);
+  escape(s, escaped);
+  os_ << '"' << escaped << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  std::array<char, 24> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  os_.write(buf.data(), ptr - buf.data());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  std::array<char, 24> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  os_.write(buf.data(), ptr - buf.data());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  // Shortest form that round-trips: locale-independent and deterministic,
+  // unlike ostream's precision-dependent formatting.
+  std::array<char, 40> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  std::string_view sv(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+  // to_chars may print integral doubles as "42"; that is still valid JSON.
+  os_.write(sv.data(), static_cast<std::streamsize>(sv.size()));
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace ibarb::util

@@ -1,0 +1,95 @@
+// Streaming JSON writer — the single serialization path for every
+// machine-readable artifact the repo emits (obs::Report, Chrome traces).
+//
+// Why not a DOM: the reports embed histograms and per-run arrays that can
+// reach megabytes; streaming keeps emission O(1) in memory and — more
+// importantly — makes the byte stream a pure function of the call sequence,
+// which is what the byte-identical-across---jobs contract needs.
+//
+// Determinism rules baked in here (docs/OBSERVABILITY.md):
+//  * doubles print via std::to_chars shortest-round-trip form — no locale,
+//    no precision flags, identical on every run;
+//  * non-finite doubles become null (JSON has no NaN/Inf);
+//  * strings are escaped per RFC 8259 (control characters as \u00XX).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace ibarb::util {
+
+class JsonWriter {
+ public:
+  /// `pretty` adds two-space indentation and newlines; the compact form is
+  /// the default (and the one the checked-in schemas/diffs assume).
+  explicit JsonWriter(std::ostream& os, bool pretty = false)
+      : os_(os), pretty_(pretty) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // --- Structure -----------------------------------------------------------
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member name; must be inside an object, and must be followed
+  /// by exactly one value (or begin_object/begin_array).
+  JsonWriter& key(std::string_view name);
+
+  // --- Values --------------------------------------------------------------
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(long long v) {
+    return value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(unsigned long long v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  /// Finite doubles in shortest round-trip form; NaN/Inf emit null.
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  // --- Conveniences --------------------------------------------------------
+
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the root value is complete and the nesting is balanced.
+  bool done() const noexcept { return depth() == 0 && wrote_root_; }
+
+  /// Appends the escaped form of `s` (without surrounding quotes) to `out`.
+  /// Exposed for tests and for the rare caller building raw fragments.
+  static void escape(std::string_view s, std::string& out);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  std::size_t depth() const noexcept { return stack_.size(); }
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  bool wrote_root_ = false;
+  bool key_pending_ = false;          ///< key() emitted, value expected.
+  std::vector<Frame> stack_;
+  std::vector<bool> has_members_;     ///< Per frame: needs a comma.
+};
+
+}  // namespace ibarb::util

@@ -6,6 +6,18 @@
 
 namespace ibarb::util {
 
+void RunningStats::compensated_add(double x) noexcept {
+  const double t = sum_ + x;
+  // Neumaier's variant of Kahan summation: whichever addend lost low-order
+  // bits in the rounding of t contributes them to the compensation term.
+  if (std::abs(sum_) >= std::abs(x)) {
+    comp_ += (sum_ - t) + x;
+  } else {
+    comp_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
 void RunningStats::add(double x) noexcept {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -14,6 +26,7 @@ void RunningStats::add(double x) noexcept {
     max_ = std::max(max_, x);
   }
   ++count_;
+  compensated_add(x);
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
@@ -35,6 +48,11 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   count_ += other.count_;
+  // Fold the other accumulator's exact sum in two compensated steps so the
+  // merged sum stays exact too (order matters for bit-identical merges:
+  // always principal term first, then its compensation).
+  compensated_add(other.sum_);
+  compensated_add(other.comp_);
 }
 
 double RunningStats::variance() const noexcept {

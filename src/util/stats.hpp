@@ -23,14 +23,23 @@ class RunningStats {
   double stddev() const noexcept;
   double min() const noexcept { return count_ ? min_ : 0.0; }
   double max() const noexcept { return count_ ? max_ : 0.0; }
-  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  /// Exact compensated (Kahan–Neumaier) sum of the samples. Reconstructing
+  /// `mean * count` instead loses precision once counts get large: the mean
+  /// is itself rounded at every add, and the error scales with the count.
+  double sum() const noexcept { return sum_ + comp_; }
 
  private:
+  /// One Neumaier step: adds x into sum_/comp_, capturing the low-order
+  /// bits that the float addition rounds away.
+  void compensated_add(double x) noexcept;
+
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;
+  double comp_ = 0.0;  ///< Running compensation for lost low-order bits.
 };
 
 /// Fixed-bin histogram over [lo, hi); samples outside are clamped into the

@@ -93,5 +93,34 @@ TEST(Cli, NegativeNumbersAsValues) {
   EXPECT_EQ(cli.get_int("offset", 0), -5);
 }
 
+TEST(Cli, StdFlagsDefaults) {
+  const auto cli = make({});
+  const auto sf = cli.std_flags(/*default_seed=*/21);
+  EXPECT_EQ(sf.jobs, cli.jobs());
+  EXPECT_FALSE(sf.json);
+  EXPECT_EQ(sf.seed, 21u);
+  EXPECT_TRUE(sf.trace_out.empty());
+  EXPECT_FALSE(sf.quiet);
+}
+
+TEST(Cli, StdFlagsParsesFullBlock) {
+  const auto cli = make({"--jobs", "2", "--json", "--seed", "7",
+                         "--trace-out", "t.json", "--quiet"});
+  const auto sf = cli.std_flags();
+  EXPECT_EQ(sf.jobs, 2u);
+  EXPECT_TRUE(sf.json);
+  EXPECT_EQ(sf.seed, 7u);
+  EXPECT_EQ(sf.trace_out, "t.json");
+  EXPECT_TRUE(sf.quiet);
+}
+
+TEST(Cli, StdFlagsMarksBlockAsQueried) {
+  // std_flags must consume the whole standard block so warn_unused only
+  // fires on genuinely unknown flags.
+  const auto cli = make({"--json", "--trace-out=t.json", "--oops", "1"});
+  (void)cli.std_flags();
+  EXPECT_EQ(cli.unused_flags(), "--oops");
+}
+
 }  // namespace
 }  // namespace ibarb::util

@@ -1,0 +1,180 @@
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace ibarb::util {
+namespace {
+
+std::string dump(bool pretty, void (*body)(JsonWriter&)) {
+  std::ostringstream os;
+  JsonWriter w(os, pretty);
+  body(w);
+  EXPECT_TRUE(w.done());
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(dump(false, [](JsonWriter& w) { w.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(dump(false, [](JsonWriter& w) { w.begin_array().end_array(); }),
+            "[]");
+}
+
+TEST(JsonWriter, ScalarTypes) {
+  const auto s = dump(false, [](JsonWriter& w) {
+    w.begin_object();
+    w.kv("s", "hi");
+    w.kv("b", true);
+    w.kv("i", std::int64_t{-7});
+    w.kv("u", std::uint64_t{18446744073709551615ull});
+    w.kv("d", 0.5);
+    w.key("n");
+    w.null();
+    w.end_object();
+  });
+  EXPECT_EQ(s,
+            "{\"s\":\"hi\",\"b\":true,\"i\":-7,"
+            "\"u\":18446744073709551615,\"d\":0.5,\"n\":null}");
+}
+
+TEST(JsonWriter, EscapesControlAndSpecialChars) {
+  std::string out;
+  JsonWriter::escape("a\"b\\c\n\t\r\b\f", out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\r\\b\\f");
+  out.clear();
+  // Control characters without shorthand escapes use \u00XX.
+  JsonWriter::escape(std::string_view("\x01\x1f\x00", 3), out);
+  EXPECT_EQ(out, "\\u0001\\u001f\\u0000");
+  out.clear();
+  // Multi-byte UTF-8 passes through untouched.
+  JsonWriter::escape("µs → ok", out);
+  EXPECT_EQ(out, "µs → ok");
+}
+
+TEST(JsonWriter, EscapedStringValue) {
+  const auto s = dump(false, [](JsonWriter& w) {
+    w.begin_object();
+    w.kv("k\n", "v\"");
+    w.end_object();
+  });
+  EXPECT_EQ(s, "{\"k\\n\":\"v\\\"\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const auto s = dump(false, [](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.end_array();
+  });
+  EXPECT_EQ(s, "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  // Shortest round-trip form: no trailing zeros, parses back exactly.
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0}) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.value(v);
+    const double back = std::stod(os.str());
+    EXPECT_EQ(back, v) << os.str();
+  }
+}
+
+TEST(JsonWriter, NestingRoundTrip) {
+  // Deep mixed nesting emits balanced, parseable JSON.
+  const auto s = dump(false, [](JsonWriter& w) {
+    w.begin_object();
+    w.key("runs");
+    w.begin_array();
+    for (int i = 0; i < 3; ++i) {
+      w.begin_object();
+      w.kv("idx", i);
+      w.key("bins");
+      w.begin_array();
+      w.value(1).value(2).value(3);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("empty");
+    w.begin_object();
+    w.end_object();
+    w.end_object();
+  });
+  EXPECT_EQ(s,
+            "{\"runs\":[{\"idx\":0,\"bins\":[1,2,3]},"
+            "{\"idx\":1,\"bins\":[1,2,3]},"
+            "{\"idx\":2,\"bins\":[1,2,3]}],\"empty\":{}}");
+  // Structural sanity: balanced braces/brackets.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonWriter, PrettyMatchesCompactModuloWhitespace) {
+  const auto body = [](JsonWriter& w) {
+    w.begin_object();
+    w.kv("a", 1);
+    w.key("l");
+    w.begin_array();
+    w.value("x").value("y");
+    w.end_array();
+    w.end_object();
+  };
+  const auto compact = dump(false, body);
+  const auto pretty = dump(true, body);
+  EXPECT_NE(compact, pretty);
+  // Stripping structural whitespace from pretty output recovers compact.
+  std::string stripped;
+  bool in_string = false;
+  for (std::size_t i = 0; i < pretty.size(); ++i) {
+    const char c = pretty[i];
+    if (in_string) {
+      stripped += c;
+      if (c == '\\' && i + 1 < pretty.size()) stripped += pretty[++i];
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == ' ' || c == '\n') continue;
+    stripped += c;
+    if (c == '"') in_string = true;
+  }
+  EXPECT_EQ(stripped, compact);
+}
+
+TEST(JsonWriter, DoneTracksCompletion) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_FALSE(w.done());
+  w.begin_object();
+  EXPECT_FALSE(w.done());
+  w.kv("a", 1);
+  EXPECT_FALSE(w.done());
+  w.end_object();
+  EXPECT_TRUE(w.done());
+}
+
+}  // namespace
+}  // namespace ibarb::util

@@ -1,0 +1,145 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "iba/packet.hpp"
+#include "obs/chrome_trace.hpp"
+#include "sim/trace.hpp"
+#include "util/json_writer.hpp"
+
+namespace ibarb::obs {
+namespace {
+
+std::string render(const Report& r, bool pretty = false) {
+  std::ostringstream os;
+  r.write(os, pretty);
+  return os.str();
+}
+
+TEST(Report, EnvelopeStructure) {
+  Report r("demo");
+  const auto s = render(r);
+  EXPECT_EQ(s,
+            "{\"schema\":\"ibarb.report/1\",\"bench\":\"demo\","
+            "\"meta\":{},\"config\":{},\"figures\":{}}\n");
+}
+
+TEST(Report, ConfigKeepsInsertionOrder) {
+  Report r("demo");
+  r.config("zeta", std::uint64_t{1});
+  r.config("alpha", std::string("x"));
+  r.config("ratio", 0.5);
+  r.config("flag", true);
+  const auto s = render(r);
+  EXPECT_NE(s.find("\"config\":{\"zeta\":1,\"alpha\":\"x\","
+                   "\"ratio\":0.5,\"flag\":true}"),
+            std::string::npos);
+}
+
+TEST(Report, TelemetrySectionOnlyWhenAttached) {
+  Report r("demo");
+  EXPECT_EQ(render(r).find("telemetry"), std::string::npos);
+  Snapshot snap;
+  snap.add_counter("arb.decisions", 3);
+  r.telemetry(std::move(snap));
+  const auto s = render(r);
+  EXPECT_NE(s.find("\"telemetry\":{\"counters\":{\"arb.decisions\":3}"),
+            std::string::npos);
+}
+
+TEST(Report, FiguresStreamThroughCallback) {
+  Report r("demo");
+  r.figure("series", [](util::JsonWriter& w) {
+    w.begin_array();
+    w.value(1).value(2);
+    w.end_array();
+  });
+  r.figure("scalar", [](util::JsonWriter& w) { w.value(7); });
+  const auto s = render(r);
+  EXPECT_NE(s.find("\"figures\":{\"series\":[1,2],\"scalar\":7}"),
+            std::string::npos);
+}
+
+TEST(Report, EndsWithSingleNewline) {
+  const auto s = render(Report("demo"));
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.back(), '\n');
+  EXPECT_NE(s[s.size() - 2], '\n');
+}
+
+TEST(Report, PrettyAndCompactAgreeOnContent) {
+  Report r("demo");
+  r.config("seed", std::uint64_t{21});
+  const auto compact = render(r, false);
+  const auto pretty = render(r, true);
+  EXPECT_NE(compact, pretty);
+  std::string stripped;
+  for (const char c : pretty)
+    if (c != ' ' && c != '\n') stripped += c;
+  std::string compact_stripped;
+  for (const char c : compact)
+    if (c != '\n') compact_stripped += c;
+  EXPECT_EQ(stripped, compact_stripped);
+}
+
+sim::PacketTrace make_trace() {
+  sim::PacketTrace trace(16);
+  iba::Packet p;
+  p.id = 1;
+  p.connection = 0;
+  trace.record(100, sim::TraceEvent::kInject, 0, 0, 2, p);
+  trace.record(150, sim::TraceEvent::kLinkTx, 0, 1, 2, p);
+  trace.record(220, sim::TraceEvent::kDeliver, 3, 0, 2, p);
+  iba::Packet q;
+  q.id = 2;
+  q.connection = 0;
+  trace.record(130, sim::TraceEvent::kInject, 0, 0, 2, q);
+  trace.record(180, sim::TraceEvent::kDrop, 1, 0, 2, q);
+  return trace;
+}
+
+TEST(ChromeTrace, EmitsValidEnvelopeAndEvents) {
+  std::ostringstream os;
+  write_chrome_trace(os, make_trace());
+  const auto s = os.str();
+  EXPECT_EQ(s.find("{\"traceEvents\":["), 0u);
+  // Packet 1's inject→link_tx segment is a complete ("X") span.
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  // Packet 2's drop is an instant event.
+  EXPECT_NE(s.find("\"ph\":\"i\""), std::string::npos);
+  // Process-name metadata rows exist.
+  EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(ChromeTrace, PhaseSpansLandOnControlTrack) {
+  std::ostringstream os;
+  std::vector<PhaseSpan> spans;
+  spans.push_back({"link_down", "link_down leaf0.2", 1000, 5000});
+  write_chrome_trace(os, make_trace(), spans);
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"link_down leaf0.2\""), std::string::npos);
+  // Control-plane rows use the reserved pid, far above any connection id.
+  EXPECT_NE(s.find("1000000000"), std::string::npos);
+}
+
+TEST(ChromeTrace, DeterministicForSameInput) {
+  std::ostringstream a;
+  std::ostringstream b;
+  write_chrome_trace(a, make_trace());
+  write_chrome_trace(b, make_trace());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ChromeTrace, EmptyTraceStillParses) {
+  std::ostringstream os;
+  write_chrome_trace(os, sim::PacketTrace{});
+  const auto s = os.str();
+  EXPECT_EQ(s.find("{\"traceEvents\":["), 0u);
+}
+
+}  // namespace
+}  // namespace ibarb::obs

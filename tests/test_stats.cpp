@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace ibarb::util {
@@ -124,6 +125,52 @@ TEST(Percentile, UnsortedInput) {
   const std::vector<double> v{9, 1, 5, 3, 7};
   EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
   EXPECT_DOUBLE_EQ(percentile(v, 100), 9.0);
+}
+
+TEST(RunningStats, SumIsCompensated) {
+  // Classic Kahan stress: one huge value among many tiny ones. A naive
+  // running sum (and mean()*count reconstruction) loses the tiny terms.
+  RunningStats s;
+  s.add(1e16);
+  for (int i = 0; i < 1000; ++i) s.add(1.0);
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.sum(), 1000.0);
+}
+
+TEST(RunningStats, SumBeatsMeanTimesCount) {
+  RunningStats s;
+  double exact = 0.0;
+  for (int i = 1; i <= 100000; ++i) {
+    const double x = 1.0 / double(i);
+    s.add(x);
+    exact += x;  // Ascending magnitudes keep this reference accurate enough.
+  }
+  const double via_sum = s.sum();
+  const double via_mean = s.mean() * double(s.count());
+  EXPECT_LE(std::abs(via_sum - exact), std::abs(via_mean - exact) + 1e-12);
+  EXPECT_NEAR(via_sum, exact, 1e-9);
+}
+
+TEST(RunningStats, MergePreservesCompensatedSum) {
+  RunningStats a;
+  RunningStats b;
+  a.add(1e16);
+  for (int i = 0; i < 500; ++i) a.add(1.0);
+  for (int i = 0; i < 500; ++i) b.add(1.0);
+  b.add(-1e16);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.sum(), 1000.0);
+}
+
+TEST(RunningStats, ResetClearsCompensation) {
+  RunningStats s;
+  s.add(1e16);
+  s.add(1.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 2.0);
 }
 
 }  // namespace
