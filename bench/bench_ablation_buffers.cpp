@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     cfg.buffer_packets = depth;
     cfgs.push_back(cfg);
   }
-  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+  bench::apply_run0_observability(cfgs[0], sf);
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "buffers"));
 
@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     obs::Report report("ablation_buffers");
     bench::echo_config(report, base);
     report.telemetry(bench::merged_telemetry(sweep));
+    bench::attach_series(report, *sweep.runs[0]);
     report.figure("depths", [&](util::JsonWriter& w) {
       w.begin_array();
       for (const auto& run : sweep.runs) {
@@ -95,7 +96,9 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
+                      bench::series_tracks(*sweep.runs[0]));
+  if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

@@ -66,6 +66,10 @@ struct BenchConfig {
   bool json = false;
   /// Trace-ring size for run 0 of the storm (0 = off); set by --trace-out.
   std::size_t trace_capacity = 0;
+  /// Series sampling cadence for run 0 of the storm (--sample-every).
+  std::uint64_t sample_every = 0;
+  /// Wall-clock self-profiler for run 0 of the storm (--profile).
+  bool profile = false;
 };
 
 struct ClassAgg {
@@ -92,6 +96,7 @@ struct RunResult {
   std::uint64_t events = 0;
   std::string plan;              ///< The storm actually applied.
   obs::Snapshot telemetry;       ///< Per-run registry snapshot.
+  std::optional<obs::SeriesData> series;  ///< Engaged on the observed run.
   sim::PacketTrace trace;        ///< Populated only when tracing this run.
   std::vector<obs::PhaseSpan> fault_spans;  ///< Fault windows, for the trace.
 };
@@ -125,10 +130,12 @@ network::FabricGraph make_asym_fabric(const BenchConfig& bc) {
 }
 
 /// One self-contained experiment. `faulty` false gives the baseline run:
-/// identical fabric, workload and seeds, no fault plan armed. A nonzero
-/// `trace_capacity` enables the packet-trace ring for this run.
+/// identical fabric, workload and seeds, no fault plan armed. `observe`
+/// enables the per-run observability extras (packet trace, time-series,
+/// profiler) from the bench config — only storm run 0 sets it, so the
+/// exported artefacts come from one deterministic run.
 RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty,
-                  std::size_t trace_capacity = 0) {
+                  bool observe = false) {
   RunResult res;
   res.run_seed = run_seed;
 
@@ -140,7 +147,9 @@ RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty,
                                   ac);
   sim::SimConfig scfg;
   scfg.seed = run_seed ^ 0x5117ull;
-  scfg.trace_capacity = trace_capacity;
+  scfg.trace_capacity = observe ? bc.trace_capacity : 0;
+  scfg.sample_every = observe ? bc.sample_every : 0;
+  scfg.profile = observe && bc.profile;
   sim::Simulator sim(graph, sm.routes(), scfg);
 
   const auto hosts = graph.hosts();
@@ -327,7 +336,8 @@ RunResult run_one(const BenchConfig& bc, std::uint64_t run_seed, bool faulty,
   // While injector/coordinator/sessions are still alive their probes are
   // registered, so the snapshot sees the full faults/recovery/rc counters.
   res.telemetry = sim.telemetry_snapshot();
-  if (trace_capacity != 0) {
+  if (sim.series() != nullptr) res.series = sim.series()->finalize(sim.now());
+  if (scfg.trace_capacity != 0) {
     res.trace = sim.trace();
     // Fault windows as control-plane phase spans, one viewer track per kind.
     for (const auto& ev : plan.events()) {
@@ -378,6 +388,8 @@ obs::Report make_report(const BenchConfig& bc,
   parts.reserve(storm.size());
   for (const auto& r : storm) parts.push_back(r.telemetry);
   report.telemetry(obs::Snapshot::merge(parts));
+  if (!storm.empty() && storm.front().series.has_value())
+    report.series(*storm.front().series);
 
   report.figure("runs", [&bc, &storm, &baseline](util::JsonWriter& w) {
     w.begin_array();
@@ -460,6 +472,8 @@ int main(int argc, char** argv) {
   bc.with_baseline = !cli.get_bool("no-baseline", false);
   bc.json = sf.json;
   if (!sf.trace_out.empty()) bc.trace_capacity = bench::kTraceOutCapacity;
+  bc.sample_every = sf.sample_every;
+  bc.profile = sf.profile;
 
   // Deterministic sweep: results land in slot i, every run's seed is a pure
   // function of (seed, i), printing happens afterwards in index order.
@@ -467,10 +481,10 @@ int main(int argc, char** argv) {
   std::vector<RunResult> baseline(bc.with_baseline ? bc.runs : 0);
   util::parallel_for(bc.jobs, bc.runs, [&](std::size_t i) {
     const auto run_seed = bench::derive_run_seed(bc.seed, i);
-    // Only the first storm run traces: one self-contained deterministic run,
-    // so the exported file is byte-identical for any --jobs.
-    storm[i] = run_one(bc, run_seed, /*faulty=*/true,
-                       i == 0 ? bc.trace_capacity : 0);
+    // Only the first storm run observes (trace/series/profile): one
+    // self-contained deterministic run, so the exported artefacts are
+    // byte-identical for any --jobs.
+    storm[i] = run_one(bc, run_seed, /*faulty=*/true, /*observe=*/i == 0);
     if (bc.with_baseline)
       baseline[i] = run_one(bc, run_seed, /*faulty=*/false);
   });
@@ -549,9 +563,16 @@ int main(int argc, char** argv) {
                 << storm.front().plan << "\n";
   }
 
-  if (!sf.trace_out.empty())
+  if (!sf.trace_out.empty()) {
+    std::vector<obs::CounterTrack> counters;
+    if (storm.front().series.has_value())
+      counters = bench::series_tracks(*storm.front().series);
     bench::emit_trace(sf.trace_out, storm.front().trace,
-                      storm.front().fault_spans);
+                      storm.front().fault_spans, counters);
+  }
+  if (storm.front().series.has_value() &&
+      !bench::export_series_csv(*storm.front().series, sf))
+    rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

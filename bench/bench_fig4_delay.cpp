@@ -28,8 +28,13 @@ void print_panel(const char* title, const bench::PaperRun& run) {
     std::vector<std::string> row{std::to_string(int(s.sl)),
                                  std::to_string(s.connections),
                                  std::to_string(s.rx_packets)};
-    for (std::size_t k = 0; k < sim::kDelayThresholds; ++k)
-      row.push_back(util::TablePrinter::num(s.within[k] * 100.0, 2));
+    for (std::size_t k = 0; k < sim::kDelayThresholds; ++k) {
+      // An SL with no received packets has no delay distribution; print a
+      // placeholder instead of a misleading 0.00.
+      row.push_back(s.rx_packets == 0
+                        ? "-"
+                        : util::TablePrinter::num(s.within[k] * 100.0, 2));
+    }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
@@ -48,7 +53,7 @@ int main(int argc, char** argv) {
   std::vector<bench::PaperRunConfig> cfgs(2, base);
   cfgs[0].mtu = iba::Mtu::kMtu256;
   cfgs[1].mtu = iba::Mtu::kMtu4096;
-  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+  bench::apply_run0_observability(cfgs[0], sf);
 
   if (!sf.json)
     std::cout << "=== Figure 4: distribution of packet delay "
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
     obs::Report report("fig4_delay");
     bench::echo_config(report, base);
     report.telemetry(bench::merged_telemetry(sweep));
+    bench::attach_series(report, *sweep.runs[0]);
     report.figure("panel_small", [&](util::JsonWriter& w) {
       bench::write_sl_series(w, sweep.runs[0]->per_sl());
     });
@@ -75,7 +81,9 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
+                      bench::series_tracks(*sweep.runs[0]));
+  if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<bench::PaperRunConfig> cfgs(replicas == 0 ? 1 : replicas, cfg);
-  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+  bench::apply_run0_observability(cfgs[0], sf);
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "fig5"));
   const auto series = mean_series(sweep.runs);
@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
     bench::echo_config(report, cfg);
     report.config("replicas", static_cast<std::uint64_t>(cfgs.size()));
     report.telemetry(bench::merged_telemetry(sweep));
+    bench::attach_series(report, *sweep.runs[0]);
     report.figure("per_sl", [&](util::JsonWriter& w) {
       bench::write_sl_series(w, series);
     });
@@ -104,7 +105,9 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
+                      bench::series_tracks(*sweep.runs[0]));
+  if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   // More packets per connection make the best/worst selection meaningful.
   if (!cli.has("packets") && !cli.get_bool("quick", false))
     cfg.min_rx_packets = 60;
-  if (!sf.trace_out.empty()) cfg.trace_capacity = bench::kTraceOutCapacity;
+  bench::apply_run0_observability(cfg, sf);
 
   if (!sf.json)
     std::cout << "=== Figure 6: best vs worst connection for the strictest "
@@ -42,10 +42,12 @@ int main(int argc, char** argv) {
     obs::Report report("fig6_bestworst");
     bench::echo_config(report, cfg);
     report.telemetry(bench::merged_telemetry(sweep));
+    bench::attach_series(report, run);
     report.figure("best_worst", [&](util::JsonWriter& w) {
       w.begin_array();
       for (iba::ServiceLevel sl = 0; sl <= 3; ++sl) {
         const auto bw = run.best_worst(sl);
+        if (!bw.found) continue;  // no received packets: nothing to rank
         w.begin_object();
         w.kv("sl", static_cast<std::uint64_t>(sl));
         w.kv("best_flow", static_cast<std::uint64_t>(
@@ -66,6 +68,10 @@ int main(int argc, char** argv) {
   } else {
     for (iba::ServiceLevel sl = 0; sl <= 3; ++sl) {
       const auto bw = run.best_worst(sl);
+      if (!bw.found) {
+        std::cout << "SL " << int(sl) << ": no received packets, skipped\n\n";
+        continue;
+      }
       const auto& best = run.workload.connections[bw.best];
       const auto& worst = run.workload.connections[bw.worst];
       std::cout << "SL " << int(sl) << " (best: flow " << best.flow
@@ -93,7 +99,9 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, run.sim->trace());
+    bench::emit_trace(sf.trace_out, run.sim->trace(), {},
+                      bench::series_tracks(run));
+  if (!bench::export_series_csv(run, sf)) rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

@@ -20,6 +20,9 @@
 //                 both queue implementations. End-to-end numbers: includes
 //                 all non-queue work, so the ratio here is smaller.
 //  * arbiter    — arbitration decisions/sec on dense and sparse tables.
+//  * series     — the SeriesRecorder hot path: deliveries/sec through
+//                 record_delivery + windowed commits, in a regime without
+//                 decimation and one that forces repeated decimations.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -38,6 +41,8 @@
 #include "network/routing.hpp"
 #include "network/topology.hpp"
 #include "obs/report.hpp"
+#include "obs/series.hpp"
+#include "obs/telemetry.hpp"
 #include "paper_runner.hpp"
 #include "sim/event_queue.hpp"
 #include "util/cli.hpp"
@@ -315,6 +320,59 @@ double measure_arbiter(const iba::VlArbitrationTable& t,
   return static_cast<double>(decisions) / secs;
 }
 
+struct SeriesBenchResult {
+  double deliveries_per_sec = 0.0;  ///< record_delivery + commit throughput.
+  double samples_per_sec = 0.0;     ///< Committed window boundaries per sec.
+  std::uint64_t boundaries = 0;     ///< Boundaries driven through the run.
+  std::uint64_t decimations = 0;    ///< Ring-halvings the run triggered.
+};
+
+/// Drives a standalone SeriesRecorder the way the simulator does: synthetic
+/// delivery times sweep [0, sample_every*boundaries), advancing the window
+/// clock before each record. `boundaries` below the ring capacity (512)
+/// measures the plain sampling path; far above it, the decimation path.
+SeriesBenchResult measure_series(std::uint64_t deliveries,
+                                 std::uint64_t sample_every,
+                                 std::uint64_t boundaries) {
+  obs::TelemetryRegistry reg;
+  auto& injected = reg.counter("micro.injected");
+  obs::SeriesRecorder::Config sc;
+  sc.sample_every = sample_every;
+  obs::SeriesRecorder rec(reg, sc);
+  constexpr std::uint32_t kConns = 8;
+  for (std::uint32_t c = 0; c < kConns; ++c)
+    rec.note_connection(c, static_cast<iba::ServiceLevel>(c % 10),
+                        /*qos=*/true, /*deadline=*/5000);
+
+  const iba::Cycle end = sample_every * boundaries;
+  std::uint64_t ring = 0;
+  constexpr std::size_t kRing = 1u << 12;
+  std::vector<iba::Cycle> delays(kRing);
+  {
+    util::Xoshiro256 rng(29);
+    for (auto& d : delays) d = rng.between(100, 6000);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < deliveries; ++i) {
+    const iba::Cycle t = i * end / deliveries;
+    if (t > rec.next_due()) rec.advance_to(t);
+    injected.inc();
+    rec.record_delivery(static_cast<std::uint32_t>(i % kConns),
+                        static_cast<iba::ServiceLevel>(i % 10),
+                        delays[ring++ & (kRing - 1)], /*contracted=*/5000);
+  }
+  const auto data = rec.finalize(end);
+  const double secs = seconds_since(t0);
+
+  SeriesBenchResult res;
+  res.deliveries_per_sec = static_cast<double>(deliveries) / secs;
+  res.samples_per_sec = static_cast<double>(boundaries) / secs;
+  res.boundaries = boundaries;
+  res.decimations = data.decimations;
+  return res;
+}
+
 int run_json_harness(int argc, const char* const* argv) {
   const util::Cli cli(argc, argv);
   (void)cli.get_bool("json", true);  // consumed; routing happened in main()
@@ -328,6 +386,8 @@ int run_json_harness(int argc, const char* const* argv) {
   const auto arb_decisions =
       static_cast<std::uint64_t>(cli.get_int("arb-decisions", 2'000'000));
   const bool skip_sim = cli.get_bool("skip-sim", false);
+  const auto series_deliveries = static_cast<std::uint64_t>(
+      cli.get_int("series-deliveries", 2'000'000));
 
   bench::PaperRunConfig sim_cfg;
   sim_cfg.switches = static_cast<unsigned>(cli.get_int("switches", 16));
@@ -373,6 +433,17 @@ int run_json_harness(int argc, const char* const* argv) {
   const double dense_rate = measure_arbiter(dense, dense_ready, arb_decisions);
   const double sparse_rate =
       measure_arbiter(sparse, sparse_ready, arb_decisions);
+
+  std::cerr << "[bench_micro] series recorder (" << series_deliveries
+            << " deliveries) x2 regimes...\n";
+  // 256 boundaries stay under the 512-window ring: the pure sampling path.
+  const SeriesBenchResult series_flat =
+      measure_series(series_deliveries, /*sample_every=*/4096,
+                     /*boundaries=*/256);
+  // 16384 boundaries force ~5 decimation passes over a full ring.
+  const SeriesBenchResult series_decim =
+      measure_series(series_deliveries, /*sample_every=*/4096,
+                     /*boundaries=*/16384);
 
   obs::Report report("bench_micro");
   report.config("queue_depth", static_cast<std::uint64_t>(depth));
@@ -427,6 +498,26 @@ int run_json_harness(int argc, const char* const* argv) {
     w.kv("sparse_decisions_per_sec", sparse_rate);
     w.end_object();
   });
+  report.figure("series", [&](util::JsonWriter& w) {
+    const auto series_obj = [&w](const SeriesBenchResult& r) {
+      w.begin_object();
+      w.kv("deliveries_per_sec", r.deliveries_per_sec);
+      w.kv("samples_per_sec", r.samples_per_sec);
+      w.kv("boundaries", r.boundaries);
+      w.kv("decimations", r.decimations);
+      w.end_object();
+    };
+    w.begin_object();
+    w.kv("deliveries", series_deliveries);
+    w.key("flat");
+    series_obj(series_flat);
+    w.key("decimating");
+    series_obj(series_decim);
+    // >1 means the decimation path costs measurable per-delivery overhead.
+    w.kv("decimation_slowdown",
+         series_flat.deliveries_per_sec / series_decim.deliveries_per_sec);
+    w.end_object();
+  });
 
   if (out_path == "-") {
     report.write(std::cout, /*pretty=*/true);
@@ -451,6 +542,10 @@ int run_json_harness(int argc, const char* const* argv) {
               << sim_wheel.events_per_sec / sim_heap.events_per_sec << "x\n";
   std::cout << "arbiter dense " << dense_rate / 1e6 << " Mdec/s, sparse "
             << sparse_rate / 1e6 << " Mdec/s\n";
+  std::cout << "series  flat " << series_flat.deliveries_per_sec / 1e6
+            << " Mdlv/s, decimating "
+            << series_decim.deliveries_per_sec / 1e6 << " Mdlv/s ("
+            << series_decim.decimations << " decimations)\n";
   return order_match ? 0 : 2;
 }
 

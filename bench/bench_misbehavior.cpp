@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
     cfg.besteffort_load = 0.0;  // isolate the QoS classes
     cfgs.push_back(cfg);
   }
-  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+  bench::apply_run0_observability(cfgs[0], sf);
   const auto sweep = bench::run_sweep(
       cfgs, bench::sweep_options_from_cli(cli, "misbehavior"));
 
@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
     bench::echo_config(report, base);
     report.config("oversend_factor", factor);
     report.telemetry(bench::merged_telemetry(sweep));
+    bench::attach_series(report, *sweep.runs[0]);
     report.figure("cases", [&](util::JsonWriter& w) {
       w.begin_array();
       for (std::size_t i = 0; i < std::size(cases); ++i) {
@@ -135,7 +136,9 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
+                      bench::series_tracks(*sweep.runs[0]));
+  if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   std::vector<bench::PaperRunConfig> cfgs(2, base);
   cfgs[0].vbr = false;
   cfgs[1].vbr = true;
-  if (!sf.trace_out.empty()) cfgs[0].trace_capacity = bench::kTraceOutCapacity;
+  bench::apply_run0_observability(cfgs[0], sf);
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "vbr"));
 
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     bench::echo_config(report, base);
     report.config("vbr_on_fraction", base.vbr_on_fraction);
     report.telemetry(bench::merged_telemetry(sweep));
+    bench::attach_series(report, *sweep.runs[0]);
     report.figure("cbr", [&](util::JsonWriter& w) {
       bench::write_sl_series(w, cbr_sl);
     });
@@ -82,7 +83,9 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace());
+    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
+                      bench::series_tracks(*sweep.runs[0]));
+  if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);
   return rc;

@@ -64,6 +64,8 @@ PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
   sc.seed = cfg.seed;
   sc.queue_impl = queue_impl_from_env();
   sc.trace_capacity = cfg.trace_capacity;
+  sc.sample_every = cfg.sample_every;
+  sc.profile = cfg.profile;
   sim = std::make_unique<sim::Simulator>(graph, sm->routes(), sc);
 
   traffic::WorkloadConfig wc;
@@ -83,6 +85,7 @@ PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
 void PaperRun::run() {
   summary = sim->run_paper_phases(cfg.warmup, cfg.min_rx_packets,
                                   cfg.hard_limit);
+  if (sim->series() != nullptr) series = sim->series()->finalize(sim->now());
 }
 
 std::unique_ptr<PaperRun> run_paper_experiment(PaperRunConfig cfg) {
@@ -147,6 +150,7 @@ PaperRun::BestWorst PaperRun::best_worst(iba::ServiceLevel sl) const {
     }
     first = false;
   }
+  bw.found = !first;
   return bw;
 }
 

@@ -7,9 +7,11 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "network/topology.hpp"
+#include "obs/series.hpp"
 #include "qos/admission.hpp"
 #include "subnet/subnet_manager.hpp"
 #include "traffic/workload.hpp"
@@ -37,6 +39,11 @@ struct PaperRunConfig {
   /// sweep when --trace-out is given; the run is self-contained and
   /// deterministic, so the exported trace is byte-identical for any --jobs.
   std::size_t trace_capacity = 0;
+  /// Time-series sampling cadence (--sample-every); 0 = off. Like tracing,
+  /// benches enable this on run 0 only (bench::apply_run0_observability).
+  std::uint64_t sample_every = 0;
+  /// Wall-clock self-profiler (--profile); profile.* telemetry only.
+  bool profile = false;
 };
 
 /// Applies the common bench flags (--switches --mtu --seed --packets
@@ -53,6 +60,9 @@ struct PaperRun {
   std::unique_ptr<sim::Simulator> sim;
   traffic::Workload workload;
   sim::RunSummary summary;
+  /// Finalized time-series of the run; engaged when cfg.sample_every > 0
+  /// (filled by run() after the last simulated cycle).
+  std::optional<obs::SeriesData> series;
 
   PaperRun(const PaperRun&) = delete;
   PaperRun& operator=(const PaperRun&) = delete;
@@ -84,6 +94,9 @@ struct PaperRun {
   /// Figure 6: indices (into workload.connections) of the connections of
   /// `sl` with the lowest/highest fraction meeting the tightest threshold.
   struct BestWorst {
+    /// False when no connection of the SL received a packet — best/worst
+    /// are then meaningless and callers must skip the cell.
+    bool found = false;
     std::size_t best = 0;
     std::size_t worst = 0;
     std::array<double, sim::kDelayThresholds> best_within{};

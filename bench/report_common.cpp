@@ -17,6 +17,54 @@ obs::Snapshot merged_telemetry(const SweepResult& sweep) {
   return merged_telemetry(sweep.runs);
 }
 
+void apply_run0_observability(PaperRunConfig& cfg,
+                              const util::StdFlags& flags) {
+  if (!flags.trace_out.empty()) cfg.trace_capacity = kTraceOutCapacity;
+  cfg.sample_every = flags.sample_every;
+  cfg.profile = flags.profile;
+}
+
+void attach_series(obs::Report& report, const PaperRun& run) {
+  if (run.series.has_value()) report.series(*run.series);
+}
+
+bool export_series_csv(const obs::SeriesData& series,
+                       const util::StdFlags& flags) {
+  if (flags.series_csv.empty()) return true;
+  if (!obs::write_series_csv(series, flags.series_csv)) return false;
+  std::cerr << "wrote " << flags.series_csv << "/ (" << series.windows()
+            << " series windows)\n";
+  return true;
+}
+
+bool export_series_csv(const PaperRun& run, const util::StdFlags& flags) {
+  if (!run.series.has_value()) return true;
+  return export_series_csv(*run.series, flags);
+}
+
+std::vector<obs::CounterTrack> series_tracks(const obs::SeriesData& s) {
+  std::vector<obs::CounterTrack> tracks;
+  const auto track = [&](const std::string& name, const auto& values) {
+    obs::CounterTrack t;
+    t.name = name;
+    t.points.reserve(s.time.size());
+    for (std::size_t i = 0; i < s.time.size() && i < values.size(); ++i)
+      t.points.emplace_back(s.time[i], static_cast<double>(values[i]));
+    if (!t.points.empty()) tracks.push_back(std::move(t));
+  };
+  track("qos.missed", s.qos.missed);
+  track("qos.late", s.qos.late);
+  track("qos.drops", s.qos.drops);
+  for (const auto& sl : s.sl_delay)
+    track("sl" + std::to_string(sl.sl) + ".delay_p99", sl.p99);
+  return tracks;
+}
+
+std::vector<obs::CounterTrack> series_tracks(const PaperRun& run) {
+  if (!run.series.has_value()) return {};
+  return series_tracks(*run.series);
+}
+
 void echo_config(obs::Report& report, const PaperRunConfig& cfg) {
   report.config("switches", static_cast<std::uint64_t>(cfg.switches));
   report.config("mtu_bytes",
@@ -84,13 +132,14 @@ int emit_report(const obs::Report& report, const util::Cli& cli) {
 }
 
 bool emit_trace(const std::string& path, const sim::PacketTrace& trace,
-                const std::vector<obs::PhaseSpan>& spans) {
+                const std::vector<obs::PhaseSpan>& spans,
+                const std::vector<obs::CounterTrack>& counters) {
   std::ofstream f(path, std::ios::binary);
   if (!f) {
     std::cerr << "error: cannot open --trace-out file " << path << "\n";
     return false;
   }
-  obs::write_chrome_trace(f, trace, spans);
+  obs::write_chrome_trace(f, trace, spans, counters);
   std::cerr << "wrote " << path << " (" << trace.size()
             << " trace records)\n";
   return true;

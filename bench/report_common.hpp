@@ -1,5 +1,5 @@
 // Shared machine-readable reporting for the paper benches. Every bench
-// builds an obs::Report (schema "ibarb.report/1"), attaches its figures and
+// builds an obs::Report (schema "ibarb.report/2"), attaches its figures and
 // the merged telemetry snapshot, and emits through emit_report — the ONE
 // serialization path (util::JsonWriter). There are no hand-rolled JSON
 // printers in bench/ anymore; tools/report_schema.json +
@@ -25,6 +25,29 @@ namespace ibarb::bench {
 /// milestone of a quick run, bounded for long ones.
 inline constexpr std::size_t kTraceOutCapacity = 1u << 18;
 
+/// Applies the run-0 observability knobs from the standard flags: packet
+/// tracing (--trace-out), series sampling (--sample-every) and the
+/// self-profiler (--profile). Sweeps call this on cfgs[0] only, so every
+/// exported artefact comes from one self-contained, deterministic run.
+void apply_run0_observability(PaperRunConfig& cfg, const util::StdFlags& flags);
+
+/// Attaches run.series to the report's `series` section (no-op when the run
+/// recorded no series).
+void attach_series(obs::Report& report, const PaperRun& run);
+
+/// Exports the CSV bundle for --series-csv DIR. No-op (returning true) when
+/// the flag or the series is absent; false after printing to stderr when the
+/// export fails.
+bool export_series_csv(const obs::SeriesData& series,
+                       const util::StdFlags& flags);
+bool export_series_csv(const PaperRun& run, const util::StdFlags& flags);
+
+/// Chrome counter tracks derived from a run's series: the QoS audit
+/// timelines (missed/late/drops per window) plus per-SL p99 delay. Empty
+/// when the run recorded no series.
+std::vector<obs::CounterTrack> series_tracks(const obs::SeriesData& series);
+std::vector<obs::CounterTrack> series_tracks(const PaperRun& run);
+
 /// Per-run telemetry snapshots merged in run-index order — byte-identical
 /// for any --jobs value by the sweep determinism contract.
 obs::Snapshot merged_telemetry(const SweepResult& sweep);
@@ -48,6 +71,7 @@ int emit_report(const obs::Report& report, const util::Cli& cli);
 /// Writes a Chrome trace_event file for --trace-out.
 /// Returns false (and prints to stderr) when the file cannot be opened.
 bool emit_trace(const std::string& path, const sim::PacketTrace& trace,
-                const std::vector<obs::PhaseSpan>& spans = {});
+                const std::vector<obs::PhaseSpan>& spans = {},
+                const std::vector<obs::CounterTrack>& counters = {});
 
 }  // namespace ibarb::bench

@@ -53,6 +53,12 @@ void FaultInjector::arm() {
 
 void FaultInjector::notify(iba::NodeId node, iba::PortIndex port,
                            bool healthy) {
+  if (obs::SeriesRecorder* s = sim_.series()) {
+    s->record_transition(sim_.now(),
+                         healthy ? obs::SeriesTransition::Kind::kLinkUp
+                                 : obs::SeriesTransition::Kind::kLinkDown,
+                         /*conn=*/-1, node, port);
+  }
   if (listener_) listener_(node, port, healthy, sim_.now());
 }
 

@@ -120,6 +120,9 @@ void RecoveryCoordinator::suspend(Tracked& t, bool routes_ok) {
     ++stats_.suspended;
     ++(t.guaranteed ? stats_.suspended_guaranteed
                     : stats_.suspended_best_effort);
+    if (obs::SeriesRecorder* s = sim_.series())
+      s->record_transition(sim_.now(), obs::SeriesTransition::Kind::kSuspended,
+                           t.flow);
   }
   // A guaranteed connection refused while sheddable best-effort capacity
   // remained on its (routable) path would break the degradation contract.
@@ -153,6 +156,10 @@ bool RecoveryCoordinator::readmit(Tracked& t, bool count_as_restore) {
           sim_.stop_flow(other.flow);
           other.active = false;
           ++stats_.shed_best_effort;
+          if (obs::SeriesRecorder* s = sim_.series())
+            s->record_transition(sim_.now(),
+                                 obs::SeriesTransition::Kind::kShed,
+                                 other.flow);
         }
       }
     }
@@ -176,9 +183,19 @@ bool RecoveryCoordinator::readmit(Tracked& t, bool count_as_restore) {
   if (!t.active) {
     sim_.resume_flow(t.flow);
     t.active = true;
-    if (count_as_restore) ++stats_.restored;
+    if (count_as_restore) {
+      ++stats_.restored;
+      if (obs::SeriesRecorder* s = sim_.series())
+        s->record_transition(sim_.now(),
+                             obs::SeriesTransition::Kind::kRestored, t.flow);
+    }
   }
-  if (t.active && !count_as_restore) ++stats_.rerouted;
+  if (t.active && !count_as_restore) {
+    ++stats_.rerouted;
+    if (obs::SeriesRecorder* s = sim_.series())
+      s->record_transition(sim_.now(), obs::SeriesTransition::Kind::kRerouted,
+                           t.flow);
+  }
   return true;
 }
 

@@ -36,7 +36,8 @@ void write_common(util::JsonWriter& w, const char* name, const char* ph,
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const sim::PacketTrace& trace,
-                        const std::vector<PhaseSpan>& spans) {
+                        const std::vector<PhaseSpan>& spans,
+                        const std::vector<CounterTrack>& counters) {
   // Group milestones per packet. The ring is already chronological; a
   // stable grouping keyed by (connection, packet) keeps output ordering a
   // pure function of trace contents.
@@ -124,7 +125,23 @@ void write_chrome_trace(std::ostream& os, const sim::PacketTrace& trace,
     w.end_object();
   }
 
-  if (!spans.empty()) {
+  // Counter tracks: Perfetto draws one step plot per distinct event name
+  // on the control-plane process row.
+  for (const CounterTrack& c : counters) {
+    for (const auto& [ts, value] : c.points) {
+      w.begin_object();
+      w.kv("name", c.name);
+      w.kv("ph", "C");
+      w.kv("pid", kControlPid);
+      w.kv("ts", ts);
+      w.key("args").begin_object();
+      w.kv("value", value);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  if (!spans.empty() || !counters.empty()) {
     w.begin_object();
     w.kv("name", "process_name");
     w.kv("ph", "M");

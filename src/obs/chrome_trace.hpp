@@ -10,7 +10,10 @@
 //    link_tx→xbar = "hop", xbar→link_tx = "switch", ...→deliver = "final"),
 //  * kDrop becomes an instant ("i") event,
 //  * PhaseSpans (fault windows, recovery phases) land on a reserved
-//    control-plane pid with one tid per track.
+//    control-plane pid with one tid per track,
+//  * CounterTracks (windowed series: qos.missed, per-SL p99, ...) become
+//    counter ("C") events on the same control-plane pid, which Perfetto
+//    renders as step plots next to the spans.
 //
 // Timestamps are simulator cycles written as microseconds; only relative
 // structure matters in the viewer. Output is a pure function of the trace
@@ -20,6 +23,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ibarb::sim {
@@ -37,9 +41,19 @@ struct PhaseSpan {
   std::uint64_t end = 0;
 };
 
+/// A named step-plot series: (timestamp, value) points emitted as Chrome
+/// "C" (counter) events. Typically built from an obs::SeriesData timeline
+/// (bench/report_common.hpp: series_tracks).
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<std::uint64_t, double>> points;
+};
+
 /// Writes {"traceEvents":[...]} . Spans are emitted in the given order
-/// after the packet journeys; pass them pre-sorted for deterministic files.
+/// after the packet journeys, counter tracks after the spans; pass both
+/// pre-sorted for deterministic files.
 void write_chrome_trace(std::ostream& os, const sim::PacketTrace& trace,
-                        const std::vector<PhaseSpan>& spans = {});
+                        const std::vector<PhaseSpan>& spans = {},
+                        const std::vector<CounterTrack>& counters = {});
 
 }  // namespace ibarb::obs

@@ -19,6 +19,11 @@ Report& Report::telemetry(Snapshot snapshot) {
   return *this;
 }
 
+Report& Report::series(SeriesData data) {
+  series_ = std::move(data);
+  return *this;
+}
+
 Report& Report::figure(std::string_view name, FigureFn fn) {
   figures_.emplace_back(std::string(name), std::move(fn));
   return *this;
@@ -31,7 +36,7 @@ void Report::write_scalar(util::JsonWriter& w, const Scalar& v) {
 void Report::write(std::ostream& os, bool pretty) const {
   util::JsonWriter w(os, pretty);
   w.begin_object();
-  w.kv("schema", "ibarb.report/1");
+  w.kv("schema", "ibarb.report/2");
   w.kv("bench", bench_);
   w.key("meta").begin_object();
   for (const auto& [k, v] : meta_) {
@@ -48,6 +53,10 @@ void Report::write(std::ostream& os, bool pretty) const {
   if (telemetry_) {
     w.key("telemetry");
     telemetry_->write_json(w);
+  }
+  if (series_) {
+    w.key("series");
+    series_->write_json(w);
   }
   w.key("figures").begin_object();
   for (const auto& [name, fn] : figures_) {

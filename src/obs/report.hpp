@@ -1,15 +1,21 @@
 // obs::Report — the one reporting API for every bench's machine-readable
 // output. Replaces the per-bench hand-rolled JSON printers with a single
-// schema ("ibarb.report/1"):
+// schema ("ibarb.report/2"):
 //
 //   {
-//     "schema":   "ibarb.report/1",
+//     "schema":   "ibarb.report/2",
 //     "bench":    "<bench name>",
 //     "meta":     { run metadata: seed, jobs, wall_ms, ... },
 //     "config":   { config echo, insertion order },
 //     "telemetry": { counters/gauges/histograms snapshot (optional) },
+//     "series":   { windowed time-series section (optional, --sample-every) },
 //     "figures":  { bench-specific payloads, insertion order }
 //   }
+//
+// /1 -> /2: the optional "series" section (obs::SeriesData) was added and
+// the schema id bumped so downstream consumers can key on it; everything
+// else is unchanged, so a /1 reader that ignores unknown members still
+// parses /2 output.
 //
 // meta/config values are scalars; figures are free-form sub-trees a bench
 // emits through a JsonWriter callback, so figure payloads stay streaming
@@ -27,6 +33,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/series.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ibarb::obs {
@@ -46,6 +53,8 @@ class Report {
   Report& config(std::string_view key, Scalar v);
   /// Attaches the (merged) registry snapshot. At most one; later wins.
   Report& telemetry(Snapshot snapshot);
+  /// Attaches the windowed time-series section. At most one; later wins.
+  Report& series(SeriesData data);
   /// Registers a named figure payload; `fn` must write exactly one JSON
   /// value. Insertion order preserved.
   Report& figure(std::string_view name, FigureFn fn);
@@ -61,6 +70,7 @@ class Report {
   std::vector<std::pair<std::string, Scalar>> meta_;
   std::vector<std::pair<std::string, Scalar>> config_;
   std::optional<Snapshot> telemetry_;
+  std::optional<SeriesData> series_;
   std::vector<std::pair<std::string, FigureFn>> figures_;
 };
 

@@ -59,7 +59,12 @@ void Snapshot::add_histogram(std::string_view name, const std::uint64_t* bins,
   }
   auto& acc = it->second;
   if (acc.size() < n) acc.resize(n, 0);
-  for (std::size_t i = 0; i < n; ++i) acc[i] += bins[i];
+  // Saturating add: a merged overflow bucket must pin at UINT64_MAX, never
+  // wrap to a small count that misreads as "almost nothing landed here".
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t sum = acc[i] + bins[i];
+    acc[i] = sum < acc[i] ? UINT64_MAX : sum;
+  }
 }
 
 Counter& TelemetryRegistry::counter(std::string_view name) {

@@ -107,7 +107,8 @@ struct Snapshot {
   /// cross-run policy).
   void merge_gauge(std::string_view name, double v,
                    MergePolicy policy = MergePolicy::kSum);
-  /// Element-wise bin add; the stored vector grows to `n` if shorter.
+  /// Element-wise bin add, saturating at UINT64_MAX per bin; the stored
+  /// vector grows to `n` if shorter.
   void add_histogram(std::string_view name, const std::uint64_t* bins,
                      std::size_t n);
 

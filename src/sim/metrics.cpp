@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/series.hpp"
+
 namespace ibarb::sim {
 
 void Metrics::record_injection(std::uint32_t conn, const iba::Packet& p) {
@@ -14,6 +16,12 @@ void Metrics::record_injection(std::uint32_t conn, const iba::Packet& p) {
 
 void Metrics::record_delivery(std::uint32_t conn, const iba::Packet& p,
                               iba::Cycle now) {
+  if (series_ && conn < connections.size()) {
+    assert(now >= p.injected_at);
+    const auto& c = connections[conn];
+    series_->record_delivery(conn, c.sl, now - p.injected_at,
+                             p.deadline > 0 ? p.deadline : c.deadline);
+  }
   if (!enabled_) return;
   auto& c = connections[conn];
   ++c.rx_packets;
@@ -70,8 +78,9 @@ void Metrics::record_tx(std::uint32_t flat_port, std::uint32_t wire_bytes,
 }
 
 void Metrics::record_drop(std::uint32_t conn) {
-  if (!enabled_) return;
   if (conn >= connections.size()) return;  // management MADs carry no conn
+  if (series_) series_->record_drop(conn);
+  if (!enabled_) return;
   ++connections[conn].dropped_packets;
 }
 

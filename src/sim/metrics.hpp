@@ -5,11 +5,16 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "iba/packet.hpp"
 #include "iba/types.hpp"
 #include "util/stats.hpp"
+
+namespace ibarb::obs {
+class SeriesRecorder;
+}
 
 namespace ibarb::sim {
 
@@ -51,11 +56,14 @@ struct ConnectionMetrics {
 
   iba::Cycle last_arrival = iba::kNeverCycle;  ///< For jitter pairing.
 
-  /// Fraction of received packets meeting deadline/divisor.
+  /// Fraction of received packets meeting deadline/divisor. NaN when the
+  /// connection received nothing — "no data" must stay distinguishable from
+  /// "every packet missed" (the JSON writer maps NaN to null; table-format
+  /// benches print a dash).
   double fraction_within(std::size_t threshold_index) const {
     return rx_packets ? static_cast<double>(within_threshold[threshold_index]) /
                             static_cast<double>(rx_packets)
-                      : 0.0;
+                      : std::numeric_limits<double>::quiet_NaN();
   }
 
   double fraction_jitter_bin(std::size_t bin) const {
@@ -114,10 +122,17 @@ class Metrics {
   /// rx packets delivered inside the window, cheap loop (phase control).
   std::uint64_t min_qos_rx() const;
 
+  /// Wires the time-series recorder (null to detach). Series hooks fire for
+  /// the WHOLE run, not just the measurement window — the series carries its
+  /// own time axis, and the degrade/restore arc must stay visible even when
+  /// a bench measures a sub-window.
+  void set_series(obs::SeriesRecorder* series) noexcept { series_ = series; }
+
  private:
   bool enabled_ = false;
   iba::Cycle window_start_ = 0;
   iba::Cycle window_end_ = 0;
+  obs::SeriesRecorder* series_ = nullptr;
 };
 
 }  // namespace ibarb::sim

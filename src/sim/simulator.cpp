@@ -5,6 +5,7 @@
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace ibarb::sim {
 
@@ -146,6 +147,31 @@ Simulator::Simulator(const network::FabricGraph& graph,
                      static_cast<double>(in_peak_bytes),
                      obs::MergePolicy::kMax);
   });
+
+  if (cfg_.sample_every > 0) {
+    obs::SeriesRecorder::Config sc;
+    sc.sample_every = cfg_.sample_every;
+    sc.capacity = cfg_.series_capacity;
+    series_ = std::make_unique<obs::SeriesRecorder>(telemetry_, sc);
+    metrics_.set_series(series_.get());
+  }
+
+  if (cfg_.profile) {
+    profiler_ = std::make_unique<obs::PhaseProfiler>();
+    // profile.* is the quarantined wall-clock family: published only when
+    // profiling is opted into, never sampled into the series, never part of
+    // a determinism byte-compare.
+    telemetry_.add_probe([this](obs::Snapshot& snap) {
+      for (int i = 0; i < obs::PhaseProfiler::kPhaseCount; ++i) {
+        const auto p = static_cast<obs::PhaseProfiler::Phase>(i);
+        const std::string base =
+            std::string("profile.") + obs::PhaseProfiler::name(p);
+        snap.merge_gauge(base + "_ms", profiler_->total_ms(p),
+                         obs::MergePolicy::kSum);
+        snap.add_counter(base + "_calls", profiler_->calls(p));
+      }
+    });
+  }
 }
 
 OutputPort& Simulator::output_port(iba::NodeId node, iba::PortIndex port) {
@@ -226,6 +252,7 @@ std::uint32_t Simulator::add_flow(const FlowSpec& spec) {
   cm.nominal_iat = spec.interval;
   cm.qos = spec.qos;
   metrics_.connections.push_back(cm);
+  if (series_) series_->note_connection(idx, spec.sl, spec.qos, spec.deadline);
 
   if (!spec.external) {
     Event e;
@@ -351,7 +378,10 @@ void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
   if (hooks_ && !hooks_->may_transmit(node, port)) return;
 
   const auto ready = op.ready_bytes();
-  const auto decision = op.arbiter.arbitrate(ready);
+  const auto decision = [&] {
+    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kArbitration);
+    return op.arbiter.arbitrate(ready);
+  }();
   if (!decision) return;
 
   iba::Packet p = op.queues.pop(decision->vl);
@@ -387,9 +417,12 @@ void Simulator::on_tx_complete(iba::NodeId node, iba::PortIndex port) {
 }
 
 void Simulator::on_link_deliver(const Event& e) {
-  if (hooks_ && !e.packet.management &&
-      hooks_->on_link_rx(e.node, e.port, e.packet) ==
-          FaultHooks::RxVerdict::kDrop) {
+  auto verdict = FaultHooks::RxVerdict::kDeliver;
+  if (hooks_ && !e.packet.management) {
+    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kFaultHooks);
+    verdict = hooks_->on_link_rx(e.node, e.port, e.packet);
+  }
+  if (verdict == FaultHooks::RxVerdict::kDrop) {
     // Discarded on arrival (corrupted past the CRC, or a drop-fault window).
     // The receiver still frees the notional buffer, so upstream credits are
     // returned — a lost packet must not wedge the sender.
@@ -411,7 +444,10 @@ void Simulator::on_link_deliver(const Event& e) {
   // Host sink: record, then return credits to the upstream switch port
   // immediately (hosts drain their receive buffers at line rate).
   trace_.record(now_, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
-  metrics_.record_delivery(e.packet.connection, e.packet, now_);
+  {
+    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kMetrics);
+    metrics_.record_delivery(e.packet.connection, e.packet, now_);
+  }
   if (delivery_listener_) delivery_listener_(e.packet, now_);
   const auto up = graph_.peer(e.node, 0);
   assert(up.has_value());
@@ -647,11 +683,26 @@ void Simulator::run_until(iba::Cycle t) {
   while (!queue_.empty() && queue_.top().time <= t) {
     const Event e = queue_.pop();
     assert(e.time >= now_ && "time must not run backwards");
+    // A series boundary B samples the state after every event with time
+    // <= B, so commit pending boundaries just before the first event that
+    // crosses one.
+    if (series_ && e.time > series_->next_due()) {
+      obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kSeries);
+      series_->advance_to(e.time);
+    }
     now_ = e.time;
     ++events_;
+    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kDispatch);
     handle(e);
   }
   if (now_ < t) now_ = t;
+  // All events <= t are handled, so every boundary <= t is complete — flush
+  // them even if no later event arrives to cross the boundary (idempotent;
+  // run_paper_phases calls run_until in probe steps).
+  if (series_ && t + 1 > series_->next_due()) {
+    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kSeries);
+    series_->advance_to(t + 1);
+  }
 }
 
 RunSummary Simulator::run_paper_phases(iba::Cycle warmup,

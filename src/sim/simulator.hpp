@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 #include <vector>
@@ -14,6 +15,8 @@
 #include "iba/vl_arbitration.hpp"
 #include "network/graph.hpp"
 #include "network/routing.hpp"
+#include "obs/profile.hpp"
+#include "obs/series.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/host.hpp"
@@ -35,6 +38,16 @@ struct SimConfig {
   double crossbar_speedup = 2.0;
   /// Ring-buffer size of the packet trace; 0 disables tracing entirely.
   std::size_t trace_capacity = 0;
+  /// Time-series sampling cadence in cycles (--sample-every); 0 disables the
+  /// SeriesRecorder entirely — the hot paths then pay one null check.
+  std::uint64_t sample_every = 0;
+  /// Max windows the series keeps before power-of-two decimation doubles
+  /// the window width (kept even; see obs::SeriesRecorder).
+  std::size_t series_capacity = 512;
+  /// Enables the wall-clock self-profiler (obs::PhaseProfiler). Its
+  /// profile.* telemetry is nondeterministic by nature and therefore
+  /// excluded from series sampling and from every byte-compare in CI.
+  bool profile = false;
   std::uint64_t seed = 1;
   /// Event-queue implementation. kBinaryHeap keeps the pre-wheel queue
   /// selectable for differential tests and old-vs-new benchmarks; both
@@ -216,6 +229,11 @@ class Simulator {
   /// Runs all probes and returns the deterministic instrument snapshot.
   obs::Snapshot telemetry_snapshot() { return telemetry_.snapshot(); }
 
+  /// The time-series recorder, or null when SimConfig::sample_every == 0.
+  /// The fault/recovery layer stamps state transitions through this; benches
+  /// call finalize() on it after their last run_until.
+  obs::SeriesRecorder* series() noexcept { return series_.get(); }
+
  private:
   void handle(const Event& e);
   void on_generate(std::uint32_t flow_index);
@@ -263,6 +281,8 @@ class Simulator {
   Metrics metrics_;
   PacketTrace trace_;
   obs::TelemetryRegistry telemetry_;
+  std::unique_ptr<obs::SeriesRecorder> series_;
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
 };
 
 }  // namespace ibarb::sim

@@ -1,6 +1,7 @@
 #include "util/cli.hpp"
 
 #include <charconv>
+#include <filesystem>
 #include <ostream>
 #include <stdexcept>
 
@@ -14,6 +15,20 @@ std::string strip_dashes(std::string_view arg) {
   std::size_t i = 0;
   while (i < arg.size() && arg[i] == '-') ++i;
   return std::string(arg.substr(i));
+}
+
+/// Output paths fail fast: a typo'd directory must be a startup error, not
+/// a post-run surprise after minutes of simulation.
+void require_writable_parent(std::string_view flag, const std::string& path) {
+  if (path.empty()) return;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;  // bare filename: the cwd always exists
+  std::error_code ec;
+  if (!std::filesystem::is_directory(parent, ec)) {
+    throw std::invalid_argument(
+        "flag --" + std::string(flag) + ": parent directory '" +
+        parent.string() + "' does not exist (create it first)");
+  }
 }
 
 }  // namespace
@@ -104,6 +119,17 @@ StdFlags Cli::std_flags(std::uint64_t default_seed) const {
   }
   f.seed = static_cast<std::uint64_t>(seed);
   f.trace_out = get("trace-out", "");
+  require_writable_parent("trace-out", f.trace_out);
+  const auto sample = get_int("sample-every", 0);
+  if (sample < 0) {
+    throw std::invalid_argument(
+        "flag --sample-every expects a cycle count >= 0, got " +
+        std::to_string(sample));
+  }
+  f.sample_every = static_cast<std::uint64_t>(sample);
+  f.series_csv = get("series-csv", "");
+  require_writable_parent("series-csv", f.series_csv);
+  f.profile = get_bool("profile", false);
   f.quiet = get_bool("quiet", false);
   return f;
 }

@@ -14,16 +14,28 @@
 namespace ibarb::util {
 
 /// The flag block every bench shares (parsed once via Cli::std_flags):
-///   --jobs N        parallel sweep workers (0/absent = hardware concurrency)
-///   --json          machine-readable obs::Report to stdout (or --out file)
-///   --seed S        base RNG seed for the sweep
-///   --trace-out F   write a Chrome trace_event JSON of run 0 to F
-///   --quiet         suppress progress/timing chatter on stderr
+///   --jobs N            parallel sweep workers (0/absent = hw concurrency)
+///   --json              machine-readable obs::Report to stdout (or --out)
+///   --seed S            base RNG seed for the sweep
+///   --trace-out F       write a Chrome trace_event JSON of run 0 to F
+///   --sample-every C    sample telemetry every C simulated cycles into the
+///                       report's "series" section (0/absent = off)
+///   --series-csv DIR    also export run 0's series as CSV files into DIR
+///   --profile           enable the wall-clock self-profiler (profile.*
+///                       telemetry; nondeterministic, never byte-compared)
+///   --quiet             suppress progress/timing chatter on stderr
+///
+/// Output-path flags (--trace-out, --series-csv) are validated up front:
+/// a parent directory that does not exist fails at parse time instead of
+/// after the full run.
 struct StdFlags {
   unsigned jobs = 1;
   bool json = false;
   std::uint64_t seed = 1;
-  std::string trace_out;  ///< Empty = tracing disabled.
+  std::string trace_out;    ///< Empty = tracing disabled.
+  std::uint64_t sample_every = 0;  ///< 0 = series recording disabled.
+  std::string series_csv;   ///< Empty = no CSV export.
+  bool profile = false;
   bool quiet = false;
 };
 

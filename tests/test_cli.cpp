@@ -100,18 +100,43 @@ TEST(Cli, StdFlagsDefaults) {
   EXPECT_FALSE(sf.json);
   EXPECT_EQ(sf.seed, 21u);
   EXPECT_TRUE(sf.trace_out.empty());
+  EXPECT_EQ(sf.sample_every, 0u);
+  EXPECT_TRUE(sf.series_csv.empty());
+  EXPECT_FALSE(sf.profile);
   EXPECT_FALSE(sf.quiet);
 }
 
 TEST(Cli, StdFlagsParsesFullBlock) {
   const auto cli = make({"--jobs", "2", "--json", "--seed", "7",
-                         "--trace-out", "t.json", "--quiet"});
+                         "--trace-out", "t.json", "--sample-every", "4096",
+                         "--series-csv", "out", "--profile", "--quiet"});
   const auto sf = cli.std_flags();
   EXPECT_EQ(sf.jobs, 2u);
   EXPECT_TRUE(sf.json);
   EXPECT_EQ(sf.seed, 7u);
   EXPECT_EQ(sf.trace_out, "t.json");
+  EXPECT_EQ(sf.sample_every, 4096u);
+  EXPECT_EQ(sf.series_csv, "out");
+  EXPECT_TRUE(sf.profile);
   EXPECT_TRUE(sf.quiet);
+}
+
+TEST(Cli, StdFlagsRejectsNegativeSampleEvery) {
+  const auto cli = make({"--sample-every=-1"});
+  EXPECT_THROW(cli.std_flags(), std::invalid_argument);
+}
+
+TEST(Cli, StdFlagsRejectsMissingOutputParents) {
+  // A typo'd directory must fail at flag parse, not after the simulation.
+  EXPECT_THROW(make({"--trace-out", "/nonexistent-dir-xyz/t.json"})
+                   .std_flags(),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--series-csv", "/nonexistent-dir-xyz/series"})
+                   .std_flags(),
+               std::invalid_argument);
+  // Bare filenames and "." parents resolve against the cwd, which exists.
+  EXPECT_NO_THROW(make({"--trace-out", "t.json"}).std_flags());
+  EXPECT_NO_THROW(make({"--series-csv", "./series"}).std_flags());
 }
 
 TEST(Cli, StdFlagsMarksBlockAsQueried) {

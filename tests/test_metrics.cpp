@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace ibarb::sim {
 namespace {
 
@@ -62,6 +64,17 @@ TEST(Metrics, ThresholdCountsFollowDeadlineFractions) {
   EXPECT_EQ(c.within_threshold[kDelayThresholds - 4], 2u);    // D/3
   EXPECT_EQ(c.within_threshold[kDelayThresholds - 1], 2u);    // D
   EXPECT_DOUBLE_EQ(c.fraction_within(kDelayThresholds - 1), 2.0 / 3.0);
+}
+
+TEST(Metrics, FractionWithinIsNanWithoutReceivedPackets) {
+  // "No data" must not read as "every packet missed": an empty cell is NaN
+  // (null in JSON, a dash in the table benches), never 0.0.
+  auto m = fresh(/*deadline=*/3000, /*iat=*/0);
+  m.start_window(0);
+  const auto& c = m.connections[0];
+  EXPECT_EQ(c.rx_packets, 0u);
+  for (std::size_t k = 0; k < kDelayThresholds; ++k)
+    EXPECT_TRUE(std::isnan(c.fraction_within(k)));
 }
 
 TEST(Metrics, JitterBinsCentreAndTails) {

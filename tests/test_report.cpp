@@ -24,7 +24,7 @@ TEST(Report, EnvelopeStructure) {
   Report r("demo");
   const auto s = render(r);
   EXPECT_EQ(s,
-            "{\"schema\":\"ibarb.report/1\",\"bench\":\"demo\","
+            "{\"schema\":\"ibarb.report/2\",\"bench\":\"demo\","
             "\"meta\":{},\"config\":{},\"figures\":{}}\n");
 }
 
@@ -124,6 +124,33 @@ TEST(ChromeTrace, PhaseSpansLandOnControlTrack) {
   EXPECT_NE(s.find("\"link_down leaf0.2\""), std::string::npos);
   // Control-plane rows use the reserved pid, far above any connection id.
   EXPECT_NE(s.find("1000000000"), std::string::npos);
+}
+
+TEST(Report, SeriesSectionOnlyWhenAttached) {
+  Report r("demo");
+  EXPECT_EQ(render(r).find("\"series\""), std::string::npos);
+  SeriesData data;
+  data.sample_every = 4096;
+  data.window_cycles = 4096;
+  data.time = {4096, 8192};
+  r.series(data);
+  const auto s = render(r);
+  EXPECT_NE(s.find("\"series\":{"), std::string::npos);
+  EXPECT_NE(s.find("\"sample_every\":4096"), std::string::npos);
+  EXPECT_NE(s.find("\"time\":[4096,8192]"), std::string::npos);
+}
+
+TEST(ChromeTrace, CounterTracksEmitCEvents) {
+  std::ostringstream os;
+  std::vector<CounterTrack> counters;
+  counters.push_back({"qos.missed", {{4096, 0.0}, {8192, 3.0}}});
+  write_chrome_trace(os, make_trace(), {}, counters);
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(s.find("\"qos.missed\""), std::string::npos);
+  EXPECT_NE(s.find("\"value\":3"), std::string::npos);
+  // Counters alone must still name the control-plane process row.
+  EXPECT_NE(s.find("\"control plane\""), std::string::npos);
 }
 
 TEST(ChromeTrace, DeterministicForSameInput) {

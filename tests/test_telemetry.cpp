@@ -122,6 +122,45 @@ TEST(Telemetry, AddHistogramGrowsToLongest) {
   EXPECT_EQ(bins[3], 10u);
 }
 
+TEST(Telemetry, AddHistogramSaturatesInsteadOfWrapping) {
+  // Merging near-full bins must clamp at UINT64_MAX, never wrap to a small
+  // count that would silently corrupt percentile math.
+  Snapshot s;
+  const std::uint64_t a[] = {UINT64_MAX - 5, 1};
+  const std::uint64_t b[] = {10, 2};
+  s.add_histogram("h", a, 2);
+  s.add_histogram("h", b, 2);
+  const auto& bins = s.histograms.at("h");
+  EXPECT_EQ(bins[0], UINT64_MAX);
+  EXPECT_EQ(bins[1], 3u);
+}
+
+TEST(Telemetry, MergeDisjointKeySets) {
+  // Runs that never observed each other's instruments: the union must carry
+  // every key with its own value untouched.
+  Snapshot a;
+  a.add_counter("only.a", 7);
+  a.merge_gauge("gauge.a", 1.5, MergePolicy::kSum);
+  const std::uint64_t bins_a[] = {1, 2, 3};
+  a.add_histogram("hist.a", bins_a, 3);
+  Snapshot b;
+  b.add_counter("only.b", 9);
+  b.merge_gauge("gauge.b", -2.0, MergePolicy::kMin);
+  const std::uint64_t bins_b[] = {4};
+  b.add_histogram("hist.b", bins_b, 1);
+
+  const auto merged = Snapshot::merge({a, b});
+  EXPECT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters.at("only.a"), 7u);
+  EXPECT_EQ(merged.counters.at("only.b"), 9u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("gauge.a").first, 1.5);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("gauge.b").first, -2.0);
+  EXPECT_EQ(merged.gauges.at("gauge.b").second, MergePolicy::kMin);
+  EXPECT_EQ(merged.histograms.at("hist.a"),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(merged.histograms.at("hist.b"), (std::vector<std::uint64_t>{4}));
+}
+
 Snapshot make_run_snapshot(std::size_t i) {
   TelemetryRegistry reg;
   reg.counter("arb.decisions").inc(100 + i);

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate an ibarb.report/1 JSON file against tools/report_schema.json.
+"""Validate an ibarb.report/2 JSON file against tools/report_schema.json.
 
 Stdlib-only (CI must not pip-install anything), so this implements the small
 JSON-Schema subset the checked-in schema actually uses: type, const,
