@@ -26,6 +26,16 @@ PaperRunConfig config_from_cli(const util::Cli& cli, PaperRunConfig base) {
     base.min_rx_packets = 10;
     base.warmup = 500'000;
   }
+  const auto xbar = cli.get("crossbar", "");
+  if (!xbar.empty()) {
+    const auto impl = sched::parse_crossbar_impl(xbar);
+    if (!impl) {
+      throw std::invalid_argument(
+          "flag --crossbar: unknown crossbar scheduler '" + xbar +
+          "' (expected " + std::string(sched::kCrossbarImplNames) + ")");
+    }
+    base.crossbar = *impl;
+  }
   return base;
 }
 
@@ -63,6 +73,8 @@ PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
   sc.buffer_packets = cfg.buffer_packets;
   sc.seed = cfg.seed;
   sc.queue_impl = queue_impl_from_env();
+  sc.crossbar_impl =
+      cfg.crossbar ? *cfg.crossbar : sched::crossbar_impl_from_env();
   sc.trace_capacity = cfg.trace_capacity;
   sc.sample_every = cfg.sample_every;
   sc.profile = cfg.profile;

@@ -13,6 +13,7 @@
 #include "network/topology.hpp"
 #include "obs/series.hpp"
 #include "qos/admission.hpp"
+#include "sched/crossbar_impl.hpp"
 #include "subnet/subnet_manager.hpp"
 #include "traffic/workload.hpp"
 #include "util/cli.hpp"
@@ -44,11 +45,20 @@ struct PaperRunConfig {
   std::uint64_t sample_every = 0;
   /// Wall-clock self-profiler (--profile); profile.* telemetry only.
   bool profile = false;
+  /// Crossbar scheduler. Engaged by --crossbar; empty defers to the
+  /// IBARB_CROSSBAR env (then wrr) — flag beats env beats default, the same
+  /// precedence every knob here follows.
+  std::optional<sched::CrossbarImpl> crossbar;
 };
 
 /// Applies the common bench flags (--switches --mtu --seed --packets
 /// --warmup --quick) on top of the defaults.
 PaperRunConfig config_from_cli(const util::Cli& cli, PaperRunConfig base = {});
+
+/// IBARB_EVENT_QUEUE=heap|wheel selects the event-queue implementation
+/// through an unmodified bench binary (CI diffs the two); anything else,
+/// including unset, means the default wheel.
+sim::EventQueueImpl queue_impl_from_env();
 
 /// One complete simulated experiment. Members reference each other, so the
 /// struct is heap-pinned (no copies/moves).

@@ -1,0 +1,63 @@
+// Two-lane scheduler: the paper's guaranteed traffic rides the exact WRR
+// core; best-effort traffic goes through an ATM-ABR-style explicit-rate
+// allocator (PAPERS.md: the paper's tables target CBR/VBR guarantees, and
+// names ABR/UBR as the best-effort classes left to fill the residue).
+//
+// Lane split, decided per head packet at its output (head_guaranteed):
+//   guaranteed  — management (VL15) or mapped onto a VL that the output's
+//                 high-priority arbitration table serves. Scheduled first
+//                 each pass by the unmodified rotating-priority WRR scan;
+//                 the ABR lane can never throttle or delay them within a
+//                 matching round.
+//   best-effort — everything else. Per output, the allocator tracks bytes
+//                 served per input and always grants the least-served
+//                 contender — the water-filling step of max-min fairness,
+//                 computed from simulation state only (deterministic).
+//                 Contenders passed over are counted as `throttled`.
+//
+// The allocator is work-conserving: a best-effort head is only deferred in
+// favour of another contender for the same output, never to reserve idle
+// capacity. Served-byte counters halve every 2^16 cycles so the rate view
+// is recent history, not all-time totals (and the counters stay bounded).
+#pragma once
+
+#include <vector>
+
+#include "sched/crossbar.hpp"
+
+namespace ibarb::sched {
+
+class AbrCrossbar final : public CrossbarScheduler {
+ public:
+  /// History half-life of the served-byte rate counters, in cycles.
+  static constexpr iba::Cycle kRateEpochCycles = 1u << 16;
+
+  explicit AbrCrossbar(unsigned ports);
+
+  CrossbarImpl impl() const override { return CrossbarImpl::kAbr; }
+  void schedule(CrossbarPorts& ports, int only_input) override;
+
+  /// Best-effort bytes served from `in` to `out` in the current rate view
+  /// (decays with kRateEpochCycles). Exposed for the fairness tests.
+  std::uint64_t served_bytes(iba::PortIndex in, iba::PortIndex out) const {
+    return served_[static_cast<std::size_t>(out) * ports_ + in];
+  }
+
+ private:
+  /// WRR scan restricted to guaranteed heads; true when a grant was made.
+  bool try_guaranteed(CrossbarPorts& v, iba::PortIndex in);
+
+  /// One explicit-rate allocation for output `out`; true on a grant.
+  bool allocate_best_effort(CrossbarPorts& v, iba::PortIndex out);
+
+  void roll_epochs(iba::Cycle now);
+
+  unsigned ports_;
+  unsigned rr_input_ = 0;  ///< Rotating priority of the guaranteed lane.
+  std::vector<iba::VirtualLane> rr_vl_;  ///< Per-input VL round-robin.
+  std::vector<std::uint64_t> served_;    ///< [out * ports + in] BE bytes.
+  std::vector<iba::VirtualLane> vl_of_;  ///< Scratch: contender VL per input.
+  iba::Cycle epoch_ = 0;
+};
+
+}  // namespace ibarb::sched

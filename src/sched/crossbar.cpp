@@ -1,0 +1,38 @@
+#include "sched/crossbar.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sched/abr_crossbar.hpp"
+#include "sched/islip_crossbar.hpp"
+#include "sched/matrix_crossbar.hpp"
+#include "sched/wrr_crossbar.hpp"
+
+namespace ibarb::sched {
+
+std::unique_ptr<CrossbarScheduler> make_crossbar(CrossbarImpl impl,
+                                                 unsigned ports) {
+  switch (impl) {
+    case CrossbarImpl::kWrr:
+      return std::make_unique<WrrCrossbar>(ports);
+    case CrossbarImpl::kIslip:
+      return std::make_unique<IslipCrossbar>(ports);
+    case CrossbarImpl::kMatrix:
+      return std::make_unique<MatrixCrossbar>(ports);
+    case CrossbarImpl::kAbr:
+      return std::make_unique<AbrCrossbar>(ports);
+  }
+  throw std::invalid_argument("make_crossbar: unknown CrossbarImpl");
+}
+
+CrossbarImpl crossbar_impl_from_env() {
+  const char* raw = std::getenv("IBARB_CROSSBAR");
+  if (raw == nullptr || *raw == '\0') return CrossbarImpl::kWrr;
+  if (const auto impl = parse_crossbar_impl(raw)) return *impl;
+  throw std::invalid_argument(
+      std::string("IBARB_CROSSBAR: unknown crossbar scheduler '") + raw +
+      "' (expected " + std::string(kCrossbarImplNames) + ")");
+}
+
+}  // namespace ibarb::sched

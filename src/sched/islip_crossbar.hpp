@@ -1,0 +1,58 @@
+// iSLIP(k) crossbar scheduling (McKeown, "From MWM to iSLIP" — PAPERS.md).
+//
+// Each matching round runs up to k request/grant/accept iterations:
+//
+//   request — every ready input requests every output for which it has an
+//             eligible head packet (per-VL heads stand in for VOQs; a head
+//             is eligible when its output is free and its target VL queue
+//             has space);
+//   grant   — every free, unmatched output grants the requesting input
+//             nearest (cyclically) its grant pointer;
+//   accept  — every unmatched input accepts the granting output nearest its
+//             accept pointer. Pointers advance one past the matched partner
+//             ONLY for matches made in the first iteration — the rule that
+//             desynchronizes pointers under saturation and yields 100%
+//             throughput on persistent traffic.
+//
+// Properties the tests pin down (tests/test_crossbar.cpp):
+//   * the match is maximal after at most N = port_count iterations — no
+//     unmatched (input, output) pair with an eligible request remains;
+//   * no input or output is matched twice within one match;
+//   * under full load the pointers desynchronize: after at most N cells
+//     every cell carries a full permutation (100% throughput).
+#pragma once
+
+#include <vector>
+
+#include "sched/crossbar.hpp"
+
+namespace ibarb::sched {
+
+class IslipCrossbar final : public CrossbarScheduler {
+ public:
+  /// `iterations` = 0 selects k = ports, which guarantees maximality.
+  explicit IslipCrossbar(unsigned ports, unsigned iterations = 0);
+
+  CrossbarImpl impl() const override { return CrossbarImpl::kIslip; }
+  void schedule(CrossbarPorts& ports, int only_input) override;
+
+  unsigned iterations_per_match() const noexcept { return k_; }
+
+ private:
+  /// One full iSLIP match + commit. Returns the number of grants made.
+  unsigned match_once(CrossbarPorts& v);
+
+  unsigned ports_;
+  unsigned k_;
+  std::vector<unsigned> grant_ptr_;   ///< Per-output grant pointer.
+  std::vector<unsigned> accept_ptr_;  ///< Per-input accept pointer.
+  std::vector<iba::VirtualLane> rr_vl_;  ///< Per-input VL round-robin.
+
+  // Scratch (allocated once; schedule() is called per event).
+  std::vector<std::uint64_t> req_;     ///< Per-input requested-output mask.
+  std::vector<iba::VirtualLane> vl_for_;  ///< [in * ports + out] chosen VL.
+  std::vector<int> grant_to_;          ///< Per-output granted input or -1.
+  std::vector<int> match_of_in_;       ///< Per-input matched output or -1.
+};
+
+}  // namespace ibarb::sched

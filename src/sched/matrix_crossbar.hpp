@@ -1,0 +1,42 @@
+// Per-output triangular priority-matrix arbitration (the MATRIX arbiter of
+// Orion / Dally & Towles §18.4 — SNIPPETS.md).
+//
+// Each output owns an N×N bit matrix m where m[i][j] = 1 means input i beats
+// input j. The matrix is kept a strict total order: it is seeded with the
+// index order (m[i][j] = i < j) and on every grant the winner drops to the
+// bottom of the order (its row is cleared, its column is set), which keeps
+// the relation linear. The winner among a requester set is therefore unique:
+// the least-recently-served requester.
+//
+// That "loser rises one place per loss" dynamic is the no-starvation
+// argument pinned by tests/test_crossbar.cpp: an input that keeps requesting
+// an output beats every possible competitor after at most N-1 losses.
+#pragma once
+
+#include <vector>
+
+#include "sched/crossbar.hpp"
+
+namespace ibarb::sched {
+
+class MatrixCrossbar final : public CrossbarScheduler {
+ public:
+  explicit MatrixCrossbar(unsigned ports);
+
+  CrossbarImpl impl() const override { return CrossbarImpl::kMatrix; }
+  void schedule(CrossbarPorts& ports, int only_input) override;
+
+ private:
+  /// Row mask of the matrix for output `out`: bit j of beats_[out*N + i]
+  /// set when input i currently beats input j at that output.
+  std::uint64_t& row(unsigned out, unsigned i) {
+    return beats_[static_cast<std::size_t>(out) * ports_ + i];
+  }
+
+  unsigned ports_;
+  std::vector<std::uint64_t> beats_;
+  std::vector<iba::VirtualLane> rr_vl_;  ///< Per-input VL round-robin.
+  std::vector<iba::VirtualLane> vl_of_;  ///< Scratch: chosen VL per input.
+};
+
+}  // namespace ibarb::sched

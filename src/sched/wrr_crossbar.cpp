@@ -1,0 +1,61 @@
+#include "sched/wrr_crossbar.hpp"
+
+namespace ibarb::sched {
+
+bool WrrCrossbar::try_input(CrossbarPorts& v, iba::PortIndex in) {
+  if (!v.input_ready(in)) return false;
+
+  // Round-robin across occupied VLs of this input port.
+  const std::uint16_t occ = v.input_occupancy(in);
+  for (unsigned k = 0; k < iba::kMaxVirtualLanes; ++k) {
+    const auto vl = static_cast<iba::VirtualLane>(
+        (rr_vl_[in] + k) % iba::kMaxVirtualLanes);
+    if (!(occ & (1u << vl))) continue;
+
+    const auto out = v.head_output(in, vl);
+    if (!v.output_free(out)) {
+      ++stats_.blocked_output;
+      continue;
+    }
+    if (!v.output_accepts(in, vl, out)) {
+      ++stats_.blocked_space;
+      continue;
+    }
+
+    rr_vl_[in] =
+        static_cast<iba::VirtualLane>((vl + 1) % iba::kMaxVirtualLanes);
+    v.grant(in, vl, out);
+    ++stats_.grants;
+    return true;
+  }
+  return false;
+}
+
+void WrrCrossbar::schedule(CrossbarPorts& v, int only_input) {
+  ++stats_.rounds;
+  if (only_input >= 0) {
+    // Single-arrival trigger: one input, at most one new transfer, and —
+    // exactly like the pre-refactor path — no rotation of the input
+    // priority pointer.
+    try_input(v, static_cast<iba::PortIndex>(only_input));
+    return;
+  }
+  const unsigned ports = v.port_count();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++stats_.iterations;
+    for (unsigned k = 0; k < ports; ++k) {
+      const auto p = static_cast<iba::PortIndex>((rr_input_ + k) % ports);
+      if (try_input(v, p)) {
+        // Rotating priority: the granted input drops to lowest priority.
+        // Updated mid-scan, so later k values shift with it — the
+        // pre-refactor behaviour, kept bit-for-bit.
+        rr_input_ = (p + 1) % ports;
+        progress = true;
+      }
+    }
+  }
+}
+
+}  // namespace ibarb::sched

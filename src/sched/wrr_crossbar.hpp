@@ -1,0 +1,30 @@
+// The pre-refactor crossbar policy, verbatim: rotating-priority round-robin
+// across input ports, round-robin across occupied VLs within an input, first
+// eligible (free output with queue space) head wins. Extracted from
+// sim::Simulator::schedule_crossbar / try_start_transfer; the grant sequence
+// — and therefore the event order of every simulation — is bit-identical to
+// the pre-refactor code (tests/golden/ + test_crossbar differential).
+#pragma once
+
+#include <vector>
+
+#include "sched/crossbar.hpp"
+
+namespace ibarb::sched {
+
+class WrrCrossbar final : public CrossbarScheduler {
+ public:
+  explicit WrrCrossbar(unsigned ports) : rr_vl_(ports, 0) {}
+
+  CrossbarImpl impl() const override { return CrossbarImpl::kWrr; }
+  void schedule(CrossbarPorts& ports, int only_input) override;
+
+ private:
+  /// Tries to start one transfer from `in`; true when a grant was made.
+  bool try_input(CrossbarPorts& v, iba::PortIndex in);
+
+  unsigned rr_input_ = 0;  ///< Rotating priority across input ports.
+  std::vector<iba::VirtualLane> rr_vl_;  ///< Per-input VL round-robin.
+};
+
+}  // namespace ibarb::sched

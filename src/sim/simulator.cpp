@@ -18,6 +18,92 @@ iba::NodeId node_of(iba::Lid lid) { return static_cast<iba::NodeId>(lid - 1); }
 
 }  // namespace
 
+/// Adapts one switch's port state to the sched::CrossbarPorts view. The
+/// eligibility queries and grant() reproduce exactly what the pre-refactor
+/// Simulator::try_start_transfer checked and committed, in the same order,
+/// so WrrCrossbar over this view is bit-identical to the old hard-wired
+/// loop (tests/golden/, test_crossbar differential).
+class XbarView final : public sched::CrossbarPorts {
+ public:
+  XbarView(Simulator& sim, std::uint32_t switch_index)
+      : sim_(sim), sw_(sim.switches_[switch_index]) {}
+
+  unsigned port_count() const override {
+    return static_cast<unsigned>(sw_.in.size());
+  }
+
+  iba::Cycle now() const override { return sim_.now_; }
+
+  bool input_ready(iba::PortIndex in) const override {
+    const InputPort& ip = sw_.in[in];
+    return ip.wired && !ip.xbar_tx_busy && !ip.buffers.all_empty();
+  }
+
+  std::uint16_t input_occupancy(iba::PortIndex in) const override {
+    return sw_.in[in].buffers.occupancy();
+  }
+
+  iba::PortIndex head_output(iba::PortIndex in,
+                             iba::VirtualLane vl) const override {
+    return sim_.route_port(sw_, sw_.in[in].buffers.front(vl).destination);
+  }
+
+  std::uint32_t head_bytes(iba::PortIndex in,
+                           iba::VirtualLane vl) const override {
+    return sw_.in[in].buffers.front(vl).wire_bytes();
+  }
+
+  bool output_free(iba::PortIndex out) const override {
+    return !sw_.out[out].xbar_rx_busy;
+  }
+
+  bool output_accepts(iba::PortIndex in, iba::VirtualLane vl,
+                      iba::PortIndex out) const override {
+    const iba::Packet& head = sw_.in[in].buffers.front(vl);
+    const OutputPort& op = sw_.out[out];
+    const iba::VirtualLane out_vl =
+        head.management ? iba::kManagementVl : op.sl_map.map(head.sl);
+    return op.queues.can_accept(out_vl, head.wire_bytes());
+  }
+
+  bool head_guaranteed(iba::PortIndex in, iba::VirtualLane vl,
+                       iba::PortIndex out) const override {
+    const iba::Packet& head = sw_.in[in].buffers.front(vl);
+    if (head.management) return true;
+    const OutputPort& op = sw_.out[out];
+    const iba::VirtualLane out_vl = op.sl_map.map(head.sl);
+    return (op.arbiter.table().vl_mask_high() >> out_vl) & 1u;
+  }
+
+  void grant(iba::PortIndex in, iba::VirtualLane vl,
+             iba::PortIndex out) override {
+    InputPort& ip = sw_.in[in];
+    OutputPort& op = sw_.out[out];
+    const iba::Packet& head = ip.buffers.front(vl);
+
+    ip.xbar_tx_busy = true;
+    op.xbar_rx_busy = true;
+
+    const auto link_cycles =
+        iba::serialization_cycles(head.wire_bytes(), op.link.rate);
+    const auto xfer_cycles = std::max<iba::Cycle>(
+        1, static_cast<iba::Cycle>(static_cast<double>(link_cycles) /
+                                   sim_.cfg_.crossbar_speedup));
+    Event done;
+    done.time = sim_.now_ + sim_.cfg_.crossbar_delay + xfer_cycles;
+    done.type = EventType::kXferComplete;
+    done.node = sw_.node;
+    done.port = out;
+    done.vl = vl;
+    done.aux = in;
+    sim_.queue_.push(done);
+  }
+
+ private:
+  Simulator& sim_;
+  SwitchState& sw_;
+};
+
 Simulator::Simulator(const network::FabricGraph& graph,
                      const network::Routes& routes, SimConfig cfg)
     : graph_(graph), routes_(routes), cfg_(cfg), queue_(cfg.queue_impl),
@@ -63,6 +149,7 @@ Simulator::Simulator(const network::FabricGraph& graph,
                     /*host_interface=*/false);
       }
       switches_.push_back(std::move(sw));
+      xbar_.push_back(sched::make_crossbar(cfg_.crossbar_impl, ports));
     } else {
       index_[id] = static_cast<std::uint32_t>(hosts_.size());
       HostState host;
@@ -146,6 +233,23 @@ Simulator::Simulator(const network::FabricGraph& graph,
     snap.merge_gauge("buffer.in.peak_bytes",
                      static_cast<double>(in_peak_bytes),
                      obs::MergePolicy::kMax);
+
+    sched::CrossbarScheduler::Stats xs;
+    for (const auto& x : xbar_) {
+      const sched::CrossbarScheduler::Stats& s = x->stats();
+      xs.rounds += s.rounds;
+      xs.grants += s.grants;
+      xs.iterations += s.iterations;
+      xs.blocked_output += s.blocked_output;
+      xs.blocked_space += s.blocked_space;
+      xs.throttled += s.throttled;
+    }
+    snap.add_counter("xbar.rounds", xs.rounds);
+    snap.add_counter("xbar.grants", xs.grants);
+    snap.add_counter("xbar.iterations", xs.iterations);
+    snap.add_counter("xbar.blocked_output", xs.blocked_output);
+    snap.add_counter("xbar.blocked_space", xs.blocked_space);
+    snap.add_counter("xbar.throttled", xs.throttled);
   });
 
   if (cfg_.sample_every > 0) {
@@ -494,69 +598,9 @@ void Simulator::on_xfer_complete(const Event& e) {
   schedule_crossbar(index_[e.node], /*only_input=*/-1);
 }
 
-bool Simulator::try_start_transfer(std::uint32_t switch_index,
-                                   iba::PortIndex in_port) {
-  SwitchState& sw = switches_[switch_index];
-  InputPort& ip = sw.in[in_port];
-  if (!ip.wired || ip.xbar_tx_busy || ip.buffers.all_empty()) return false;
-
-  // Round-robin across occupied VLs of this input port.
-  const std::uint16_t occ = ip.buffers.occupancy();
-  for (unsigned k = 0; k < iba::kMaxVirtualLanes; ++k) {
-    const auto vl = static_cast<iba::VirtualLane>(
-        (ip.rr_vl + k) % iba::kMaxVirtualLanes);
-    if (!(occ & (1u << vl))) continue;
-
-    const iba::Packet& head = ip.buffers.front(vl);
-    const auto out_port = route_port(sw, head.destination);
-    OutputPort& op = sw.out[out_port];
-    if (op.xbar_rx_busy) continue;
-    const iba::VirtualLane out_vl =
-        head.management ? iba::kManagementVl : op.sl_map.map(head.sl);
-    if (!op.queues.can_accept(out_vl, head.wire_bytes())) continue;
-
-    ip.xbar_tx_busy = true;
-    op.xbar_rx_busy = true;
-    ip.rr_vl = static_cast<iba::VirtualLane>((vl + 1) % iba::kMaxVirtualLanes);
-
-    const auto link_cycles =
-        iba::serialization_cycles(head.wire_bytes(), op.link.rate);
-    const auto xfer_cycles = std::max<iba::Cycle>(
-        1, static_cast<iba::Cycle>(static_cast<double>(link_cycles) /
-                                   cfg_.crossbar_speedup));
-    Event done;
-    done.time = now_ + cfg_.crossbar_delay + xfer_cycles;
-    done.type = EventType::kXferComplete;
-    done.node = sw.node;
-    done.port = out_port;
-    done.vl = vl;
-    done.aux = in_port;
-    queue_.push(done);
-    return true;
-  }
-  return false;
-}
-
 void Simulator::schedule_crossbar(std::uint32_t switch_index, int only_input) {
-  if (only_input >= 0) {
-    try_start_transfer(switch_index, static_cast<iba::PortIndex>(only_input));
-    return;
-  }
-  SwitchState& sw = switches_[switch_index];
-  const unsigned ports = static_cast<unsigned>(sw.in.size());
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (unsigned k = 0; k < ports; ++k) {
-      const auto p =
-          static_cast<iba::PortIndex>((sw.rr_input + k) % ports);
-      if (try_start_transfer(switch_index, p)) {
-        // Rotating priority: the granted input drops to lowest priority.
-        sw.rr_input = (p + 1) % ports;
-        progress = true;
-      }
-    }
-  }
+  XbarView view(*this, switch_index);
+  xbar_[switch_index]->schedule(view, only_input);
 }
 
 void Simulator::handle(const Event& e) {

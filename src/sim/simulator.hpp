@@ -18,6 +18,7 @@
 #include "obs/profile.hpp"
 #include "obs/series.hpp"
 #include "obs/telemetry.hpp"
+#include "sched/crossbar.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/host.hpp"
 #include "sim/metrics.hpp"
@@ -53,6 +54,10 @@ struct SimConfig {
   /// selectable for differential tests and old-vs-new benchmarks; both
   /// produce the exact same (time, seq) event order.
   EventQueueImpl queue_impl = EventQueueImpl::kWheel;
+  /// Crossbar matching policy, factory-selected like queue_impl (env
+  /// IBARB_CROSSBAR, flag --crossbar). kWrr reproduces the pre-refactor
+  /// grant sequence — and so the whole event order — bit-for-bit.
+  sched::CrossbarImpl crossbar_impl = sched::CrossbarImpl::kWrr;
 };
 
 struct RunSummary {
@@ -93,6 +98,8 @@ class FaultHooks {
 };
 
 class Simulator {
+  friend class XbarView;  ///< sched::CrossbarPorts adapter (simulator.cpp).
+
  public:
   Simulator(const network::FabricGraph& graph, const network::Routes& routes,
             SimConfig cfg);
@@ -242,10 +249,10 @@ class Simulator {
   void on_xfer_complete(const Event& e);
 
   void try_transmit(iba::NodeId node, iba::PortIndex port);
-  /// Crossbar matching. When `only_input` >= 0, restricts the scan to that
-  /// input port (cheap trigger after a single arrival).
+  /// Runs the switch's crossbar scheduler (sched::CrossbarScheduler) over an
+  /// XbarView of the ports. `only_input` >= 0 is the cheap single-arrival
+  /// trigger hint.
   void schedule_crossbar(std::uint32_t switch_index, int only_input);
-  bool try_start_transfer(std::uint32_t switch_index, iba::PortIndex in_port);
 
   OutputPort& output_port(iba::NodeId node, iba::PortIndex port);
   iba::PortIndex route_port(const SwitchState& sw, iba::Lid dst) const;
@@ -276,6 +283,9 @@ class Simulator {
   // Dense state. index_[node] is the position within switches_ or hosts_.
   std::vector<std::uint32_t> index_;
   std::vector<SwitchState> switches_;
+  /// One crossbar scheduler per switch (same index as switches_); owns all
+  /// matching state — pointers, priority matrices, rate counters.
+  std::vector<std::unique_ptr<sched::CrossbarScheduler>> xbar_;
   std::vector<HostState> hosts_;
   std::vector<FlowState> flows_;
   Metrics metrics_;

@@ -61,14 +61,15 @@ struct InputPort {
   PortBuffers buffers;   ///< Finite; capacity == advertised credits.
   bool wired = false;
   bool xbar_tx_busy = false;        ///< Feeding the crossbar.
-  iba::VirtualLane rr_vl = 0;       ///< Round-robin pointer across VLs.
 };
 
+/// Which (input, VL, output) transfer starts next — and every round-robin /
+/// priority pointer that decision needs — lives in the switch's
+/// sched::CrossbarScheduler, not here (see src/sched/crossbar.hpp).
 struct SwitchState {
   iba::NodeId node = iba::kInvalidNode;
   std::vector<InputPort> in;
   std::vector<OutputPort> out;
-  unsigned rr_input = 0;  ///< Round-robin pointer across input ports.
   /// Linear forwarding table indexed by destination LID (programmed by the
   /// subnet manager via Set(LinearForwardingTable) MADs). Empty = fall back
   /// to the shared Routes object (convenient for unit tests).

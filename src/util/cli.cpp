@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "sched/crossbar_impl.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ibarb::util {
@@ -131,6 +132,12 @@ StdFlags Cli::std_flags(std::uint64_t default_seed) const {
   require_writable_parent("series-csv", f.series_csv);
   f.profile = get_bool("profile", false);
   f.quiet = get_bool("quiet", false);
+  f.crossbar = get("crossbar", "");
+  if (!f.crossbar.empty() && !sched::parse_crossbar_impl(f.crossbar)) {
+    throw std::invalid_argument(
+        "flag --crossbar: unknown crossbar scheduler '" + f.crossbar +
+        "' (expected " + std::string(sched::kCrossbarImplNames) + ")");
+  }
   return f;
 }
 

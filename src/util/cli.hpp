@@ -24,10 +24,12 @@ namespace ibarb::util {
 ///   --profile           enable the wall-clock self-profiler (profile.*
 ///                       telemetry; nondeterministic, never byte-compared)
 ///   --quiet             suppress progress/timing chatter on stderr
+///   --crossbar IMPL     crossbar scheduler (wrr|islip|matrix|abr); absent
+///                       defers to IBARB_CROSSBAR, then wrr
 ///
-/// Output-path flags (--trace-out, --series-csv) are validated up front:
-/// a parent directory that does not exist fails at parse time instead of
-/// after the full run.
+/// Output-path flags (--trace-out, --series-csv) and enum flags
+/// (--crossbar) are validated up front: a typo must fail at parse time
+/// instead of after (or worse, silently during) the full run.
 struct StdFlags {
   unsigned jobs = 1;
   bool json = false;
@@ -37,6 +39,9 @@ struct StdFlags {
   std::string series_csv;   ///< Empty = no CSV export.
   bool profile = false;
   bool quiet = false;
+  /// Validated scheduler name, or empty when the flag was absent (callers
+  /// then fall back to sched::crossbar_impl_from_env()).
+  std::string crossbar;
 };
 
 class Cli {

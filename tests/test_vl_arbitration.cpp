@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "iba/arbiter.hpp"
+
 namespace ibarb::iba {
 namespace {
 
@@ -57,6 +59,79 @@ TEST(VlArbitrationTable, LimitRoundTrips) {
   VlArbitrationTable t;
   t.set_limit_of_high_priority(10);
   EXPECT_EQ(t.limit_of_high_priority(), 10);
+}
+
+TEST(VlArbiter, LimitBoundaryFiresTheLowPriorityEscape) {
+  // IBA §7.6.9: LimitOfHighPriority = L allows L×4096 bytes of high-table
+  // data while a low-priority packet waits; at the boundary the arbiter
+  // must yield one low-table slot. Exact-boundary case: two 2048-byte high
+  // packets reach exactly 1×4096 — the meter trips at >=, so the THIRD
+  // decision is the escape, not the fourth.
+  VlArbitrationTable t;
+  t.high()[0] = ArbTableEntry{0, 255};
+  t.low()[0] = ArbTableEntry{1, 1};
+  t.set_limit_of_high_priority(1);
+  VlArbiter arb(t);
+
+  ReadyBytes ready{};
+  ready[0] = 2048;  // high-table head (VL0)
+  ready[1] = 512;   // low-priority packet pending throughout (VL1)
+
+  const auto d1 = arb.arbitrate(ready);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d1->vl, 0);
+  EXPECT_TRUE(d1->from_high);
+  const auto d2 = arb.arbitrate(ready);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->vl, 0);
+  EXPECT_EQ(arb.stats().limit_blocks, 0u) << "limit tripped before 4096 B";
+
+  const auto d3 = arb.arbitrate(ready);
+  ASSERT_TRUE(d3.has_value());
+  EXPECT_EQ(d3->vl, 1) << "the low-priority escape must fire at the limit";
+  EXPECT_FALSE(d3->from_high);
+  EXPECT_EQ(arb.stats().limit_blocks, 1u);
+
+  // The low pick reset the meter: high-priority service resumes at once.
+  const auto d4 = arb.arbitrate(ready);
+  ASSERT_TRUE(d4.has_value());
+  EXPECT_EQ(d4->vl, 0);
+  EXPECT_TRUE(d4->from_high);
+}
+
+TEST(VlArbiter, LimitMetersOnlyWhileLowTrafficWaits) {
+  // The spec meters high-priority data sent WHILE low-priority packets
+  // wait. High data alone — no low packet pending — must never accumulate
+  // toward the limit, no matter how much is sent.
+  VlArbitrationTable t;
+  t.high()[0] = ArbTableEntry{0, 255};
+  t.low()[0] = ArbTableEntry{1, 1};
+  t.set_limit_of_high_priority(1);
+  VlArbiter arb(t);
+
+  ReadyBytes high_only{};
+  high_only[0] = 4096;
+  for (int i = 0; i < 8; ++i) {
+    const auto d = arb.arbitrate(high_only);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->vl, 0);
+  }
+
+  // A low packet appears: the meter starts from zero, so the next decision
+  // is still high (an eagerly-metering arbiter would block immediately).
+  ReadyBytes both = high_only;
+  both[1] = 512;
+  const auto d = arb.arbitrate(both);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->vl, 0);
+  EXPECT_TRUE(d->from_high);
+  EXPECT_EQ(arb.stats().limit_blocks, 0u);
+
+  // ...and exactly one more 4096-byte pick trips the boundary.
+  const auto d2 = arb.arbitrate(both);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->vl, 1);
+  EXPECT_EQ(arb.stats().limit_blocks, 1u);
 }
 
 }  // namespace
