@@ -23,6 +23,12 @@
 //  * series     — the SeriesRecorder hot path: deliveries/sec through
 //                 record_delivery + windowed commits, in a regime without
 //                 decimation and one that forces repeated decimations.
+//  * shard_channel — the parallel core's cross-shard plumbing: raw SPSC
+//                 ring transfer between two threads, the window-burst
+//                 push/drain pattern through a ShardChannel (ring + spill),
+//                 and the promote step (sort by final (time, key), keyed
+//                 insert into the event queue) that merges a window's
+//                 cross-shard events.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -33,6 +39,7 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "arbtable/fill_algorithm.hpp"
@@ -45,6 +52,7 @@
 #include "obs/telemetry.hpp"
 #include "paper_runner.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 #include "util/cli.hpp"
 #include "util/json_writer.hpp"
 #include "util/rng.hpp"
@@ -373,6 +381,118 @@ SeriesBenchResult measure_series(std::uint64_t deliveries,
   return res;
 }
 
+struct ChannelBenchResult {
+  double thread_xfer_per_sec = 0.0;  ///< Raw SPSC ring, producer vs consumer.
+  double burst_per_sec = 0.0;        ///< ShardChannel window bursts w/ spill.
+  double merge_per_sec = 0.0;        ///< Promote: sort + keyed queue insert.
+  std::uint64_t spilled = 0;         ///< Burst items that overflowed the ring.
+};
+
+/// Benchmarks the cross-shard channel exactly as the engine uses it
+/// (sim/shard.cpp): a producer journals pushes and hands pointers through
+/// the SPSC ring; after the window barrier the consumer drains, sorts by
+/// the final (time, key) and inserts into its event queue.
+ChannelBenchResult measure_shard_channel(std::uint64_t items) {
+  ChannelBenchResult res;
+
+  // Raw ring, two threads: the in-window transfer path. On fewer cores
+  // than threads this measures the yield-heavy oversubscribed regime —
+  // still the regime the engine would run in there.
+  {
+    util::SpscQueue<sim::Push*> ring(1024);
+    std::vector<sim::Push> pool(4096);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::thread producer([&] {
+      for (std::uint64_t i = 0; i < items; ++i) {
+        sim::Push* p = &pool[i & 4095];
+        while (!ring.try_push(std::move(p))) std::this_thread::yield();
+      }
+    });
+    std::uint64_t got = 0;
+    sim::Push* v = nullptr;
+    while (got < items) {
+      if (ring.try_pop(v))
+        ++got;
+      else
+        std::this_thread::yield();
+    }
+    producer.join();
+    res.thread_xfer_per_sec =
+        static_cast<double>(items) / seconds_since(t0);
+  }
+
+  // Window bursts through a ShardChannel: push a whole window's worth
+  // (beyond the ring, so the spill engages), then drain ring + spill —
+  // the producer-finishes-then-consumer-drains shape the barrier imposes.
+  constexpr std::size_t kBurst = 4096;
+  {
+    sim::ShardChannel ch;  // default 1024-slot ring: 3/4 of a burst spills
+    std::vector<sim::Push> journal(kBurst);
+    std::vector<sim::Push*> inbox;
+    inbox.reserve(kBurst);
+    const std::uint64_t rounds = std::max<std::uint64_t>(1, items / kBurst);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      for (auto& p : journal) ch.push(&p);
+      inbox.clear();
+      ch.drain(inbox);
+      if (inbox.size() != kBurst) {
+        std::cerr << "error: shard channel lost items\n";
+        std::exit(2);
+      }
+    }
+    res.burst_per_sec =
+        static_cast<double>(rounds * kBurst) / seconds_since(t0);
+    res.spilled = kBurst - std::min<std::uint64_t>(kBurst, 1024);
+  }
+
+  // Promote: the inbox sorted by final (time, key), then keyed insertion
+  // into the event queue and a full in-order drain (the next window's pops).
+  {
+    sim::EventQueue q(sim::EventQueueImpl::kWheel);
+    std::vector<sim::Push> journal(kBurst);
+    std::vector<sim::Push*> inbox(kBurst);
+    util::Xoshiro256 rng(31);
+    const std::uint64_t rounds =
+        std::max<std::uint64_t>(1, items / (kBurst * 8));
+    iba::Cycle base = 0;
+    std::uint64_t key = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      // Arrival order is channel order, i.e. effectively random in time.
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        sim::Push& p = journal[i];
+        p.ev.time = base + rng.between(0, 512);
+        p.ev.type = sim::EventType::kLinkDeliver;
+        p.ev.seq = key + 2 * i;  // unique keys in the doubled domain
+        p.seq = p.ev.seq;
+        p.origin = base;
+        inbox[i] = &p;
+      }
+      key += 2 * kBurst;
+      std::sort(inbox.begin(), inbox.end(),
+                [](const sim::Push* a, const sim::Push* b) {
+                  return a->ev.time != b->ev.time ? a->ev.time < b->ev.time
+                                                  : a->seq < b->seq;
+                });
+      for (sim::Push* p : inbox) q.push_keyed(p->ev, p->origin, true);
+      iba::Cycle prev = base;
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        const sim::Event e = q.pop();
+        if (e.time < prev) {
+          std::cerr << "error: promote produced out-of-order pops\n";
+          std::exit(2);
+        }
+        prev = e.time;
+      }
+      base += 600;  // next window starts past every event of this one
+    }
+    res.merge_per_sec =
+        static_cast<double>(rounds * kBurst) / seconds_since(t0);
+  }
+  return res;
+}
+
 int run_json_harness(int argc, const char* const* argv) {
   const util::Cli cli(argc, argv);
   (void)cli.get_bool("json", true);  // consumed; routing happened in main()
@@ -388,6 +508,8 @@ int run_json_harness(int argc, const char* const* argv) {
   const bool skip_sim = cli.get_bool("skip-sim", false);
   const auto series_deliveries = static_cast<std::uint64_t>(
       cli.get_int("series-deliveries", 2'000'000));
+  const auto channel_items = static_cast<std::uint64_t>(
+      cli.get_int("channel-items", 4'000'000));
 
   bench::PaperRunConfig sim_cfg;
   sim_cfg.switches = static_cast<unsigned>(cli.get_int("switches", 16));
@@ -444,6 +566,10 @@ int run_json_harness(int argc, const char* const* argv) {
   const SeriesBenchResult series_decim =
       measure_series(series_deliveries, /*sample_every=*/4096,
                      /*boundaries=*/16384);
+
+  std::cerr << "[bench_micro] shard channel (" << channel_items
+            << " items) x3 paths...\n";
+  const ChannelBenchResult channel = measure_shard_channel(channel_items);
 
   obs::Report report("bench_micro");
   report.config("queue_depth", static_cast<std::uint64_t>(depth));
@@ -518,6 +644,15 @@ int run_json_harness(int argc, const char* const* argv) {
          series_flat.deliveries_per_sec / series_decim.deliveries_per_sec);
     w.end_object();
   });
+  report.figure("shard_channel", [&](util::JsonWriter& w) {
+    w.begin_object();
+    w.kv("items", channel_items);
+    w.kv("thread_xfer_per_sec", channel.thread_xfer_per_sec);
+    w.kv("burst_per_sec", channel.burst_per_sec);
+    w.kv("spilled_per_burst", channel.spilled);
+    w.kv("merge_per_sec", channel.merge_per_sec);
+    w.end_object();
+  });
 
   if (out_path == "-") {
     report.write(std::cout, /*pretty=*/true);
@@ -546,6 +681,9 @@ int run_json_harness(int argc, const char* const* argv) {
             << " Mdlv/s, decimating "
             << series_decim.deliveries_per_sec / 1e6 << " Mdlv/s ("
             << series_decim.decimations << " decimations)\n";
+  std::cout << "channel xfer " << channel.thread_xfer_per_sec / 1e6
+            << " Mit/s, burst " << channel.burst_per_sec / 1e6
+            << " Mit/s, merge " << channel.merge_per_sec / 1e6 << " Mit/s\n";
   return order_match ? 0 : 2;
 }
 

@@ -6,7 +6,17 @@
 // parallel via the sweep engine (--jobs N, see docs/SWEEP.md).
 //
 // 64 switches is expensive; it runs only with --full.
+//
+// A second phase measures the parallel simulation core (ISSUE 7): the same
+// 16-switch scenario with large packets (MTU 4096 stretches the lookahead
+// window) timed sequentially and with --speedup-shards workers, reported as
+// a speedup row. The numbers are wall-clock and honest: with fewer hardware
+// threads than shards the sharded run *loses* (barrier churn on one core);
+// the byte-identical-output check runs either way. --skip-speedup omits the
+// phase.
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "report_common.hpp"
 #include "sweep_runner.hpp"
@@ -50,6 +60,33 @@ SizeRow summarize(const bench::PaperRun& run) {
   return row;
 }
 
+struct SpeedupRow {
+  unsigned shards = 0;     ///< Requested worker count.
+  unsigned effective = 0;  ///< What the run actually used (fallback = 1).
+  double seconds = 0.0;    ///< Simulation phase only (setup excluded).
+  std::uint64_t events = 0;
+};
+
+/// Times the simulation phase of one fig4-class run (16 switches, MTU 4096)
+/// at the given shard count, via the two-phase PaperRun form so fabric and
+/// workload construction stay out of the measurement.
+SpeedupRow time_sharded_run(bench::PaperRunConfig cfg, unsigned shards) {
+  cfg.switches = 16;
+  cfg.mtu = iba::Mtu::kMtu4096;
+  cfg.shards = shards;
+  bench::PaperRun run(cfg, bench::PaperRun::DeferSim{});
+  const auto t0 = std::chrono::steady_clock::now();
+  run.run();
+  SpeedupRow row;
+  row.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  row.shards = shards;
+  row.effective = run.sim->effective_shards();
+  row.events = run.summary.events;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +108,24 @@ int main(int argc, char** argv) {
   bench::apply_run0_observability(cfgs[0], sf);
   const auto sweep =
       bench::run_sweep(cfgs, bench::sweep_options_from_cli(cli, "scaling"));
+
+  const bool skip_speedup = cli.get_bool("skip-speedup", false);
+  const auto speedup_shards =
+      static_cast<unsigned>(cli.get_int("speedup-shards", 4));
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  SpeedupRow seq_row, par_row;
+  if (!skip_speedup) {
+    if (!sf.json)
+      std::cerr << "[speedup] 16-switch MTU-4096 run, sequential...\n";
+    seq_row = time_sharded_run(base, 1);
+    if (!sf.json)
+      std::cerr << "[speedup] same run, --shards " << speedup_shards
+                << "...\n";
+    par_row = time_sharded_run(base, speedup_shards);
+  }
+  const double speedup =
+      skip_speedup || par_row.seconds <= 0.0 ? 0.0
+                                             : seq_row.seconds / par_row.seconds;
 
   int rc = 0;
   if (sf.json) {
@@ -96,6 +151,30 @@ int main(int argc, char** argv) {
       }
       w.end_array();
     });
+    if (!skip_speedup) {
+      report.figure("shards_speedup", [&](util::JsonWriter& w) {
+        const auto row_obj = [&w](const SpeedupRow& r) {
+          w.begin_object();
+          w.kv("shards", static_cast<std::uint64_t>(r.shards));
+          w.kv("effective_shards", static_cast<std::uint64_t>(r.effective));
+          w.kv("seconds", r.seconds);
+          w.kv("events", r.events);
+          w.end_object();
+        };
+        w.begin_object();
+        w.kv("switches", std::uint64_t{16});
+        w.kv("mtu_bytes", std::uint64_t{4096});
+        w.kv("hw_threads", static_cast<std::uint64_t>(hw_threads));
+        w.key("sequential");
+        row_obj(seq_row);
+        w.key("sharded");
+        row_obj(par_row);
+        w.kv("speedup", speedup);
+        // The determinism contract holds regardless of the wall clock.
+        w.kv("events_identical", seq_row.events == par_row.events);
+        w.end_object();
+      });
+    }
     rc = bench::emit_report(report, cli);
   } else {
     util::TablePrinter table({"switches", "hosts", "connections",
@@ -118,6 +197,25 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\nExpected shape: deadline compliance stays at 100% across\n"
                  "sizes (pass --full to include the 64-switch network).\n";
+    if (!skip_speedup) {
+      std::cout << "\n=== Parallel core: 16 switches, MTU 4096 ===\n\n";
+      util::TablePrinter sp({"shards", "effective", "seconds", "events",
+                             "speedup"});
+      sp.add_row({"1", std::to_string(seq_row.effective),
+                  util::TablePrinter::num(seq_row.seconds, 2),
+                  std::to_string(seq_row.events), "1.00"});
+      sp.add_row({std::to_string(par_row.shards),
+                  std::to_string(par_row.effective),
+                  util::TablePrinter::num(par_row.seconds, 2),
+                  std::to_string(par_row.events),
+                  util::TablePrinter::num(speedup, 2)});
+      sp.print(std::cout);
+      std::cout << "\n(" << hw_threads << " hardware threads; a speedup needs "
+                << "at least shards+1 of them — see docs/PARALLEL.md. Event "
+                << "counts must match regardless: "
+                << (seq_row.events == par_row.events ? "OK" : "MISMATCH")
+                << ")\n";
+    }
   }
 
   if (!sf.trace_out.empty())

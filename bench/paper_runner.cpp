@@ -36,7 +36,25 @@ PaperRunConfig config_from_cli(const util::Cli& cli, PaperRunConfig base) {
     }
     base.crossbar = *impl;
   }
+  const auto shards = cli.get_int("shards", 0);
+  if (shards < 0 || shards > 64) {
+    throw std::invalid_argument(
+        "flag --shards expects a shard count in [0, 64], got " +
+        std::to_string(shards));
+  }
+  base.shards = static_cast<unsigned>(shards);
   return base;
+}
+
+unsigned shards_from_env() {
+  // IBARB_SHARDS=N reruns any bench binary on the parallel core (CI diffs
+  // sharded vs sequential output). Unset or unparsable means sequential.
+  const char* v = std::getenv("IBARB_SHARDS");
+  if (v == nullptr || *v == '\0') return 1;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || n < 1 || n > 64) return 1;
+  return static_cast<unsigned>(n);
 }
 
 sim::EventQueueImpl queue_impl_from_env() {
@@ -73,6 +91,7 @@ PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
   sc.buffer_packets = cfg.buffer_packets;
   sc.seed = cfg.seed;
   sc.queue_impl = queue_impl_from_env();
+  sc.shards = cfg.shards != 0 ? cfg.shards : shards_from_env();
   sc.crossbar_impl =
       cfg.crossbar ? *cfg.crossbar : sched::crossbar_impl_from_env();
   sc.trace_capacity = cfg.trace_capacity;

@@ -49,6 +49,9 @@ struct PaperRunConfig {
   /// IBARB_CROSSBAR env (then wrr) — flag beats env beats default, the same
   /// precedence every knob here follows.
   std::optional<sched::CrossbarImpl> crossbar;
+  /// Parallel simulation shards (--shards); 0 defers to IBARB_SHARDS, then
+  /// 1 (sequential). Output is byte-identical for any value.
+  unsigned shards = 0;
 };
 
 /// Applies the common bench flags (--switches --mtu --seed --packets
@@ -59,6 +62,11 @@ PaperRunConfig config_from_cli(const util::Cli& cli, PaperRunConfig base = {});
 /// through an unmodified bench binary (CI diffs the two); anything else,
 /// including unset, means the default wheel.
 sim::EventQueueImpl queue_impl_from_env();
+
+/// IBARB_SHARDS=N selects the parallel-core shard count through an
+/// unmodified bench binary (CI reruns the suite sharded); unset, empty, or
+/// unparsable means 1 (sequential).
+unsigned shards_from_env();
 
 /// One complete simulated experiment. Members reference each other, so the
 /// struct is heap-pinned (no copies/moves).

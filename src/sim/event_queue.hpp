@@ -44,6 +44,13 @@ enum class EventType : std::uint8_t {
   kXferComplete,  ///< Crossbar transfer into (node, port) output finished.
   kProbe,         ///< Periodic bookkeeping (phase control).
   kControl,       ///< Simulator::call_at callback (aux = callback id).
+  /// Parallel engine only: upstream credit return for a crossbar transfer
+  /// that may cross a shard boundary (node/port = upstream output, aux =
+  /// wire bytes). The sequential core releases the credits inline at the
+  /// start of on_xfer_complete; the shard engine reifies that half as its
+  /// own event, keyed to pop immediately before the transfer-completion it
+  /// belongs to (src/sim/shard.hpp).
+  kCreditRelease,
 };
 
 struct Event {
@@ -126,6 +133,99 @@ class EventQueue {
     if (size_ > stats_.peak_size) stats_.peak_size = size_;
   }
 
+  /// Parallel-shard push (src/sim/shard.cpp): `e.seq` arrives preset with
+  /// the engine's replayed sequential key instead of being stamped from the
+  /// monotone counter, and residency/overflow statistics are measured from
+  /// `origin` — the cycle the event was created at — so a sharded run's
+  /// telemetry matches the sequential run's no matter when a window barrier
+  /// handed the event over. `count_stats` is false for engine-internal
+  /// events (credit releases, queue migration) that have no sequential
+  /// counterpart. Unlike push(), a wheel bucket is kept sorted by seq:
+  /// same-cycle events from different creator nodes of one shard can arrive
+  /// out of key order, and bucket order must *be* (time, seq) order for the
+  /// merge to stay deterministic. Keys arrive nearly sorted, so the
+  /// tail-append fast path dominates.
+  void push_keyed(Event e, iba::Cycle origin, bool count_stats) {
+    if (count_stats) ++stats_.pushes;
+    if (impl_ == EventQueueImpl::kBinaryHeap) {
+      heap_.push(std::move(e));
+      ++size_;
+      if (size_ > stats_.peak_size) stats_.peak_size = size_;
+      return;
+    }
+    const iba::Cycle t = e.time;
+    const std::uint64_t seq = e.seq;
+    const std::uint32_t idx = alloc_slot(std::move(e));
+    if (count_stats) {
+      // The sequential core pushes with base_ == creation cycle, so its
+      // residency bin and overflow counter are functions of (t - origin).
+      const iba::Cycle dist = t >= origin ? t - origin : 0;
+      if (dist < kWheelBuckets) {
+        const auto bin = static_cast<std::size_t>(std::bit_width(dist));
+        ++stats_.residency_log2[bin < kResidencyBins ? bin : kResidencyBins - 1];
+      } else {
+        ++stats_.overflow_pushes;
+        ++stats_.residency_log2[kResidencyBins - 1];
+      }
+    }
+    if (t >= base_ && t - base_ < kWheelBuckets) {
+      const auto b = static_cast<std::uint32_t>(t & kWheelMask);
+      Bucket& bk = buckets_[b];
+      if (bk.head == kNull) {
+        bk.head = bk.tail = idx;
+        set_bit(b);
+      } else if (pool_[bk.tail].seq <= seq) {
+        next_[bk.tail] = idx;
+        bk.tail = idx;
+      } else if (pool_[bk.head].seq > seq) {
+        next_[idx] = bk.head;
+        bk.head = idx;
+      } else {
+        std::uint32_t p = bk.head;
+        while (next_[p] != kNull && pool_[next_[p]].seq <= seq) p = next_[p];
+        next_[idx] = next_[p];
+        next_[p] = idx;
+        if (next_[idx] == kNull) bk.tail = idx;
+      }
+      ++wheel_count_;
+    } else {
+      overflow_.push_back(HeapNode{t, seq, idx});
+      sift_up(overflow_.size() - 1);
+    }
+    peek_valid_ = false;
+    ++size_;
+    if (size_ > stats_.peak_size) stats_.peak_size = size_;
+  }
+
+  /// Raises the monotone tie-break counter to at least `floor`, so events
+  /// push()ed after a shard-engine drain-back sort after every migrated key.
+  void ensure_seq_floor(std::uint64_t floor) {
+    if (next_seq_ < floor) next_seq_ = floor;
+  }
+
+  /// Next value the monotone counter would stamp. The shard engine reads it
+  /// on adopt() to seed its replayed counter above every existing key.
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  /// Counts an event the shard engine executed without ever queueing it (a
+  /// same-window "nursery" event, src/sim/shard.hpp): one push and one pop,
+  /// with the residency bin the sequential core would have recorded for an
+  /// event created at `origin` and due at `t`. Keeps the queue telemetry a
+  /// pure function of the event order rather than of window placement.
+  void count_bypass(iba::Cycle t, iba::Cycle origin) {
+    ++stats_.pushes;
+    ++stats_.pops;
+    if (impl_ == EventQueueImpl::kBinaryHeap) return;  // heap: no residency
+    const iba::Cycle dist = t >= origin ? t - origin : 0;
+    if (dist < kWheelBuckets) {
+      const auto bin = static_cast<std::size_t>(std::bit_width(dist));
+      ++stats_.residency_log2[bin < kResidencyBins ? bin : kResidencyBins - 1];
+    } else {
+      ++stats_.overflow_pushes;
+      ++stats_.residency_log2[kResidencyBins - 1];
+    }
+  }
+
   bool empty() const noexcept { return size_ == 0; }
   std::size_t size() const noexcept { return size_; }
 
@@ -138,6 +238,16 @@ class EventQueue {
 
   Event pop() {
     ++stats_.pops;
+    return pop_impl();
+  }
+
+  /// Shard-engine migration pop: identical order, but not counted — the
+  /// event was already popped (or will be popped) once by whichever engine
+  /// executes it, and telemetry must see exactly one pop per handled event.
+  Event pop_uncounted() { return pop_impl(); }
+
+ private:
+  Event pop_impl() {
     if (impl_ == EventQueueImpl::kBinaryHeap) {
       // priority_queue exposes the top read-only; moving out of it is safe
       // (pop() only shuffles elements, never reads the payload) and skips one

@@ -1,0 +1,123 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ibarb::sim {
+
+PartitionResult make_switch_affine(const network::FabricGraph& graph,
+                                   unsigned shards) {
+  PartitionResult r;
+  if (graph.node_count() > kMaxPartitionNodes) {
+    r.error = "partition: fabric has " + std::to_string(graph.node_count()) +
+              " nodes, beyond the " + std::to_string(kMaxPartitionNodes) +
+              "-node limit of the switch-affine partitioner";
+    return r;
+  }
+  const std::vector<iba::NodeId> switches = graph.switches();
+  if (shards < 2) {
+    r.error = "partition: need at least 2 shards";
+    return r;
+  }
+  if (switches.size() < 2) {
+    r.error = "partition: fabric has fewer than 2 switches";
+    return r;
+  }
+  const unsigned n =
+      std::min<unsigned>(shards, static_cast<unsigned>(switches.size()));
+
+  Partition p;
+  p.shards = n;
+  p.shard_of.assign(graph.node_count(), 0);
+
+  // Contiguous blocks of switches in id order: shard k owns switch indices
+  // [k*S/n, (k+1)*S/n). Id order keeps the assignment stable across runs.
+  const std::size_t s = switches.size();
+  for (std::size_t i = 0; i < s; ++i) {
+    const auto shard = static_cast<std::uint32_t>(i * n / s);
+    p.shard_of[switches[i]] = shard;
+  }
+  for (const iba::NodeId host : graph.hosts()) {
+    const auto up = graph.peer(host, 0);
+    if (!up) {
+      r.error = "partition: host " + std::to_string(host) +
+                " has no uplink switch";
+      return r;
+    }
+    p.shard_of[host] = p.shard_of[up->node];
+  }
+
+  // Directed cut edges: switch output ports whose peer switch lives on
+  // another shard. Host links are intra-shard by construction above.
+  for (const iba::NodeId sw : switches) {
+    for (iba::PortIndex port = 0; port < graph.port_count(sw); ++port) {
+      const auto peer = graph.peer(sw, port);
+      if (!peer || p.shard_of[peer->node] == p.shard_of[sw]) continue;
+      Partition::Cut cut;
+      cut.node = sw;
+      cut.port = port;
+      cut.link = graph.link(sw, port);
+      cut.from = p.shard_of[sw];
+      cut.to = p.shard_of[peer->node];
+      cut.best_downstream_rate = iba::LinkRate::k1x;
+      bool any = false;
+      for (iba::PortIndex q = 0; q < graph.port_count(peer->node); ++q) {
+        if (!graph.peer(peer->node, q)) continue;
+        const iba::LinkRate rate = graph.link(peer->node, q).rate;
+        if (!any || iba::link_width(rate) >
+                        iba::link_width(cut.best_downstream_rate)) {
+          cut.best_downstream_rate = rate;
+        }
+        any = true;
+      }
+      p.cuts.push_back(cut);
+    }
+  }
+
+  r.ok = true;
+  r.partition = std::move(p);
+  return r;
+}
+
+iba::Cycle forward_latency(const iba::Link& link, std::uint32_t wire_bytes) {
+  return iba::serialization_cycles(wire_bytes, link.rate) +
+         link.propagation_delay;
+}
+
+iba::Cycle reverse_latency(const Partition::Cut& cut,
+                           const LookaheadModel& m) {
+  // Mirrors XbarView::grant: the credit release fires crossbar_delay plus
+  // the sped-up transfer (min 1 cycle) after the grant decision.
+  const iba::Cycle ser =
+      iba::serialization_cycles(m.min_wire_bytes, cut.best_downstream_rate);
+  const auto xfer = std::max<iba::Cycle>(
+      1, static_cast<iba::Cycle>(static_cast<double>(ser) /
+                                 m.crossbar_speedup));
+  return m.crossbar_delay + xfer;
+}
+
+iba::Cycle safe_window(const Partition& p, const LookaheadModel& m) {
+  iba::Cycle window = std::numeric_limits<iba::Cycle>::max();
+  for (const Partition::Cut& cut : p.cuts) {
+    window = std::min(window, forward_latency(cut.link, m.min_wire_bytes));
+    window = std::min(window, reverse_latency(cut, m));
+  }
+  return window == std::numeric_limits<iba::Cycle>::max() ? 1 : window;
+}
+
+std::string zero_lookahead_error(
+    const Partition& p,
+    const std::function<iba::Cycle(const Partition::Cut&)>& latency) {
+  for (const Partition::Cut& cut : p.cuts) {
+    if (latency(cut) == 0) {
+      return "partition: cut link " + std::to_string(cut.node) + ":" +
+             std::to_string(cut.port) + " (shard " + std::to_string(cut.from) +
+             " -> " + std::to_string(cut.to) +
+             ") has zero lookahead; parallel windows would be empty — "
+             "falling back to --shards 1";
+    }
+  }
+  return {};
+}
+
+}  // namespace ibarb::sim

@@ -1,0 +1,470 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "sim/simulator.hpp"
+
+namespace ibarb::sim {
+
+thread_local ShardCtx* t_shard = nullptr;
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// A push's position within its handler, on the doubled scale the replay
+/// uses: ordinary pushes at 2*idx, a reified credit release at 2*idx - 1 —
+/// just before its kXferComplete partner (entry idx - 1), exactly where the
+/// sequential core performs the release inline.
+inline std::uint64_t eff_idx(const Push& p) {
+  assert(!p.release || p.idx > 0);
+  return p.release ? 2 * std::uint64_t{p.idx} - 1 : 2 * std::uint64_t{p.idx};
+}
+
+bool entry_before(const ShardCtx& c, const Push& a, const Push& b);
+
+/// Final (time, key) order of two handler groups, computed before the keys
+/// exist: known keys compare directly; a known key always precedes an
+/// unknown one at the same cycle (keys assigned this window are strictly
+/// larger than every earlier key); two unknown keys compare through their
+/// parents — the push entries that created the handlers — which is exactly
+/// the order the barrier-B replay will assign them in.
+bool group_before(const ShardCtx& c, const Group& x, const Group& y) {
+  if (x.time != y.time) return x.time < y.time;
+  if (x.known && y.known) return x.seq < y.seq;
+  if (x.known != y.known) return x.known;
+  assert(x.self >= 0 && y.self >= 0);
+  return entry_before(c, c.journal[static_cast<std::size_t>(x.self)],
+                      c.journal[static_cast<std::size_t>(y.self)]);
+}
+
+/// Final key order of two journal entries of one shard (the nursery's
+/// provisional comparator): same handler — push position; different
+/// handlers — handler order.
+bool entry_before(const ShardCtx& c, const Push& a, const Push& b) {
+  if (a.group == b.group) return eff_idx(a) < eff_idx(b);
+  return group_before(c, c.groups[a.group], c.groups[b.group]);
+}
+
+/// Nursery heap order over journal indices: event time first, then the
+/// provisional (= final) key order. `std::push_heap` with this comparator
+/// keeps the *earliest* entry at front.
+struct NurseryLater {
+  const ShardCtx& c;
+  bool operator()(std::size_t ia, std::size_t ib) const {
+    const Push& a = c.journal[ia];
+    const Push& b = c.journal[ib];
+    if (a.ev.time != b.ev.time) return b.ev.time < a.ev.time;
+    return entry_before(c, b, a);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ShardEngine> ShardEngine::create(Simulator& sim,
+                                                 unsigned shards,
+                                                 std::string& error) {
+  PartitionResult pr = make_switch_affine(sim.graph_, shards);
+  if (!pr.ok) {
+    error = pr.error;
+    return nullptr;
+  }
+
+  // Smallest wire size any admitted flow can put on a cut link. External
+  // flows carry caller-chosen payloads per injection, so only the header is
+  // a sound bound for them.
+  std::uint32_t min_wire = iba::kPacketOverheadBytes + sim.cfg_.max_payload_bytes;
+  for (const FlowState& f : sim.flows_) {
+    const std::uint32_t wire = f.spec.external
+                                   ? iba::kPacketOverheadBytes
+                                   : f.spec.payload_bytes +
+                                         iba::kPacketOverheadBytes;
+    min_wire = std::min(min_wire, wire);
+  }
+
+  const LookaheadModel model{min_wire, sim.cfg_.crossbar_delay,
+                             sim.cfg_.crossbar_speedup};
+  const std::string zero = zero_lookahead_error(
+      pr.partition, [&](const Partition::Cut& c) {
+        return std::min(forward_latency(c.link, model.min_wire_bytes),
+                        reverse_latency(c, model));
+      });
+  if (!zero.empty()) {
+    error = zero;
+    return nullptr;
+  }
+
+  const iba::Cycle window = safe_window(pr.partition, model);
+  return std::unique_ptr<ShardEngine>(
+      new ShardEngine(sim, std::move(pr.partition), min_wire, window));
+}
+
+ShardEngine::ShardEngine(Simulator& sim, Partition part,
+                         std::uint32_t min_wire, iba::Cycle window)
+    : sim_(sim), part_(std::move(part)), pool_(part_.shards),
+      min_wire_(min_wire), window_(window), parties_(part_.shards + 1),
+      spin_waits_(std::thread::hardware_concurrency() >= parties_) {
+  shards_.reserve(part_.shards);
+  for (unsigned s = 0; s < part_.shards; ++s) {
+    auto ctx = std::make_unique<ShardCtx>(sim_.cfg_.queue_impl);
+    ctx->id = s;
+    shards_.push_back(std::move(ctx));
+  }
+  channels_.resize(std::size_t{part_.shards} * part_.shards);
+  for (unsigned from = 0; from < part_.shards; ++from)
+    for (unsigned to = 0; to < part_.shards; ++to)
+      if (from != to)
+        channels_[std::size_t{from} * part_.shards + to] =
+            std::make_unique<ShardChannel>();
+}
+
+ShardEngine::~ShardEngine() = default;
+
+void ShardEngine::note_flow_wire(std::uint32_t wire_bytes) {
+  if (wire_bytes < min_wire_) {
+    min_wire_ = wire_bytes;
+    window_dirty_ = true;
+  }
+}
+
+void ShardEngine::refresh_window() {
+  if (!window_dirty_) return;
+  window_dirty_ = false;
+  const LookaheadModel model{min_wire_, sim_.cfg_.crossbar_delay,
+                             sim_.cfg_.crossbar_speedup};
+  window_ = safe_window(part_, model);
+}
+
+void ShardEngine::adopt(EventQueue& q) {
+  assert(!active_);
+  // Every key assigned from here must sort after every existing one:
+  // 2 * next_seq() is even, above 2x any stamped counter value, and above
+  // any key from an earlier parallel phase (next_seq() was floored to
+  // next_key_ at surrender).
+  next_key_ = std::max(next_key_, 2 * q.next_seq());
+  while (!q.empty()) {
+    Event e = q.pop_uncounted();
+    const iba::NodeId home = sim_.event_home_node(e);
+    ShardCtx& c = *shards_[part_.shard_of[home]];
+    if (e.type == EventType::kCreditRelease) ++c.pending_releases;
+    c.queue.push_keyed(std::move(e), sim_.now_, /*count_stats=*/false);
+  }
+  sim_.serial_pending_releases_ = 0;
+  active_ = true;
+}
+
+void ShardEngine::surrender(EventQueue& q) {
+  assert(active_);
+  for (;;) {
+    ShardCtx* best = nullptr;
+    for (auto& sc : shards_) {
+      if (sc->queue.empty()) continue;
+      if (best == nullptr) {
+        best = sc.get();
+        continue;
+      }
+      const Event& a = sc->queue.top();
+      const Event& b = best->queue.top();
+      if (a.time < b.time || (a.time == b.time && a.seq < b.seq))
+        best = sc.get();
+    }
+    if (best == nullptr) break;
+    Event e = best->queue.pop_uncounted();
+    if (e.type == EventType::kCreditRelease) {
+      --best->pending_releases;
+      ++sim_.serial_pending_releases_;
+    }
+    q.push_keyed(std::move(e), 0, /*count_stats=*/false);
+  }
+  // Future sequential pushes must sort after every migrated key.
+  q.ensure_seq_floor(next_key_);
+  active_ = false;
+}
+
+void ShardEngine::route_push(Event&& e, iba::NodeId home) {
+  ShardCtx* const from = t_shard;
+  const std::uint32_t target = part_.shard_of[home];
+
+  if (from == nullptr) {
+    // Orchestrator context (between windows): nothing is concurrently
+    // replaying, so the key is final immediately — the position the
+    // sequential counter would stamp after all handled events.
+    assert(e.type != EventType::kCreditRelease);
+    e.seq = next_key_;
+    next_key_ += 2;
+    shards_[target]->queue.push_keyed(std::move(e), sim_.now_,
+                                      /*count_stats=*/true);
+    return;
+  }
+
+  ShardCtx& c = *from;
+  if (c.cur_group < 0) {
+    // The handler's first push: open its group. An in-window handler links
+    // back to its own journal entry so the replay can key its children.
+    c.cur_group = static_cast<std::int32_t>(c.groups.size());
+    if (c.handler_self >= 0) {
+      c.journal[static_cast<std::size_t>(c.handler_self)].exec_group =
+          c.cur_group;
+    }
+    c.groups.push_back(Group{c.now, c.handler_seq, c.handler_known,
+                             c.handler_self, c.journal.size(),
+                             c.journal.size()});
+  }
+  Group& grp = c.groups[static_cast<std::size_t>(c.cur_group)];
+
+  Push p;
+  p.origin = c.now;
+  p.group = static_cast<std::uint32_t>(c.cur_group);
+  p.idx = static_cast<std::uint32_t>(c.journal.size() - grp.begin);
+  p.release = e.type == EventType::kCreditRelease;
+  // A release's key derives from the entry pushed right before it (its
+  // kXferComplete partner, emitted back-to-back by XbarView::grant).
+  assert(!p.release ||
+         (p.idx > 0 && !c.journal[grp.begin + p.idx - 1].release));
+  p.ev = std::move(e);
+  c.journal.push_back(std::move(p));
+  grp.end = c.journal.size();
+
+  const std::size_t j = c.journal.size() - 1;
+  if (target != c.id) {
+    // The lookahead guarantees cross-shard events land at or after the
+    // window end — they can never execute in their creation window, so a
+    // journal pointer (keyed at barrier B, promoted after barrier C) is
+    // enough.
+    assert(c.journal[j].ev.time >= window_end_);
+    channel(c.id, target).push(&c.journal[j]);
+  } else if (c.journal[j].ev.time < window_end_) {
+    c.nursery.push_back(j);
+    std::push_heap(c.nursery.begin(), c.nursery.end(), NurseryLater{c});
+  } else {
+    c.pending.push_back(j);
+  }
+}
+
+void ShardEngine::resolve_keys() {
+  auto later = [](const GroupRef& a, const GroupRef& b) {
+    return a.time != b.time ? b.time < a.time : b.seq < a.seq;
+  };
+  auto& h = resolve_heap_;
+  h.clear();
+  for (unsigned s = 0; s < part_.shards; ++s) {
+    const ShardCtx& c = *shards_[s];
+    for (std::size_t g = 0; g < c.groups.size(); ++g)
+      if (c.groups[g].known)
+        h.push_back(GroupRef{c.groups[g].time, c.groups[g].seq, s,
+                             static_cast<std::uint32_t>(g)});
+  }
+  std::make_heap(h.begin(), h.end(), later);
+
+#ifndef NDEBUG
+  std::size_t processed = 0, total = 0;
+  for (const auto& sc : shards_) total += sc->groups.size();
+#endif
+  // Replay: handlers in (time, key) order, each handler's pushes in push
+  // order — precisely the order the sequential loop stamped its counter in.
+  while (!h.empty()) {
+    std::pop_heap(h.begin(), h.end(), later);
+    const GroupRef r = h.back();
+    h.pop_back();
+#ifndef NDEBUG
+    ++processed;
+#endif
+    ShardCtx& c = *shards_[r.shard];
+    const Group& grp = c.groups[r.group];
+    for (std::size_t j = grp.begin; j < grp.end; ++j) {
+      Push& p = c.journal[j];
+      if (p.release) {
+        p.seq = c.journal[j - 1].seq - 1;
+      } else {
+        p.seq = next_key_;
+        next_key_ += 2;
+      }
+      p.ev.seq = p.seq;
+      if (p.exec_group >= 0) {
+        Group& child = c.groups[static_cast<std::size_t>(p.exec_group)];
+        child.seq = p.seq;
+        child.known = true;
+        h.push_back(GroupRef{child.time, child.seq, r.shard,
+                             static_cast<std::uint32_t>(p.exec_group)});
+        std::push_heap(h.begin(), h.end(), later);
+      }
+    }
+  }
+  assert(processed == total && "unreachable handler group in key replay");
+}
+
+void ShardEngine::fold_stats(EventQueue::Stats& into) const {
+  for (const auto& sc : shards_) {
+    const EventQueue::Stats& s = sc->queue.stats();
+    into.pushes += s.pushes;
+    into.pops += s.pops - sc->internal_pops;
+    into.overflow_pushes += s.overflow_pushes;
+    for (std::size_t b = 0; b < EventQueue::kResidencyBins; ++b)
+      into.residency_log2[b] += s.residency_log2[b];
+  }
+}
+
+std::uint64_t ShardEngine::pending_total() const {
+  std::uint64_t n = 0;
+  for (const auto& sc : shards_)
+    n += sc->queue.size() - sc->pending_releases;
+  return n;
+}
+
+void ShardEngine::barrier() {
+  const std::uint32_t gen = generation_.load(std::memory_order_acquire);
+  if (arrivals_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrivals_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    return;
+  }
+  // Spinning only pays when every party has its own core; oversubscribed
+  // (shards + orchestrator > hardware threads), the waiter must get off the
+  // CPU immediately so the party it is waiting for can run at all.
+  const unsigned spin_limit = spin_waits_ ? 4096 : 0;
+  unsigned spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    if (++spins < spin_limit) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardEngine::worker(unsigned s) {
+  ShardCtx& ctx = *shards_[s];
+  t_shard = &ctx;
+  const unsigned n = part_.shards;
+  for (;;) {
+    barrier();  // A: the orchestrator published window_end_ / stop_.
+    if (stop_) break;
+    const iba::Cycle end = window_end_;
+    // Last window's journal was fully consumed (keys assigned at its
+    // barrier B, events promoted after its barrier C); reuse the storage.
+    ctx.journal.clear();
+    ctx.groups.clear();
+    ctx.nursery.clear();
+    ctx.pending.clear();
+
+    EventQueue& q = ctx.queue;
+    for (;;) {
+      const bool has_q = !q.empty() && q.top().time < end;
+      const bool has_n = !ctx.nursery.empty();
+      if (!has_q && !has_n) break;
+      // Queue-vs-nursery tie at the same cycle: the queue event wins — its
+      // key was assigned in an earlier window and the counter only grows.
+      const bool from_q =
+          has_q &&
+          (!has_n || q.top().time <= ctx.journal[ctx.nursery.front()].ev.time);
+      Event e;
+      if (from_q) {
+        e = q.pop();
+        ctx.handler_known = true;
+        ctx.handler_seq = e.seq;
+        ctx.handler_self = -1;
+        if (e.type == EventType::kCreditRelease) {
+          ++ctx.internal_pops;
+          --ctx.pending_releases;
+        }
+      } else {
+        std::pop_heap(ctx.nursery.begin(), ctx.nursery.end(),
+                      NurseryLater{ctx});
+        const std::size_t j = ctx.nursery.back();
+        ctx.nursery.pop_back();
+        Push& p = ctx.journal[j];
+        // The sequential run pushed and popped this event through the
+        // queue; mirror that in the stats even though it never queued here.
+        if (!p.release) q.count_bypass(p.ev.time, p.origin);
+        e = std::move(p.ev);
+        ctx.handler_known = false;
+        ctx.handler_seq = 0;
+        ctx.handler_self = static_cast<std::int64_t>(j);
+      }
+      assert(e.time >= ctx.now && "time must not run backwards");
+      ctx.now = e.time;
+      ctx.cur_group = -1;
+      if (e.type != EventType::kCreditRelease) ++ctx.events;
+      sim_.handle(e);
+    }
+    barrier();  // B: every producer finished pushing for this window.
+    barrier();  // C: the orchestrator replayed the counter; keys final.
+    ctx.inbox.clear();
+    for (unsigned src = 0; src < n; ++src) {
+      if (src == s) continue;
+      channels_[std::size_t{src} * n + s]->drain(ctx.inbox);
+    }
+    for (const std::size_t j : ctx.pending)
+      ctx.inbox.push_back(&ctx.journal[j]);
+    // Deterministic merge: global (time, key) order, independent of which
+    // channel delivered what first. Near-sorted input, so the queue's
+    // tail-append fast path dominates.
+    std::sort(ctx.inbox.begin(), ctx.inbox.end(),
+              [](const Push* a, const Push* b) {
+                return a->ev.time != b->ev.time ? a->ev.time < b->ev.time
+                                                : a->seq < b->seq;
+              });
+    for (Push* p : ctx.inbox) {
+      if (p->release) ++ctx.pending_releases;
+      q.push_keyed(std::move(p->ev), p->origin, /*count_stats=*/!p->release);
+    }
+    barrier();  // D: queues settled; the orchestrator may plan.
+  }
+  t_shard = nullptr;
+}
+
+void ShardEngine::run_until(iba::Cycle t) {
+  assert(active_);
+  refresh_window();
+  stop_ = false;
+  std::vector<std::future<void>> futs;
+  futs.reserve(part_.shards);
+  for (unsigned s = 0; s < part_.shards; ++s)
+    futs.push_back(pool_.submit([this, s] { worker(s); }));
+
+  for (;;) {
+    iba::Cycle min_next = iba::kNeverCycle;
+    for (const auto& sc : shards_)
+      if (!sc->queue.empty())
+        min_next = std::min(min_next, sc->queue.top().time);
+    if (min_next > t) {
+      // Mirrors the sequential loop's trailing mark: every boundary <= t is
+      // behind us even if no event crossed it.
+      if (t >= sim_.next_pending_mark_) sim_.sample_pending(pending_total(), t);
+      break;
+    }
+    if (min_next >= sim_.next_pending_mark_)
+      sim_.sample_pending(pending_total(), min_next);
+    // Windows never span a sampling mark, so the barrier lands exactly on
+    // it and the pending-event census matches the sequential engine's.
+    const iba::Cycle end = std::min(
+        {min_next + window_, t + 1, sim_.next_pending_mark_});
+    window_end_ = end;
+    barrier();  // A
+    barrier();  // B
+    resolve_keys();
+    barrier();  // C
+    barrier();  // D
+  }
+
+  stop_ = true;
+  barrier();  // Release the workers into their exit branch.
+  for (auto& f : futs) f.get();
+  for (auto& sc : shards_) {
+    sim_.events_ += sc->events;
+    sc->events = 0;
+  }
+  if (sim_.now_ < t) sim_.now_ = t;
+}
+
+}  // namespace ibarb::sim

@@ -4,8 +4,11 @@
 #include <array>
 #include <bit>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
+
+#include "sim/shard.hpp"
 
 namespace ibarb::sim {
 
@@ -15,6 +18,9 @@ namespace {
 /// reserved/invalid in IBA). The subnet manager mirrors this assignment.
 iba::Lid lid_of(iba::NodeId host) { return static_cast<iba::Lid>(host + 1); }
 iba::NodeId node_of(iba::Lid lid) { return static_cast<iba::NodeId>(lid - 1); }
+
+/// True while the calling thread executes a shard window (sim/shard.cpp).
+bool in_parallel() { return t_shard != nullptr; }
 
 }  // namespace
 
@@ -32,7 +38,7 @@ class XbarView final : public sched::CrossbarPorts {
     return static_cast<unsigned>(sw_.in.size());
   }
 
-  iba::Cycle now() const override { return sim_.now_; }
+  iba::Cycle now() const override { return sim_.now_cur(); }
 
   bool input_ready(iba::PortIndex in) const override {
     const InputPort& ip = sw_.in[in];
@@ -89,14 +95,36 @@ class XbarView final : public sched::CrossbarPorts {
     const auto xfer_cycles = std::max<iba::Cycle>(
         1, static_cast<iba::Cycle>(static_cast<double>(link_cycles) /
                                    sim_.cfg_.crossbar_speedup));
+    const std::uint32_t wire = head.wire_bytes();
     Event done;
-    done.time = sim_.now_ + sim_.cfg_.crossbar_delay + xfer_cycles;
+    done.time = sim_.now_cur() + sim_.cfg_.crossbar_delay + xfer_cycles;
     done.type = EventType::kXferComplete;
     done.node = sw_.node;
     done.port = out;
     done.vl = vl;
     done.aux = in;
-    sim_.queue_.push(done);
+    const iba::Cycle done_time = done.time;
+    sim_.push_event(std::move(done));
+
+    if (in_parallel()) {
+      // The upstream credit release this transfer will perform is fully
+      // determined now. on_xfer_complete applies it inline — before its
+      // local work — on the sequential path; here it becomes its own event
+      // so it can cross a shard boundary. The shard engine keys it
+      // immediately *before* the kXferComplete above, no event anywhere can
+      // order between the two halves, and they touch disjoint port state —
+      // so the split is unobservable.
+      const auto up = sim_.graph_.peer(sw_.node, in);
+      assert(up.has_value());
+      Event rel;
+      rel.time = done_time;
+      rel.type = EventType::kCreditRelease;
+      rel.node = up->node;
+      rel.port = up->port;
+      rel.vl = vl;
+      rel.aux = wire;
+      sim_.push_event(std::move(rel));
+    }
   }
 
  private:
@@ -165,11 +193,17 @@ Simulator::Simulator(const network::FabricGraph& graph,
   // output ports; per-VL output occupancy peaks keep the "which VL starved?"
   // question answerable without per-port blow-up.
   telemetry_.add_probe([this](obs::Snapshot& snap) {
-    const EventQueue::Stats& qs = queue_.stats();
+    EventQueue::Stats qs = queue_.stats();
+    qs.pops -= serial_release_pops_;
+    if (engine_) engine_->fold_stats(qs);
     snap.add_counter("queue.pushes", qs.pushes);
     snap.add_counter("queue.pops", qs.pops);
     snap.add_counter("queue.overflow_pushes", qs.overflow_pushes);
-    snap.merge_gauge("queue.peak_size", static_cast<double>(qs.peak_size),
+    // Pending-event census sampled at fixed kPendingSampleEvery marks — the
+    // one queue-depth figure the sequential and the sharded engine compute
+    // identically (a true per-push peak is tie-order-sensitive and would
+    // break the shard-count-invariance of snapshots).
+    snap.merge_gauge("queue.peak_size", static_cast<double>(pending_peak_),
                      obs::MergePolicy::kMax);
     snap.add_histogram("queue.residency_log2", qs.residency_log2.data(),
                        qs.residency_log2.size());
@@ -260,6 +294,8 @@ Simulator::Simulator(const network::FabricGraph& graph,
     metrics_.set_series(series_.get());
   }
 
+  if (cfg_.shards == 0) cfg_.shards = 1;
+
   if (cfg_.profile) {
     profiler_ = std::make_unique<obs::PhaseProfiler>();
     // profile.* is the quarantined wall-clock family: published only when
@@ -276,6 +312,68 @@ Simulator::Simulator(const network::FabricGraph& graph,
       }
     });
   }
+}
+
+Simulator::~Simulator() = default;
+
+iba::Cycle Simulator::now_cur() const {
+  return t_shard != nullptr ? t_shard->now : now_;
+}
+
+void Simulator::push_event(Event e) {
+  if (engine_ && engine_->active()) {
+    const iba::NodeId home = event_home_node(e);
+    engine_->route_push(std::move(e), home);
+    return;
+  }
+  queue_.push(std::move(e));
+}
+
+iba::NodeId Simulator::event_home_node(const Event& e) const {
+  switch (e.type) {
+    case EventType::kGenerate:
+      return flows_[e.aux].spec.src_host;
+    case EventType::kProbe:
+    case EventType::kControl:
+      return 0;  // Only ever migrated, never executed in parallel.
+    default:
+      return e.node;
+  }
+}
+
+void Simulator::sample_pending(std::uint64_t pending, iba::Cycle through) {
+  if (pending > pending_peak_) pending_peak_ = pending;
+  next_pending_mark_ =
+      (through / kPendingSampleEvery + 1) * kPendingSampleEvery;
+}
+
+bool Simulator::parallel_ready() {
+  if (cfg_.shards <= 1) return false;
+  // Hazards the parallel engine cannot reproduce byte-identically: inline
+  // observer callbacks with cross-shard visibility, tie-sensitive recorders,
+  // and barriers whose bookkeeping is shared mutable state.
+  const bool hazard = hooks_ != nullptr || delivery_listener_ != nullptr ||
+                      !controls_.empty() || series_ != nullptr ||
+                      profiler_ != nullptr || cfg_.trace_capacity > 0 ||
+                      !purged_flows_.empty();
+  if (hazard) {
+    if (engine_ && engine_->active()) engine_->surrender(queue_);
+    return false;
+  }
+  if (!engine_) {
+    std::string error;
+    engine_ = ShardEngine::create(*this, cfg_.shards, error);
+    if (!engine_) {
+      if (!shard_fallback_warned_) {
+        shard_fallback_warned_ = true;
+        std::fprintf(stderr, "ibarb: %s\n", error.c_str());
+      }
+      cfg_.shards = 1;
+      return false;
+    }
+  }
+  if (!engine_->active()) engine_->adopt(queue_);
+  return true;
 }
 
 OutputPort& Simulator::output_port(iba::NodeId node, iba::PortIndex port) {
@@ -358,12 +456,18 @@ std::uint32_t Simulator::add_flow(const FlowSpec& spec) {
   metrics_.connections.push_back(cm);
   if (series_) series_->note_connection(idx, spec.sl, spec.qos, spec.deadline);
 
+  if (engine_)
+    engine_->note_flow_wire(spec.external
+                                ? iba::kPacketOverheadBytes
+                                : spec.payload_bytes +
+                                      iba::kPacketOverheadBytes);
+
   if (!spec.external) {
     Event e;
     e.time = std::max(spec.start_offset, now_);
     e.type = EventType::kGenerate;
     e.aux = idx;
-    queue_.push(e);
+    push_event(std::move(e));
   }
   return idx;
 }
@@ -385,7 +489,7 @@ void Simulator::resume_flow(std::uint32_t flow_index) {
   e.time = now_;
   e.type = EventType::kGenerate;
   e.aux = flow_index;
-  queue_.push(e);
+  push_event(std::move(e));
 }
 
 void Simulator::set_flow_overdrive(std::uint32_t flow_index, double factor) {
@@ -412,9 +516,9 @@ void Simulator::schedule_flow(std::uint32_t flow_index,
       next = f.next_nominal;
       break;
     case GeneratorKind::kPoisson:
-      next = now_ + static_cast<iba::Cycle>(
-                        f.rng.exponential(static_cast<double>(
-                            scaled(f.spec.interval))) + 1.0);
+      next = now_cur() + static_cast<iba::Cycle>(
+                             f.rng.exponential(static_cast<double>(
+                                 scaled(f.spec.interval))) + 1.0);
       break;
     case GeneratorKind::kOnOffVbr: {
       if (f.burst_left > 0) {
@@ -422,7 +526,7 @@ void Simulator::schedule_flow(std::uint32_t flow_index,
         const auto peak = static_cast<iba::Cycle>(
             static_cast<double>(scaled(f.spec.interval)) *
                 f.spec.on_fraction + 1.0);
-        next = now_ + peak;
+        next = now_cur() + peak;
       } else {
         // Draw a new burst; the silence restores the long-run mean rate.
         const double burst =
@@ -431,7 +535,8 @@ void Simulator::schedule_flow(std::uint32_t flow_index,
         const double off_mean =
             static_cast<double>(scaled(f.spec.interval)) * burst *
             (1.0 - f.spec.on_fraction);
-        next = now_ + static_cast<iba::Cycle>(f.rng.exponential(off_mean) + 1.0);
+        next = now_cur() +
+               static_cast<iba::Cycle>(f.rng.exponential(off_mean) + 1.0);
       }
       break;
     }
@@ -441,7 +546,7 @@ void Simulator::schedule_flow(std::uint32_t flow_index,
   e.time = next;
   e.type = EventType::kGenerate;
   e.aux = flow_index;
-  queue_.push(e);
+  push_event(std::move(e));
 }
 
 void Simulator::on_generate(std::uint32_t flow_index) {
@@ -449,16 +554,22 @@ void Simulator::on_generate(std::uint32_t flow_index) {
   f.generator_scheduled = false;
   if (f.stopped) return;  // torn down: neither generate nor reschedule
   const FlowSpec& spec = f.spec;
+  const iba::Cycle now = now_cur();
 
   iba::Packet p;
-  p.id = next_packet_id_++;
   p.connection = flow_index;
   p.sl = spec.sl;
   p.source = lid_of(spec.src_host);
   p.destination = lid_of(spec.dst_host);
   p.payload_bytes = spec.payload_bytes;
   p.sequence = f.next_sequence++;
-  p.injected_at = now_;
+  // Packet ids feed only the trace and the transports, both of which force
+  // the sequential path — but a shared id counter would still race across
+  // shards, so parallel runs derive ids from (flow, sequence) instead.
+  p.id = in_parallel() ? ((static_cast<std::uint64_t>(flow_index) + 1) << 32) |
+                             (p.sequence + 1)
+                       : next_packet_id_++;
+  p.injected_at = now;
   p.management = spec.management;
   p.deadline = metrics_.connections[flow_index].deadline;
 
@@ -467,11 +578,11 @@ void Simulator::on_generate(std::uint32_t flow_index) {
   HostState& host = hosts_[index_[spec.src_host]];
   const iba::VirtualLane vl =
       spec.management ? iba::kManagementVl : host.out.sl_map.map(spec.sl);
-  trace_.record(now_, TraceEvent::kInject, spec.src_host, 0, vl, p);
+  trace_.record(now, TraceEvent::kInject, spec.src_host, 0, vl, p);
   host.out.queues.push(vl, std::move(p));
   try_transmit(spec.src_host, 0);
 
-  schedule_flow(flow_index, now_);
+  schedule_flow(flow_index, now);
 }
 
 void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
@@ -492,27 +603,28 @@ void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
   const auto wire = p.wire_bytes();
   op.credits.consume(decision->vl, wire);
   op.tx_busy = true;
-  trace_.record(now_, TraceEvent::kLinkTx, node, port, decision->vl, p);
+  const iba::Cycle now = now_cur();
+  trace_.record(now, TraceEvent::kLinkTx, node, port, decision->vl, p);
 
   auto ser = iba::serialization_cycles(wire, op.link.rate);
   if (hooks_) ser = hooks_->stretch_serialization(node, port, ser);
   metrics_.record_tx(op.flat_id, wire, ser);
 
   Event done;
-  done.time = now_ + ser;
+  done.time = now + ser;
   done.type = EventType::kTxComplete;
   done.node = node;
   done.port = port;
-  queue_.push(done);
+  push_event(std::move(done));
 
   Event arrive;
-  arrive.time = now_ + ser + op.link.propagation_delay;
+  arrive.time = now + ser + op.link.propagation_delay;
   arrive.type = EventType::kLinkDeliver;
   arrive.node = op.peer.node;
   arrive.port = op.peer.port;
   arrive.vl = decision->vl;
   arrive.packet = std::move(p);
-  queue_.push(arrive);
+  push_event(std::move(arrive));
 }
 
 void Simulator::on_tx_complete(iba::NodeId node, iba::PortIndex port) {
@@ -521,6 +633,7 @@ void Simulator::on_tx_complete(iba::NodeId node, iba::PortIndex port) {
 }
 
 void Simulator::on_link_deliver(const Event& e) {
+  const iba::Cycle now = now_cur();
   auto verdict = FaultHooks::RxVerdict::kDeliver;
   if (hooks_ && !e.packet.management) {
     obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kFaultHooks);
@@ -530,7 +643,7 @@ void Simulator::on_link_deliver(const Event& e) {
     // Discarded on arrival (corrupted past the CRC, or a drop-fault window).
     // The receiver still frees the notional buffer, so upstream credits are
     // returned — a lost packet must not wedge the sender.
-    trace_.record(now_, TraceEvent::kDrop, e.node, e.port, e.vl, e.packet);
+    trace_.record(now, TraceEvent::kDrop, e.node, e.port, e.vl, e.packet);
     metrics_.record_drop(e.packet.connection);
     const auto up = graph_.peer(e.node, e.port);
     assert(up.has_value());
@@ -546,13 +659,15 @@ void Simulator::on_link_deliver(const Event& e) {
     return;
   }
   // Host sink: record, then return credits to the upstream switch port
-  // immediately (hosts drain their receive buffers at line rate).
-  trace_.record(now_, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
+  // immediately (hosts drain their receive buffers at line rate). The
+  // upstream port is the host's own uplink switch — same shard — so this
+  // stays inline in parallel windows too.
+  trace_.record(now, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
   {
     obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kMetrics);
-    metrics_.record_delivery(e.packet.connection, e.packet, now_);
+    metrics_.record_delivery(e.packet.connection, e.packet, now);
   }
-  if (delivery_listener_) delivery_listener_(e.packet, now_);
+  if (delivery_listener_) delivery_listener_(e.packet, now);
   const auto up = graph_.peer(e.node, 0);
   assert(up.has_value());
   OutputPort& upstream = output_port(up->node, up->port);
@@ -568,12 +683,17 @@ void Simulator::on_xfer_complete(const Event& e) {
 
   iba::Packet p = ip.buffers.pop(e.vl);
 
-  // Input buffer space freed: return credits to whoever feeds this port.
-  const auto up = graph_.peer(e.node, in_port);
-  assert(up.has_value());
-  OutputPort& upstream = output_port(up->node, up->port);
-  upstream.credits.release(e.vl, p.wire_bytes());
-  try_transmit(up->node, up->port);
+  // Input buffer space freed: return credits to whoever feeds this port. In
+  // a parallel window the feeder may live on another shard, so the release
+  // travels as the kCreditRelease event XbarView::grant emitted alongside
+  // this one (keyed right before it — see on_credit_release).
+  if (!in_parallel()) {
+    const auto up = graph_.peer(e.node, in_port);
+    assert(up.has_value());
+    OutputPort& upstream = output_port(up->node, up->port);
+    upstream.credits.release(e.vl, p.wire_bytes());
+    try_transmit(up->node, up->port);
+  }
 
   // Enqueue at the output on the VL this port's SLtoVL table dictates —
   // unless recovery abandoned this connection on this port (the packet was
@@ -583,11 +703,11 @@ void Simulator::on_xfer_complete(const Event& e) {
       p.management ? iba::kManagementVl : op.sl_map.map(p.sl);
   if (!p.management && !purged_flows_.empty() &&
       purged_flows_.count({flat_port_id(e.node, e.port), p.connection}) > 0) {
-    trace_.record(now_, TraceEvent::kDrop, e.node, e.port, out_vl, p);
+    trace_.record(now_cur(), TraceEvent::kDrop, e.node, e.port, out_vl, p);
     metrics_.record_drop(p.connection);
     ++purged_late_;
   } else {
-    trace_.record(now_, TraceEvent::kXbar, e.node, e.port, out_vl, p);
+    trace_.record(now_cur(), TraceEvent::kXbar, e.node, e.port, out_vl, p);
     op.queues.push(out_vl, std::move(p));
   }
 
@@ -601,6 +721,12 @@ void Simulator::on_xfer_complete(const Event& e) {
 void Simulator::schedule_crossbar(std::uint32_t switch_index, int only_input) {
   XbarView view(*this, switch_index);
   xbar_[switch_index]->schedule(view, only_input);
+}
+
+void Simulator::on_credit_release(const Event& e) {
+  OutputPort& op = output_port(e.node, e.port);
+  op.credits.release(e.vl, e.aux);
+  try_transmit(e.node, e.port);
 }
 
 void Simulator::handle(const Event& e) {
@@ -627,6 +753,9 @@ void Simulator::handle(const Event& e) {
       fn();
       break;
     }
+    case EventType::kCreditRelease:
+      on_credit_release(e);
+      break;
   }
 }
 
@@ -637,7 +766,7 @@ void Simulator::call_at(iba::Cycle t, std::function<void()> fn) {
   e.time = std::max(t, now_);
   e.type = EventType::kControl;
   e.aux = id;
-  queue_.push(e);
+  push_event(std::move(e));
 }
 
 std::uint64_t Simulator::inject_external(std::uint32_t flow_index,
@@ -724,9 +853,27 @@ void Simulator::clear_flow_purge(iba::NodeId node, iba::PortIndex port,
 }
 
 void Simulator::run_until(iba::Cycle t) {
+  if (parallel_ready()) {
+    engine_->run_until(t);
+    return;
+  }
   while (!queue_.empty() && queue_.top().time <= t) {
+    // Pending-event census at fixed marks (the queue.peak_size gauge): the
+    // first event at or past a mark triggers a sample *before* it pops, so
+    // the count covers everything still scheduled from the mark onwards —
+    // the same census the parallel engine takes at its window barriers.
+    if (queue_.top().time >= next_pending_mark_)
+      sample_pending(queue_.size() - serial_pending_releases_,
+                     queue_.top().time);
     const Event e = queue_.pop();
     assert(e.time >= now_ && "time must not run backwards");
+    // A credit release handed back by ShardEngine::surrender: engine
+    // bookkeeping with no sequential counterpart, excluded from the pop and
+    // event counters exactly like the shard workers exclude theirs.
+    if (e.type == EventType::kCreditRelease) {
+      ++serial_release_pops_;
+      --serial_pending_releases_;
+    }
     // A series boundary B samples the state after every event with time
     // <= B, so commit pending boundaries just before the first event that
     // crosses one.
@@ -735,11 +882,13 @@ void Simulator::run_until(iba::Cycle t) {
       series_->advance_to(e.time);
     }
     now_ = e.time;
-    ++events_;
+    if (e.type != EventType::kCreditRelease) ++events_;
     obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kDispatch);
     handle(e);
   }
   if (now_ < t) now_ = t;
+  if (t >= next_pending_mark_)
+    sample_pending(queue_.size() - serial_pending_releases_, t);
   // All events <= t are handled, so every boundary <= t is complete — flush
   // them even if no later event arrives to cross the boundary (idempotent;
   // run_paper_phases calls run_until in probe steps).

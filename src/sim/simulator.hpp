@@ -58,6 +58,15 @@ struct SimConfig {
   /// IBARB_CROSSBAR, flag --crossbar). kWrr reproduces the pre-refactor
   /// grant sequence — and so the whole event order — bit-for-bit.
   sched::CrossbarImpl crossbar_impl = sched::CrossbarImpl::kWrr;
+  /// Number of switch-affine shard workers for the parallel engine
+  /// (--shards / IBARB_SHARDS; see docs/PARALLEL.md). 1 keeps the classic
+  /// sequential loop. Values > 1 engage src/sim/shard.hpp for runs the
+  /// engine can reproduce byte-identically; anything it cannot (fault
+  /// hooks, delivery listeners, pending call_at controls, tracing, series
+  /// sampling, profiling, active purge barriers, an unshardable topology)
+  /// falls back to the sequential path, so output is invariant in this
+  /// knob by construction.
+  unsigned shards = 1;
 };
 
 struct RunSummary {
@@ -97,12 +106,16 @@ class FaultHooks {
   }
 };
 
+class ShardEngine;
+
 class Simulator {
   friend class XbarView;  ///< sched::CrossbarPorts adapter (simulator.cpp).
+  friend class ShardEngine;  ///< Parallel window engine (sim/shard.hpp).
 
  public:
   Simulator(const network::FabricGraph& graph, const network::Routes& routes,
             SimConfig cfg);
+  ~Simulator();  ///< Out-of-line: ShardEngine is incomplete here.
 
   /// The telemetry probe registered at construction captures `this`.
   Simulator(const Simulator&) = delete;
@@ -236,6 +249,12 @@ class Simulator {
   /// Runs all probes and returns the deterministic instrument snapshot.
   obs::Snapshot telemetry_snapshot() { return telemetry_.snapshot(); }
 
+  /// The shard count the run is actually using: SimConfig::shards, pinned
+  /// back to 1 once an unshardable topology forced the sequential fallback.
+  /// Lets tests assert the parallel engine really engaged (or refused)
+  /// instead of trusting the requested flag.
+  unsigned effective_shards() const noexcept { return cfg_.shards; }
+
   /// The time-series recorder, or null when SimConfig::sample_every == 0.
   /// The fault/recovery layer stamps state transitions through this; benches
   /// call finalize() on it after their last run_until.
@@ -247,6 +266,29 @@ class Simulator {
   void on_link_deliver(const Event& e);
   void on_tx_complete(iba::NodeId node, iba::PortIndex port);
   void on_xfer_complete(const Event& e);
+  /// Parallel engine only: applies a reified upstream credit return (the
+  /// half of on_xfer_complete that crosses a shard boundary).
+  void on_credit_release(const Event& e);
+
+  // --- Parallel-engine plumbing (src/sim/shard.hpp) -----------------------
+
+  /// All handler pushes go through here: straight into queue_ on the
+  /// sequential path, keyed and routed to the owning shard when the engine
+  /// holds the events.
+  void push_event(Event e);
+  /// The clock handlers must read: the executing shard's when inside a
+  /// parallel window (thread-local), the global now_ otherwise.
+  iba::Cycle now_cur() const;
+  /// The node whose shard owns (and whose worker executes) an event.
+  iba::NodeId event_home_node(const Event& e) const;
+  /// Decides sequential vs parallel for the next run_until: builds/activates
+  /// the engine when shards > 1 and no hazard is present, or surrenders the
+  /// events back to queue_ (warning once and pinning shards = 1 when the
+  /// topology itself cannot be sharded).
+  bool parallel_ready();
+  /// Records a pending-event census (the queue.peak_size gauge) and advances
+  /// the mark past `through`. Both engines call this at identical points.
+  void sample_pending(std::uint64_t pending, iba::Cycle through);
 
   void try_transmit(iba::NodeId node, iba::PortIndex port);
   /// Runs the switch's crossbar scheduler (sched::CrossbarScheduler) over an
@@ -267,6 +309,25 @@ class Simulator {
   iba::Cycle now_ = 0;
   std::uint64_t events_ = 0;
   std::uint64_t next_packet_id_ = 1;
+
+  /// Lazily-built parallel engine (cfg_.shards > 1); owns the pending
+  /// events whenever engine_->active().
+  std::unique_ptr<ShardEngine> engine_;
+  bool shard_fallback_warned_ = false;
+  /// Pending-event census for the queue.peak_size gauge, sampled at fixed
+  /// cycle marks so sequential and sharded runs publish the same value (a
+  /// true per-push peak is tie-order-sensitive).
+  static constexpr iba::Cycle kPendingSampleEvery = 4096;
+  std::uint64_t pending_peak_ = 0;
+  iba::Cycle next_pending_mark_ = kPendingSampleEvery;
+  /// kCreditRelease events executed on the sequential path (only possible
+  /// after a ShardEngine::surrender handed them back): their queue pops are
+  /// engine bookkeeping with no sequential counterpart, so the snapshot
+  /// probe subtracts them — the serial twin of ShardCtx::internal_pops.
+  std::uint64_t serial_release_pops_ = 0;
+  /// kCreditRelease events currently in queue_ (same provenance), excluded
+  /// from the pending-event census like ShardCtx::pending_releases.
+  std::uint64_t serial_pending_releases_ = 0;
 
   FaultHooks* hooks_ = nullptr;
   /// Active purge barriers: (flat output port, connection). A packet of a

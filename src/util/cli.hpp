@@ -26,6 +26,9 @@ namespace ibarb::util {
 ///   --quiet             suppress progress/timing chatter on stderr
 ///   --crossbar IMPL     crossbar scheduler (wrr|islip|matrix|abr); absent
 ///                       defers to IBARB_CROSSBAR, then wrr
+///   --shards N          parallel simulation shards inside one experiment
+///                       (0/absent defers to IBARB_SHARDS, then 1 =
+///                       sequential); output is byte-identical for any N
 ///
 /// Output-path flags (--trace-out, --series-csv) and enum flags
 /// (--crossbar) are validated up front: a typo must fail at parse time
@@ -42,6 +45,9 @@ struct StdFlags {
   /// Validated scheduler name, or empty when the flag was absent (callers
   /// then fall back to sched::crossbar_impl_from_env()).
   std::string crossbar;
+  /// Simulation shard count, or 0 when the flag was absent (callers then
+  /// fall back to bench::shards_from_env()).
+  unsigned shards = 0;
 };
 
 class Cli {

@@ -1,0 +1,88 @@
+// Bounded single-producer/single-consumer ring (Lamport queue).
+//
+// The cross-shard event channels of the parallel simulator core
+// (src/sim/shard.hpp) are SPSC by construction: shard s owns the producer
+// side of channel (s -> d) and shard d the consumer side, so the only
+// synchronization needed is one release store per push and one acquire load
+// per pop. Head and tail live on separate cache lines to keep the producer
+// and consumer from ping-ponging a line between cores.
+//
+// The capacity must be a power of two. try_push fails when the ring is full
+// (callers keep a producer-local spill; see sim::ShardChannel) instead of
+// blocking — the simulator's window barriers guarantee a full drain before
+// anyone depends on delivery.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ibarb::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity = 1024)
+      : slots_(capacity), mask_(capacity - 1) {
+    static_assert(sizeof(std::size_t) == 8, "64-bit indices never wrap");
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0)
+      slots_.resize(round_up(capacity)), mask_ = slots_.size() - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (nothing is written).
+  bool try_push(T&& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == slots_.size())
+      return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends everything currently visible to `out` and
+  /// returns the number of elements moved.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t n = 0;
+    T v;
+    while (try_pop(v)) {
+      out.push_back(std::move(v));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Approximate (exact when the far side is quiescent).
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up(std::size_t c) {
+    std::size_t p = 1;
+    while (p < c) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Consumer cursor.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Producer cursor.
+};
+
+}  // namespace ibarb::util

@@ -1,0 +1,213 @@
+// Switch-affine partitioning and the lookahead window (src/sim/partition.*):
+// affinity rules (a host always lands on its uplink switch's shard),
+// contiguous switch blocks, cut-edge enumeration, the forward/reverse
+// latency model behind the safe parallel window, and the zero-lookahead
+// guard that forces the --shards 1 fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "iba/link.hpp"
+#include "network/graph.hpp"
+#include "sim/partition.hpp"
+
+namespace ibarb::sim {
+namespace {
+
+/// A ring of `switches` (port 0 -> next, port 1 <- previous) with
+/// `hosts_per` hosts hanging off ports 2.. of each switch.
+network::FabricGraph ring_fabric(unsigned switches, unsigned hosts_per,
+                                 iba::Link ring_link = {}) {
+  network::FabricGraph g;
+  std::vector<iba::NodeId> sw;
+  for (unsigned i = 0; i < switches; ++i)
+    sw.push_back(g.add_switch(2 + hosts_per));
+  for (unsigned i = 0; i < switches; ++i)
+    g.connect(sw[i], 0, sw[(i + 1) % switches], 1, ring_link);
+  for (unsigned i = 0; i < switches; ++i)
+    for (unsigned h = 0; h < hosts_per; ++h) {
+      const iba::NodeId host = g.add_host();
+      g.connect(host, 0, sw[i], 2 + h);
+    }
+  return g;
+}
+
+TEST(Partition, HostsFollowTheirUplinkSwitch) {
+  const auto g = ring_fabric(/*switches=*/4, /*hosts_per=*/3);
+  const auto r = make_switch_affine(g, 2);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Partition& p = r.partition;
+  EXPECT_EQ(p.shards, 2u);
+  ASSERT_EQ(p.shard_of.size(), g.node_count());
+  for (const iba::NodeId host : g.hosts())
+    EXPECT_EQ(p.shard_of[host], p.shard_of[g.host_uplink(host).node])
+        << "host " << host << " not affine with its uplink switch";
+}
+
+TEST(Partition, SwitchBlocksAreContiguousAndEveryShardNonEmpty) {
+  const auto g = ring_fabric(/*switches=*/7, /*hosts_per=*/1);
+  const auto r = make_switch_affine(g, 3);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Partition& p = r.partition;
+  std::vector<unsigned> population(p.shards, 0);
+  std::uint32_t prev = 0;
+  for (const iba::NodeId sw : g.switches()) {
+    const std::uint32_t shard = p.shard_of[sw];
+    EXPECT_GE(shard, prev) << "switch blocks must be contiguous in id order";
+    EXPECT_LT(shard, p.shards);
+    prev = shard;
+    ++population[shard];
+  }
+  for (std::uint32_t s = 0; s < p.shards; ++s)
+    EXPECT_GT(population[s], 0u) << "shard " << s << " owns no switch";
+}
+
+TEST(Partition, CutsAreExactlyTheCrossShardSwitchWires) {
+  const auto g = ring_fabric(/*switches=*/4, /*hosts_per=*/2);
+  const auto r = make_switch_affine(g, 2);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Partition& p = r.partition;
+  // Splitting a 4-ring 2+2 severs two full-duplex wires = 4 directed cuts.
+  EXPECT_EQ(p.cuts.size(), 4u);
+  for (const Partition::Cut& cut : p.cuts) {
+    EXPECT_TRUE(g.is_switch(cut.node));
+    const auto peer = g.peer(cut.node, cut.port);
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_TRUE(g.is_switch(peer->node))
+        << "host links must never be cut edges";
+    EXPECT_EQ(cut.from, p.shard_of[cut.node]);
+    EXPECT_EQ(cut.to, p.shard_of[peer->node]);
+    EXPECT_NE(cut.from, cut.to);
+  }
+}
+
+TEST(Partition, ShardsClampToTheSwitchCount) {
+  const auto g = ring_fabric(/*switches=*/3, /*hosts_per=*/1);
+  const auto r = make_switch_affine(g, 64);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.partition.shards, 3u);
+}
+
+TEST(Partition, RejectsDegenerateRequests) {
+  const auto g = ring_fabric(/*switches=*/4, /*hosts_per=*/1);
+  const auto one = make_switch_affine(g, 1);
+  EXPECT_FALSE(one.ok);
+  EXPECT_NE(one.error.find("at least 2 shards"), std::string::npos)
+      << one.error;
+
+  network::FabricGraph lone;
+  lone.add_switch(4);
+  const auto r = make_switch_affine(lone, 4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("fewer than 2 switches"), std::string::npos)
+      << r.error;
+}
+
+TEST(Partition, RejectsFabricsBeyondTheNodeLimit) {
+  network::FabricGraph g;
+  for (std::size_t i = 0; i < kMaxPartitionNodes + 1; ++i) g.add_host();
+  const auto r = make_switch_affine(g, 4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find(std::to_string(kMaxPartitionNodes)),
+            std::string::npos)
+      << r.error;
+}
+
+TEST(Partition, RejectsAHostWithoutAnUplink) {
+  auto g = ring_fabric(/*switches=*/2, /*hosts_per=*/1);
+  const iba::NodeId orphan = g.add_host();  // never wired
+  const auto r = make_switch_affine(g, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("host " + std::to_string(orphan)),
+            std::string::npos)
+      << r.error;
+}
+
+// --------------------------------------------------------------------------
+// Lookahead model.
+
+TEST(Lookahead, ForwardLatencyIsSerializationPlusPropagation) {
+  iba::Link link;
+  link.rate = iba::LinkRate::k4x;
+  link.propagation_delay = 7;
+  EXPECT_EQ(forward_latency(link, 32),
+            iba::serialization_cycles(32, link.rate) + 7);
+  // Monotone in the wire size: admitting a smaller packet can only shrink
+  // the window, never grow it.
+  EXPECT_LE(forward_latency(link, 32), forward_latency(link, 4096));
+  // Any physical wire size keeps at least the propagation delay.
+  EXPECT_GE(forward_latency(link, 1), link.propagation_delay + 1);
+}
+
+TEST(Lookahead, ReverseLatencyTracksCrossbarDelayAndSpeedup) {
+  Partition::Cut cut;
+  cut.best_downstream_rate = iba::LinkRate::k1x;
+  LookaheadModel m;
+  m.min_wire_bytes = 64;
+  m.crossbar_delay = 5;
+  m.crossbar_speedup = 1.0;
+  EXPECT_EQ(reverse_latency(cut, m),
+            5 + iba::serialization_cycles(64, cut.best_downstream_rate));
+  // A faster crossbar bounces credits sooner, but never in zero cycles.
+  m.crossbar_speedup = 1e9;
+  EXPECT_EQ(reverse_latency(cut, m), 5 + 1);
+  m.crossbar_delay = 0;
+  EXPECT_EQ(reverse_latency(cut, m), 1u);
+}
+
+TEST(Lookahead, SafeWindowIsTheMinOverAllCutLatencies) {
+  iba::Link slow;  // 1x: serialization dominates
+  slow.propagation_delay = 3;
+  const auto g = ring_fabric(/*switches=*/4, /*hosts_per=*/1, slow);
+  const auto r = make_switch_affine(g, 2);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  LookaheadModel m;
+  m.min_wire_bytes = 26;
+  iba::Cycle expect = std::numeric_limits<iba::Cycle>::max();
+  for (const Partition::Cut& cut : r.partition.cuts) {
+    expect = std::min(expect, forward_latency(cut.link, m.min_wire_bytes));
+    expect = std::min(expect, reverse_latency(cut, m));
+  }
+  EXPECT_EQ(safe_window(r.partition, m), expect);
+  EXPECT_GE(safe_window(r.partition, m), 1u);
+
+  // No cuts (degenerate single-shard partition): the window defaults to 1.
+  Partition cutless;
+  EXPECT_EQ(safe_window(cutless, m), 1u);
+}
+
+TEST(Lookahead, ZeroLookaheadGuardNamesTheOffendingCut) {
+  const auto g = ring_fabric(/*switches=*/4, /*hosts_per=*/1);
+  const auto r = make_switch_affine(g, 2);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Partition& p = r.partition;
+  ASSERT_FALSE(p.cuts.empty());
+
+  // A healthy link model passes.
+  EXPECT_EQ(zero_lookahead_error(
+                p, [](const Partition::Cut&) { return iba::Cycle{1}; }),
+            "");
+
+  // A pathological model (injected — the real link model cannot produce 0)
+  // is rejected with a diagnostic naming the first zero-latency cut and the
+  // fallback the caller must take.
+  const Partition::Cut& first = p.cuts.front();
+  const auto err = zero_lookahead_error(
+      p, [&](const Partition::Cut& c) -> iba::Cycle {
+        return c.node == first.node && c.port == first.port ? 0 : 1;
+      });
+  EXPECT_NE(err.find("zero lookahead"), std::string::npos) << err;
+  EXPECT_NE(err.find(std::to_string(first.node) + ":" +
+                     std::to_string(first.port)),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("--shards 1"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace ibarb::sim
