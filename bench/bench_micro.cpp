@@ -29,6 +29,10 @@
 //                 and the promote step (sort by final (time, key), keyed
 //                 insert into the event queue) that merges a window's
 //                 cross-shard events.
+//  * snapshot_roundtrip — the crash-consistent control-plane snapshot
+//                 (control/snapshot.hpp): save_world / restore_world /
+//                 audit_full wall cost and blob size at small (1k) and
+//                 large (100k) live-connection populations.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -44,9 +48,14 @@
 
 #include "arbtable/fill_algorithm.hpp"
 #include "arbtable/table_manager.hpp"
+#include "control/snapshot.hpp"
 #include "iba/arbiter.hpp"
+#include "network/graph.hpp"
 #include "network/routing.hpp"
 #include "network/topology.hpp"
+#include "qos/admission.hpp"
+#include "qos/traffic_classes.hpp"
+#include "subnet/subnet_manager.hpp"
 #include "obs/report.hpp"
 #include "obs/series.hpp"
 #include "obs/telemetry.hpp"
@@ -493,6 +502,75 @@ ChannelBenchResult measure_shard_channel(std::uint64_t items) {
   return res;
 }
 
+struct SnapshotBenchResult {
+  std::uint64_t connections = 0;   ///< Live connections actually admitted.
+  std::uint64_t bytes = 0;         ///< Sealed snapshot size.
+  double save_ms = 0.0;            ///< save_world: serialize + CRC + seal.
+  double restore_ms = 0.0;         ///< restore_world: parse, apply, audit,
+                                   ///< re-serialize bit-exactness proof.
+  double audit_ms = 0.0;           ///< One standalone audit_full pass.
+};
+
+/// Cost of a crash-consistent control-plane snapshot at a given live
+/// population: a 64-host star fabric is filled with `target` tiny guaranteed
+/// connections (round-robin pairs spread the per-port load), then the
+/// save_world / restore_world / audit_full wall costs are measured.
+SnapshotBenchResult measure_snapshot_roundtrip(std::uint64_t target) {
+  constexpr unsigned kHosts = 64;
+  network::FabricGraph graph;
+  const iba::Link link{iba::LinkRate::k4x, 2};
+  const auto sw = graph.add_switch(kHosts);
+  for (unsigned h = 0; h < kHosts; ++h) {
+    const auto host = graph.add_host();
+    graph.connect(host, 0, sw, static_cast<iba::PortIndex>(h), link);
+  }
+  subnet::SubnetManager sm(graph);
+  qos::AdmissionControl::Config ac;
+  ac.seed = 41;
+  qos::AdmissionControl admission(graph, sm.routes(), qos::paper_catalogue(),
+                                  ac);
+
+  const auto hosts = graph.hosts();
+  // Distance-64 SLs: one table entry per sequence and weight-1 sharing, so
+  // six-figure live populations fit the 64-entry tables.
+  constexpr iba::ServiceLevel kSls[] = {6, 7, 8, 9};
+  SnapshotBenchResult res;
+  for (std::uint64_t i = 0; res.connections < target; ++i) {
+    if (i > target * 2) break;  // table space exhausted: report what fits
+    qos::ConnectionRequest req;
+    req.src_host = hosts[i % kHosts];
+    req.dst_host = hosts[(i + 1 + i / kHosts) % kHosts];
+    if (req.src_host == req.dst_host) continue;
+    req.sl = kSls[i % std::size(kSls)];
+    req.max_distance =
+        qos::find_sl(admission.catalogue(), req.sl)->max_distance;
+    req.wire_mbps = 0.05;  // weight-1 requirements: sharing packs densely
+    if (admission.request(req)) ++res.connections;
+  }
+
+  const control::World world{&admission, nullptr, nullptr, nullptr};
+  auto t0 = std::chrono::steady_clock::now();
+  const auto blob = control::save_world(/*now=*/0, /*run_seed=*/41, world);
+  res.save_ms = seconds_since(t0) * 1e3;
+  res.bytes = blob.size();
+
+  qos::AdmissionControl loaded(graph, sm.routes(), qos::paper_catalogue(),
+                               ac);
+  const control::World fresh{&loaded, nullptr, nullptr, nullptr};
+  t0 = std::chrono::steady_clock::now();
+  (void)control::restore_world(blob, /*run_seed=*/41, fresh);
+  res.restore_ms = seconds_since(t0) * 1e3;
+
+  t0 = std::chrono::steady_clock::now();
+  std::string why;
+  if (!loaded.audit_full(&why)) {
+    std::cerr << "error: snapshot bench audit failed: " << why << "\n";
+    std::exit(2);
+  }
+  res.audit_ms = seconds_since(t0) * 1e3;
+  return res;
+}
+
 int run_json_harness(int argc, const char* const* argv) {
   const util::Cli cli(argc, argv);
   (void)cli.get_bool("json", true);  // consumed; routing happened in main()
@@ -510,6 +588,10 @@ int run_json_harness(int argc, const char* const* argv) {
       cli.get_int("series-deliveries", 2'000'000));
   const auto channel_items = static_cast<std::uint64_t>(
       cli.get_int("channel-items", 4'000'000));
+  const auto snapshot_small = static_cast<std::uint64_t>(
+      cli.get_int("snapshot-small", 1'000));
+  const auto snapshot_large = static_cast<std::uint64_t>(
+      cli.get_int("snapshot-large", 100'000));
 
   bench::PaperRunConfig sim_cfg;
   sim_cfg.switches = static_cast<unsigned>(cli.get_int("switches", 16));
@@ -570,6 +652,13 @@ int run_json_harness(int argc, const char* const* argv) {
   std::cerr << "[bench_micro] shard channel (" << channel_items
             << " items) x3 paths...\n";
   const ChannelBenchResult channel = measure_shard_channel(channel_items);
+
+  std::cerr << "[bench_micro] snapshot round-trip at " << snapshot_small
+            << " and " << snapshot_large << " live connections...\n";
+  const SnapshotBenchResult snap_small =
+      measure_snapshot_roundtrip(snapshot_small);
+  const SnapshotBenchResult snap_large =
+      measure_snapshot_roundtrip(snapshot_large);
 
   obs::Report report("bench_micro");
   report.config("queue_depth", static_cast<std::uint64_t>(depth));
@@ -653,6 +742,23 @@ int run_json_harness(int argc, const char* const* argv) {
     w.kv("merge_per_sec", channel.merge_per_sec);
     w.end_object();
   });
+  report.figure("snapshot_roundtrip", [&](util::JsonWriter& w) {
+    const auto snap_obj = [&w](const SnapshotBenchResult& r) {
+      w.begin_object();
+      w.kv("connections", r.connections);
+      w.kv("bytes", r.bytes);
+      w.kv("save_ms", r.save_ms);
+      w.kv("restore_ms", r.restore_ms);
+      w.kv("audit_ms", r.audit_ms);
+      w.end_object();
+    };
+    w.begin_object();
+    w.key("small");
+    snap_obj(snap_small);
+    w.key("large");
+    snap_obj(snap_large);
+    w.end_object();
+  });
 
   if (out_path == "-") {
     report.write(std::cout, /*pretty=*/true);
@@ -684,6 +790,12 @@ int run_json_harness(int argc, const char* const* argv) {
   std::cout << "channel xfer " << channel.thread_xfer_per_sec / 1e6
             << " Mit/s, burst " << channel.burst_per_sec / 1e6
             << " Mit/s, merge " << channel.merge_per_sec / 1e6 << " Mit/s\n";
+  std::cout << "snapshot " << snap_small.connections << " conns "
+            << snap_small.bytes / 1024 << " KiB save " << snap_small.save_ms
+            << " ms restore " << snap_small.restore_ms << " ms; "
+            << snap_large.connections << " conns "
+            << snap_large.bytes / 1024 << " KiB save " << snap_large.save_ms
+            << " ms restore " << snap_large.restore_ms << " ms\n";
   return order_match ? 0 : 2;
 }
 

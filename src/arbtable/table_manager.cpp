@@ -1,7 +1,9 @@
 #include "arbtable/table_manager.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "arbtable/defrag.hpp"
 
@@ -199,6 +201,139 @@ unsigned TableManager::live_sequences() const {
 void TableManager::defragment() {
   ++stats_.defrag_runs;
   stats_.defrag_moves += defragment_sequences(*this);
+}
+
+bool TableManager::can_admit(iba::VirtualLane vl, const Requirement& req,
+                             double mbps) const {
+  if (reserved_mbps_ + mbps > reservable_mbps() * (1.0 + 1e-12)) return false;
+  for (const auto& seq : sequences_) {
+    if (!seq.live || seq.vl != vl) continue;
+    const bool compatible =
+        seq.distance != 0
+            ? seq.distance == req.distance
+            : seq.positions.size() == req.entries;
+    if (!compatible) continue;
+    if (seq.weight_per_entry + req.weight_per_entry <= iba::kMaxEntryWeight)
+      return true;
+  }
+  if (cfg_.policy == FillPolicy::kScattered)
+    return find_scattered(table_.high(), req.entries).has_value();
+  // Probe the exact scan allocate() would run, on a copy of the RNG so the
+  // dry-run never perturbs the stream (only kRandom consults it).
+  util::Xoshiro256 probe = rng_;
+  return find_free_set(table_.high(), req.distance, cfg_.policy, &probe)
+      .has_value();
+}
+
+bool TableManager::audit_free_set_optimality(std::string* why) const {
+  if (cfg_.policy != FillPolicy::kBitReversal || !cfg_.defrag_on_release)
+    return true;
+  const unsigned free = free_entries();
+  for (unsigned d = 1; d <= kMaxDistance; d *= 2) {
+    const bool found =
+        find_free_set(table_.high(), d, cfg_.policy).has_value();
+    const bool theorem = free >= iba::kArbTableEntries / d;
+    if (found != theorem) {
+      if (why != nullptr)
+        *why = "Theorem-1 violation at distance " + std::to_string(d) + ": " +
+               std::to_string(free) + " entries free but find_free_set " +
+               (found ? "succeeded below the bound" : "failed above the bound");
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Guards load_state against a snapshot taken under a different manager
+/// configuration (which would silently corrupt bandwidth accounting).
+std::uint64_t config_fingerprint(const TableManager::Config& cfg) {
+  std::uint64_t h = 0x1BA2B5EEDull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(std::bit_cast<std::uint64_t>(cfg.link_data_mbps));
+  mix(std::bit_cast<std::uint64_t>(cfg.reservable_fraction));
+  mix(static_cast<std::uint64_t>(cfg.policy));
+  mix(cfg.defrag_on_release ? 1 : 0);
+  mix(cfg.seed);
+  return h;
+}
+
+}  // namespace
+
+void TableManager::save_state(util::BinWriter& w) const {
+  w.put_u64(config_fingerprint(cfg_));
+  for (const auto s : rng_.state()) w.put_u64(s);
+  w.put_u64(sequences_.size());
+  for (const auto& seq : sequences_) {
+    w.put_u8(seq.vl);
+    w.put_u32(seq.distance);
+    w.put_bytes(seq.positions);
+    w.put_u32(seq.weight_per_entry);
+    w.put_u32(seq.connections);
+    w.put_double(seq.reserved_mbps);
+    w.put_bool(seq.live);
+  }
+  w.put_u64(free_handles_.size());
+  for (const auto h : free_handles_) w.put_u32(h);
+  w.put_u64(low_dynamic_weight_.size());
+  for (const auto lw : low_dynamic_weight_) w.put_u32(lw);
+  w.put_double(reserved_mbps_);
+  w.put_double(low_reserved_mbps_);
+  w.put_u64(stats_.allocations);
+  w.put_u64(stats_.shares);
+  w.put_u64(stats_.reject_bandwidth);
+  w.put_u64(stats_.reject_entries);
+  w.put_u64(stats_.releases);
+  w.put_u64(stats_.defrag_runs);
+  w.put_u64(stats_.defrag_moves);
+}
+
+void TableManager::load_state(util::BinReader& r) {
+  if (r.get_u64() != config_fingerprint(cfg_))
+    throw std::runtime_error(
+        "snapshot was taken under a different TableManager config");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& s : rng_state) s = r.get_u64();
+  rng_.set_state(rng_state);
+
+  sequences_.assign(r.get_length(), Sequence{});
+  for (auto& seq : sequences_) {
+    seq.vl = r.get_u8();
+    seq.distance = r.get_u32();
+    seq.positions = r.get_bytes();
+    seq.weight_per_entry = r.get_u32();
+    seq.connections = r.get_u32();
+    seq.reserved_mbps = r.get_double();
+    seq.live = r.get_bool();
+  }
+  free_handles_.resize(r.get_length());
+  for (auto& h : free_handles_) h = r.get_u32();
+  if (r.get_u64() != low_dynamic_weight_.size())
+    throw std::runtime_error("snapshot low-table weight count mismatch");
+  for (auto& lw : low_dynamic_weight_) lw = r.get_u32();
+  reserved_mbps_ = r.get_double();
+  low_reserved_mbps_ = r.get_double();
+  stats_.allocations = r.get_u64();
+  stats_.shares = r.get_u64();
+  stats_.reject_bandwidth = r.get_u64();
+  stats_.reject_entries = r.get_u64();
+  stats_.releases = r.get_u64();
+  stats_.defrag_runs = r.get_u64();
+  stats_.defrag_moves = r.get_u64();
+
+  // Rebuild the tables from the restored bookkeeping: every high slot is
+  // cleared then repainted by its owning sequence, and the low table is
+  // re-rendered from static + dynamic weights. check_invariants() (run by
+  // the restore auditor) proves the rebuild matches the saved world.
+  for (unsigned p = 0; p < iba::kArbTableEntries; ++p)
+    table_.set_high_entry(p, {});
+  for (const auto& seq : sequences_)
+    if (seq.live) write_sequence(seq);
+  if (!render_low_table())
+    throw std::runtime_error("restored low table does not fit");
 }
 
 bool TableManager::check_invariants(std::string* why) const {

@@ -18,6 +18,7 @@
 #include "arbtable/fill_algorithm.hpp"
 #include "arbtable/requirements.hpp"
 #include "iba/vl_arbitration.hpp"
+#include "util/binary.hpp"
 #include "util/rng.hpp"
 
 namespace ibarb::arbtable {
@@ -108,8 +109,34 @@ class TableManager {
   /// On failure `why` (if given) describes the first violation.
   bool check_invariants(std::string* why = nullptr) const;
 
+  /// Theorem-1 operational audit (bit-reversal + defrag-on-release configs
+  /// only; trivially true otherwise): for every distance class d, a free set
+  /// must exist *iff* at least 64/d entries are free. This is the
+  /// no-false-reject property the churn service re-validates after every
+  /// batch and every snapshot restore.
+  bool audit_free_set_optimality(std::string* why = nullptr) const;
+
+  /// Dry-run of allocate(): would an admission with exactly (vl, req, mbps)
+  /// succeed right now? Pure — consumes no RNG state, changes nothing.
+  /// Used by the churn engine's false-reject auditor: a guaranteed request
+  /// refused while every hop reports can_admit() is a Theorem-1 violation.
+  bool can_admit(iba::VirtualLane vl, const Requirement& req,
+                 double mbps) const;
+
   /// Runs the defragmenter immediately (normally triggered by release).
   void defragment();
+
+  /// Serializes the complete mutable state — sequences (including dead
+  /// handle slots), the free-handle stack, dynamic low-table weights,
+  /// bandwidth accounting, stats and the RNG stream — plus a config
+  /// fingerprint. The table itself is not written: load_state() rebuilds it
+  /// from the sequences, and check_invariants() proves the rebuild exact.
+  void save_state(util::BinWriter& w) const;
+
+  /// Restores state saved by save_state() into a manager constructed with
+  /// the same Config (and configure_low_priority). Throws std::runtime_error
+  /// on a config-fingerprint mismatch or malformed payload.
+  void load_state(util::BinReader& r);
 
  private:
   friend unsigned defragment_sequences(TableManager& manager);

@@ -40,6 +40,15 @@ bool FaultInjector::link_is_down(iba::NodeId node, iba::PortIndex port) const {
   return s != nullptr && s->down > 0;
 }
 
+bool FaultInjector::quiescent() const noexcept {
+  for (const auto& [key, s] : ports_) {
+    if (s.down != 0 || s.stuck != 0 || !s.corrupt.empty() ||
+        !s.drop.empty() || !s.slow.empty())
+      return false;
+  }
+  return true;
+}
+
 void FaultInjector::arm() {
   if (armed_) throw std::logic_error("fault plan armed twice");
   armed_ = true;

@@ -69,6 +69,15 @@ class FaultInjector final : public sim::FaultHooks {
   const FaultPlan& plan() const noexcept { return plan_; }
   bool link_is_down(iba::NodeId node, iba::PortIndex port) const;
 
+  /// True when no fault window is currently engaged on any port. The churn
+  /// engine only snapshots at quiescent ticks, so a restored world can arm
+  /// the plan's tail events on a fresh injector and replay identically.
+  bool quiescent() const noexcept;
+
+  /// Restores the counters published by the "faults.*" probe, so a world
+  /// rebuilt from a snapshot reports the same totals as the original.
+  void restore_stats(const FaultStats& stats) noexcept { stats_ = stats; }
+
   // sim::FaultHooks
   bool may_transmit(iba::NodeId node, iba::PortIndex port) override;
   iba::Cycle stretch_serialization(iba::NodeId node, iba::PortIndex port,

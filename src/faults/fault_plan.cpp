@@ -4,6 +4,7 @@
 #include <charconv>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -11,16 +12,31 @@ namespace ibarb::faults {
 
 namespace {
 
-[[noreturn]] void bad_spec(std::string_view spec, const char* why) {
-  throw std::invalid_argument(std::string("bad fault spec '") +
-                              std::string(spec) + "': " + why);
+/// Every token handed around during parsing is a substring view of the
+/// original spec, so pointer arithmetic recovers the exact character offset
+/// of the offending token — the error names both.
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view token,
+                           const char* why) {
+  std::string msg = "bad fault spec: ";
+  msg += why;
+  if (token.data() >= spec.data() &&
+      token.data() <= spec.data() + spec.size()) {
+    msg += " at offset ";
+    msg += std::to_string(token.data() - spec.data());
+  }
+  msg += ": '";
+  msg += token;
+  msg += "' (in '";
+  msg += spec;
+  msg += "')";
+  throw std::invalid_argument(msg);
 }
 
 std::uint64_t parse_u64(std::string_view s, std::string_view spec) {
   std::uint64_t v = 0;
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || p != s.data() + s.size())
-    bad_spec(spec, "expected an unsigned integer");
+    bad_spec(spec, s, "expected an unsigned integer");
   return v;
 }
 
@@ -30,12 +46,13 @@ double parse_double(std::string_view s, std::string_view spec) {
   try {
     std::size_t used = 0;
     const double v = std::stod(std::string(s), &used);
-    if (used != s.size()) bad_spec(spec, "trailing characters in number");
+    if (used != s.size())
+      bad_spec(spec, s, "trailing characters in number");
     return v;
   } catch (const std::invalid_argument&) {
-    bad_spec(spec, "expected a number");
+    bad_spec(spec, s, "expected a number");
   } catch (const std::out_of_range&) {
-    bad_spec(spec, "number out of range");
+    bad_spec(spec, s, "number out of range");
   }
 }
 
@@ -46,7 +63,7 @@ FaultKind kind_from(std::string_view name, std::string_view spec) {
   if (name == "stuck") return FaultKind::kStuck;
   if (name == "slow") return FaultKind::kSlow;
   if (name == "overload") return FaultKind::kOverload;
-  bad_spec(spec, "unknown fault kind");
+  bad_spec(spec, name, "unknown fault kind");
 }
 
 bool has_value_field(FaultKind kind) {
@@ -57,13 +74,13 @@ bool has_value_field(FaultKind kind) {
 FaultEvent parse_event(std::string_view item, std::string_view spec) {
   FaultEvent ev;
   const auto at_pos = item.find('@');
-  if (at_pos == std::string_view::npos) bad_spec(spec, "missing '@'");
+  if (at_pos == std::string_view::npos) bad_spec(spec, item, "missing '@'");
   ev.kind = kind_from(item.substr(0, at_pos), spec);
   item.remove_prefix(at_pos + 1);
 
   // at[+duration]
   auto colon = item.find(':');
-  if (colon == std::string_view::npos) bad_spec(spec, "missing target");
+  if (colon == std::string_view::npos) bad_spec(spec, item, "missing target");
   auto when = item.substr(0, colon);
   item.remove_prefix(colon + 1);
   if (const auto plus = when.find('+'); plus != std::string_view::npos) {
@@ -82,29 +99,31 @@ FaultEvent parse_event(std::string_view item, std::string_view spec) {
   }
   if (ev.kind == FaultKind::kOverload) {
     if (target.empty() || target.front() != 'f')
-      bad_spec(spec, "overload target must be fN");
+      bad_spec(spec, target, "overload target must be fN");
     ev.flow = static_cast<std::uint32_t>(parse_u64(target.substr(1), spec));
   } else {
     const auto dot = target.find('.');
     if (dot == std::string_view::npos)
-      bad_spec(spec, "port target must be node.port");
+      bad_spec(spec, target, "port target must be node.port");
     ev.node = static_cast<iba::NodeId>(
         parse_u64(target.substr(0, dot), spec));
     ev.port = static_cast<iba::PortIndex>(
         parse_u64(target.substr(dot + 1), spec));
   }
   if (has_value_field(ev.kind)) {
-    if (value.empty()) bad_spec(spec, "missing probability/factor value");
+    if (value.empty())
+      bad_spec(spec, target, "missing probability/factor value");
     const double v = parse_double(value, spec);
     if (ev.kind == FaultKind::kCorrupt || ev.kind == FaultKind::kDrop) {
-      if (v < 0.0 || v > 1.0) bad_spec(spec, "probability outside [0, 1]");
+      if (v < 0.0 || v > 1.0)
+        bad_spec(spec, value, "probability outside [0, 1]");
       ev.probability = v;
     } else {
-      if (v <= 0.0) bad_spec(spec, "factor must be positive");
+      if (v <= 0.0) bad_spec(spec, value, "factor must be positive");
       ev.factor = v;
     }
   } else if (!value.empty()) {
-    bad_spec(spec, "unexpected value field");
+    bad_spec(spec, value, "unexpected value field");
   }
   return ev;
 }

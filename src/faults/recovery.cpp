@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <string>
 
 namespace ibarb::faults {
@@ -61,10 +62,37 @@ void RecoveryCoordinator::track_best_effort(qos::ConnectionId id,
   tracked_.push_back(std::move(t));
 }
 
+void RecoveryCoordinator::untrack(qos::ConnectionId id) {
+  const auto it = std::find_if(tracked_.begin(), tracked_.end(),
+                               [id](const Tracked& t) { return t.id == id; });
+  if (it != tracked_.end()) tracked_.erase(it);
+}
+
 unsigned RecoveryCoordinator::suspended_now() const {
   return static_cast<unsigned>(
       std::count_if(tracked_.begin(), tracked_.end(),
                     [](const Tracked& t) { return !t.active; }));
+}
+
+std::vector<RecoveryCoordinator::TrackedState>
+RecoveryCoordinator::export_tracked() const {
+  std::vector<TrackedState> out;
+  out.reserve(tracked_.size());
+  for (const auto& t : tracked_)
+    out.push_back(TrackedState{t.id, t.flow, t.guaranteed, t.active,
+                               t.request});
+  return out;
+}
+
+void RecoveryCoordinator::import_tracked(
+    const std::vector<TrackedState>& tracked) {
+  if (!quiescent())
+    throw std::logic_error("import_tracked while recovery is in flight");
+  tracked_.clear();
+  tracked_.reserve(tracked.size());
+  for (const auto& s : tracked)
+    tracked_.push_back(Tracked{s.id, s.flow, s.guaranteed, s.active,
+                               s.request});
 }
 
 void RecoveryCoordinator::on_link_state(iba::NodeId node, iba::PortIndex port,
@@ -115,14 +143,16 @@ bool RecoveryCoordinator::path_touches_blocked(const Tracked& t) {
 void RecoveryCoordinator::suspend(Tracked& t, bool routes_ok) {
   if (admission_.is_live(t.id)) admission_.release(t.id);
   if (t.active) {
-    sim_.stop_flow(t.flow);
+    if (t.flow != kNoFlow) sim_.stop_flow(t.flow);
     t.active = false;
     ++stats_.suspended;
     ++(t.guaranteed ? stats_.suspended_guaranteed
                     : stats_.suspended_best_effort);
     if (obs::SeriesRecorder* s = sim_.series())
-      s->record_transition(sim_.now(), obs::SeriesTransition::Kind::kSuspended,
-                           t.flow);
+      if (t.flow != kNoFlow)
+        s->record_transition(sim_.now(),
+                             obs::SeriesTransition::Kind::kSuspended, t.flow);
+    if (change_listener_) change_listener_(t.id, 0);
   }
   // A guaranteed connection refused while sheddable best-effort capacity
   // remained on its (routable) path would break the degradation contract.
@@ -153,13 +183,15 @@ bool RecoveryCoordinator::readmit(Tracked& t, bool count_as_restore) {
     for (const auto victim_id : res.shed) {
       for (auto& other : tracked_) {
         if (other.id == victim_id && other.active && !other.guaranteed) {
-          sim_.stop_flow(other.flow);
+          if (other.flow != kNoFlow) sim_.stop_flow(other.flow);
           other.active = false;
           ++stats_.shed_best_effort;
           if (obs::SeriesRecorder* s = sim_.series())
-            s->record_transition(sim_.now(),
-                                 obs::SeriesTransition::Kind::kShed,
-                                 other.flow);
+            if (other.flow != kNoFlow)
+              s->record_transition(sim_.now(),
+                                   obs::SeriesTransition::Kind::kShed,
+                                   other.flow);
+          if (change_listener_) change_listener_(other.id, 0);
         }
       }
     }
@@ -169,32 +201,37 @@ bool RecoveryCoordinator::readmit(Tracked& t, bool count_as_restore) {
   }
   if (!id) return false;
 
+  const auto old_id = t.id;
   t.id = *id;
+  if (change_listener_ && old_id != t.id) change_listener_(old_id, t.id);
   // A re-route may legitimately reuse a port that an earlier repair
   // abandoned this flow on: lift any purge barrier along the new path.
-  for (const auto& h : admission_.connection(t.id).hops)
-    if (graph_.is_switch(h.port.node))
-      sim_.clear_flow_purge(h.port.node, h.port.port, t.flow);
+  if (t.flow != kNoFlow)
+    for (const auto& h : admission_.connection(t.id).hops)
+      if (graph_.is_switch(h.port.node))
+        sim_.clear_flow_purge(h.port.node, h.port.port, t.flow);
   // The detour may be longer: refresh the metrics deadline so misses are
   // judged against the guarantee of the path actually in use.
   auto& metrics = sim_.metrics();
-  if (t.flow < metrics.connections.size())
+  if (t.flow != kNoFlow && t.flow < metrics.connections.size())
     metrics.connections[t.flow].deadline = admission_.connection(t.id).deadline;
   if (!t.active) {
-    sim_.resume_flow(t.flow);
+    if (t.flow != kNoFlow) sim_.resume_flow(t.flow);
     t.active = true;
     if (count_as_restore) {
       ++stats_.restored;
       if (obs::SeriesRecorder* s = sim_.series())
-        s->record_transition(sim_.now(),
-                             obs::SeriesTransition::Kind::kRestored, t.flow);
+        if (t.flow != kNoFlow)
+          s->record_transition(sim_.now(),
+                               obs::SeriesTransition::Kind::kRestored, t.flow);
     }
   }
   if (t.active && !count_as_restore) {
     ++stats_.rerouted;
     if (obs::SeriesRecorder* s = sim_.series())
-      s->record_transition(sim_.now(), obs::SeriesTransition::Kind::kRerouted,
-                           t.flow);
+      if (t.flow != kNoFlow)
+        s->record_transition(sim_.now(),
+                             obs::SeriesTransition::Kind::kRerouted, t.flow);
   }
   return true;
 }
@@ -242,6 +279,7 @@ void RecoveryCoordinator::repair(iba::Cycle fault_time) {
         for (const auto& h : admission_.connection(e.t->id).hops)
           keep.push_back(h.port);
       for (const auto& port : e.old_switch_hops) {
+        if (e.t->flow == kNoFlow) break;
         if (std::find(keep.begin(), keep.end(), port) != keep.end())
           continue;
         stats_.purged_in_flight +=

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "faults/fault_injector.hpp"
@@ -29,6 +30,11 @@
 #include "subnet/subnet_manager.hpp"
 
 namespace ibarb::faults {
+
+/// Flow sentinel for tracked connections that have no simulated packet flow
+/// (the churn service admits reservations without driving traffic). All
+/// sim flow operations are skipped for such connections.
+inline constexpr std::uint32_t kNoFlow = 0xffffffffu;
 
 struct RecoveryConfig {
   /// Trap propagation + SM scheduling latency before the re-sweep starts.
@@ -72,20 +78,55 @@ class RecoveryCoordinator {
   RecoveryCoordinator(const RecoveryCoordinator&) = delete;
   RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
 
-  /// Registers an admitted guaranteed (DBTS/DB) connection and its flow.
+  /// Registers an admitted guaranteed (DBTS/DB) connection and its flow
+  /// (kNoFlow for flowless churn-service connections).
   void track(qos::ConnectionId id, std::uint32_t flow);
   /// Registers an admitted best-effort connection (sheddable).
   void track_best_effort(qos::ConnectionId id, std::uint32_t flow);
+  /// Stops tracking a connection (e.g. torn down by the churn engine, or
+  /// shed by the engine's own degradation and forgotten). Order of the
+  /// remaining entries — which fixes repair processing order — is preserved.
+  /// Unknown ids are ignored.
+  void untrack(qos::ConnectionId id);
+
+  /// Observer for connection-id changes the coordinator makes on its own:
+  /// readmission maps old_id -> new_id; suspension and shedding map
+  /// old_id -> 0. The churn engine uses this to keep its target set honest.
+  using ChangeListener =
+      std::function<void(qos::ConnectionId old_id, qos::ConnectionId new_id)>;
+  void set_change_listener(ChangeListener listener) {
+    change_listener_ = std::move(listener);
+  }
 
   const RecoveryStats& stats() const noexcept { return stats_; }
 
   /// Tracked connections currently suspended (no path/capacity).
   unsigned suspended_now() const;
 
+  /// No repair scheduled and no port currently reported unhealthy: the
+  /// coordinator holds no pending work a snapshot would have to capture.
+  bool quiescent() const noexcept {
+    return !repair_pending_ && avoid_.empty();
+  }
+
+  /// Snapshot support: the tracked set in its exact vector order (the order
+  /// decides repair processing, so a restored world must reproduce it).
+  struct TrackedState {
+    qos::ConnectionId id = 0;
+    std::uint32_t flow = kNoFlow;
+    bool guaranteed = false;
+    bool active = true;
+    qos::ConnectionRequest request;
+  };
+  std::vector<TrackedState> export_tracked() const;
+  /// Replaces the tracked set. Only valid while quiescent().
+  void import_tracked(const std::vector<TrackedState>& tracked);
+  void restore_stats(const RecoveryStats& stats) noexcept { stats_ = stats; }
+
  private:
   struct Tracked {
     qos::ConnectionId id = 0;
-    std::uint32_t flow = 0;
+    std::uint32_t flow = kNoFlow;
     bool guaranteed = false;
     bool active = true;
     qos::ConnectionRequest request;
@@ -108,6 +149,7 @@ class RecoveryCoordinator {
   RecoveryConfig cfg_;
 
   std::vector<Tracked> tracked_;
+  ChangeListener change_listener_;
   std::vector<network::PortRef> avoid_;  ///< Ports reported unhealthy.
   bool repair_pending_ = false;
   iba::Cycle first_trap_ = 0;

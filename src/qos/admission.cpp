@@ -236,6 +236,44 @@ AdmissionControl::DegradeResult AdmissionControl::request_degrading(
   return result;
 }
 
+void AdmissionControl::forget(ConnectionId id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end())
+    throw std::invalid_argument("forget: unknown connection");
+  if (it->second.live)
+    throw std::invalid_argument("forget: connection is still live");
+  connections_.erase(it);
+}
+
+bool AdmissionControl::can_admit_path(const ConnectionRequest& req) const {
+  const SlProfile* profile = find_sl(catalogue_, req.sl);
+  if (profile == nullptr || profile->max_distance == 0)
+    throw std::invalid_argument("SL is not a guaranteed-traffic class");
+  if (cfg_.scheme == Scheme::kLegacy &&
+      profile->category == TrafficCategory::kDb)
+    return false;  // the low-table path has no Theorem-1 guarantee to audit
+
+  const auto path = routes_.path(req.src_host, req.dst_host);
+  for (const auto& port : path) {
+    const auto it = managers_.find(port_key(port));
+    if (it == managers_.end()) return false;
+    const auto& manager = it->second;
+    const auto requirement = arbtable::compute_requirement(
+        req.wire_mbps, manager.config().link_data_mbps, req.max_distance);
+    if (!requirement) return false;
+    if (!manager.can_admit(profile->vl, *requirement, req.wire_mbps))
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t AdmissionControl::live_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [id, conn] : connections_)
+    if (conn.live) ++n;
+  return n;
+}
+
 void AdmissionControl::release(ConnectionId id) {
   const auto it = connections_.find(id);
   if (it == connections_.end() || !it->second.live)
@@ -279,6 +317,137 @@ bool AdmissionControl::audit_tables(std::string* why) const {
     }
   }
   return true;
+}
+
+bool AdmissionControl::audit_full(std::string* why) const {
+  if (!audit_tables(why)) return false;
+  for (const auto& [key, manager] : managers_) {
+    if (!manager.audit_free_set_optimality(why)) {
+      if (why != nullptr)
+        *why += " (port key " + std::to_string(key) + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+void AdmissionControl::attach_telemetry(obs::TelemetryRegistry& registry) {
+  if (telemetry_attached_)
+    throw std::logic_error("admission telemetry attached twice");
+  telemetry_attached_ = true;
+  registry.add_probe([this](obs::Snapshot& snap) {
+    arbtable::TableManager::Stats sum;
+    double reserved = 0.0;
+    std::uint64_t live_seqs = 0;
+    std::uint64_t free = 0;
+    for (const auto& [key, manager] : managers_) {
+      const auto& s = manager.stats();
+      sum.allocations += s.allocations;
+      sum.shares += s.shares;
+      sum.reject_bandwidth += s.reject_bandwidth;
+      sum.reject_entries += s.reject_entries;
+      sum.releases += s.releases;
+      sum.defrag_runs += s.defrag_runs;
+      sum.defrag_moves += s.defrag_moves;
+      reserved += manager.reserved_mbps();
+      live_seqs += manager.live_sequences();
+      free += manager.free_entries();
+    }
+    snap.add_counter("tm.allocations", sum.allocations);
+    snap.add_counter("tm.shares", sum.shares);
+    snap.add_counter("tm.reject_bandwidth", sum.reject_bandwidth);
+    snap.add_counter("tm.reject_entries", sum.reject_entries);
+    snap.add_counter("tm.releases", sum.releases);
+    snap.add_counter("tm.defrag_runs", sum.defrag_runs);
+    snap.add_counter("tm.defrag_moves", sum.defrag_moves);
+    snap.add_counter("tm.accepted", accepted_);
+    snap.add_counter("tm.rejected", rejected_);
+    snap.merge_gauge("tm.live_sequences", static_cast<double>(live_seqs));
+    snap.merge_gauge("tm.free_entries", static_cast<double>(free));
+    snap.merge_gauge("tm.reserved_mbps", reserved);
+  });
+}
+
+void AdmissionControl::save_state(util::BinWriter& w) const {
+  w.put_u64(managers_.size());
+  for (const auto& [key, manager] : managers_) {
+    w.put_u64(key);
+    manager.save_state(w);
+  }
+  w.put_u64(live_count());
+  for (const auto& [id, conn] : connections_) {
+    if (!conn.live) continue;
+    w.put_u32(conn.id);
+    w.put_u32(conn.request.src_host);
+    w.put_u32(conn.request.dst_host);
+    w.put_u8(conn.request.sl);
+    w.put_u32(conn.request.max_distance);
+    w.put_double(conn.request.wire_mbps);
+    w.put_u64(conn.hops.size());
+    for (const auto& hop : conn.hops) {
+      w.put_u32(hop.port.node);
+      w.put_u8(hop.port.port);
+      w.put_u32(hop.handle);
+      w.put_u32(hop.requirement.distance);
+      w.put_u32(hop.requirement.entries);
+      w.put_u32(hop.requirement.weight_per_entry);
+      w.put_u32(hop.requirement.total_weight);
+      w.put_double(hop.mbps);
+      w.put_bool(hop.low_table);
+      w.put_u8(hop.vl);
+    }
+    w.put_u64(conn.deadline);
+    w.put_u8(static_cast<std::uint8_t>(conn.category));
+  }
+  w.put_u32(next_id_);
+  w.put_u64(accepted_);
+  w.put_u64(rejected_);
+}
+
+void AdmissionControl::load_state(util::BinReader& r) {
+  const auto manager_count = r.get_u64();
+  if (manager_count != managers_.size())
+    throw std::runtime_error("snapshot port-manager count mismatch");
+  for (std::uint64_t i = 0; i < manager_count; ++i) {
+    const auto key = r.get_u64();
+    const auto it = managers_.find(key);
+    if (it == managers_.end())
+      throw std::runtime_error("snapshot references an unwired port");
+    it->second.load_state(r);
+  }
+  connections_.clear();
+  const auto live = r.get_length();
+  for (std::size_t i = 0; i < live; ++i) {
+    Connection conn;
+    conn.id = r.get_u32();
+    conn.request.src_host = r.get_u32();
+    conn.request.dst_host = r.get_u32();
+    conn.request.sl = r.get_u8();
+    conn.request.max_distance = r.get_u32();
+    conn.request.wire_mbps = r.get_double();
+    conn.hops.resize(r.get_length());
+    for (auto& hop : conn.hops) {
+      hop.port.node = r.get_u32();
+      hop.port.port = r.get_u8();
+      hop.handle = r.get_u32();
+      hop.requirement.distance = r.get_u32();
+      hop.requirement.entries = r.get_u32();
+      hop.requirement.weight_per_entry = r.get_u32();
+      hop.requirement.total_weight = r.get_u32();
+      hop.mbps = r.get_double();
+      hop.low_table = r.get_bool();
+      hop.vl = r.get_u8();
+    }
+    conn.deadline = r.get_u64();
+    conn.category = static_cast<TrafficCategory>(r.get_u8());
+    conn.live = true;
+    const auto id = conn.id;
+    if (!connections_.emplace(id, std::move(conn)).second)
+      throw std::runtime_error("snapshot has a duplicate connection id");
+  }
+  next_id_ = r.get_u32();
+  accepted_ = r.get_u64();
+  rejected_ = r.get_u64();
 }
 
 }  // namespace ibarb::qos

@@ -22,10 +22,12 @@
 #include "arbtable/table_manager.hpp"
 #include "network/graph.hpp"
 #include "network/routing.hpp"
+#include "obs/telemetry.hpp"
 #include "qos/connection.hpp"
 #include "qos/deadline.hpp"
 #include "qos/traffic_classes.hpp"
 #include "sim/simulator.hpp"
+#include "util/binary.hpp"
 
 namespace ibarb::qos {
 
@@ -77,6 +79,17 @@ class AdmissionControl {
   /// Tears a connection down, freeing (and defragmenting) each hop's table.
   void release(ConnectionId id);
 
+  /// Erases the bookkeeping record of an already-released connection, so a
+  /// long-running churn service stays memory-bounded. Throws if the
+  /// connection is still live (release first) or unknown.
+  void forget(ConnectionId id);
+
+  /// Dry-run of request() for a guaranteed-class request: true when every
+  /// output port along the path reports TableManager::can_admit. Pure — no
+  /// state or RNG is touched. A request() refusal while this holds is a
+  /// Theorem-1 false reject; the churn engine audits exactly that.
+  bool can_admit_path(const ConnectionRequest& req) const;
+
   const Connection& connection(ConnectionId id) const {
     return connections_.at(id);
   }
@@ -99,6 +112,26 @@ class AdmissionControl {
 
   std::uint64_t accepted() const noexcept { return accepted_; }
   std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t live_count() const noexcept;
+
+  /// Registers a pull-probe publishing the aggregated per-port
+  /// TableManager::Stats as the "tm.*" counter/gauge family. The registry
+  /// must die before this AdmissionControl (the usual declaration order —
+  /// admission before simulator — guarantees it); the probe is never
+  /// detached. At most one registry may be attached.
+  void attach_telemetry(obs::TelemetryRegistry& registry);
+
+  /// Serializes every port manager plus the live connection records and the
+  /// accept/reject accounting. Released-and-forgotten records are not
+  /// written: they carry no admission state.
+  void save_state(util::BinWriter& w) const;
+
+  /// Restores state saved by save_state() into an AdmissionControl built
+  /// over the same graph, routes, catalogue and Config. Existing connection
+  /// records are discarded. Does NOT program any simulator — callers run
+  /// configure_fabric/program afterwards. Throws std::runtime_error on
+  /// mismatched topology or config fingerprints.
+  void load_state(util::BinReader& r);
 
   /// Consistency audit over every port manager (tests).
   bool check_all_invariants(std::string* why = nullptr) const;
@@ -108,6 +141,11 @@ class AdmissionControl {
   /// port table. Debug builds run this after every fault-driven or
   /// dynamic-scenario release.
   bool audit_tables(std::string* why = nullptr) const;
+
+  /// The churn-service audit: audit_tables plus the Theorem-1 free-set
+  /// optimality check (TableManager::audit_free_set_optimality) on every
+  /// port. Run after every restore and every batch of churn.
+  bool audit_full(std::string* why = nullptr) const;
 
  private:
   arbtable::TableManager& manager_for(const network::PortRef& port);
@@ -123,6 +161,7 @@ class AdmissionControl {
   ConnectionId next_id_ = 1;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  bool telemetry_attached_ = false;
 };
 
 }  // namespace ibarb::qos

@@ -5,6 +5,7 @@
 // reproduction is seeded and replayable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -92,6 +93,15 @@ class Xoshiro256 {
   /// Independent child stream: deterministic function of this stream's next
   /// output, suitable for giving each simulation entity its own generator.
   Xoshiro256 split() noexcept { return Xoshiro256(next()); }
+
+  /// Raw 256-bit state, for crash-consistent snapshots: a restored stream
+  /// continues the exact sequence the saved one would have produced.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

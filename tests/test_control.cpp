@@ -1,0 +1,323 @@
+// Tests for the admission-control churn service (src/control/): the binary
+// stream primitives, the snapshot envelope, save/load round-trips at every
+// layer, engine determinism and overload protection, and the headline
+// property — a world restored from a mid-run snapshot finishes the run with
+// exactly the same control-plane state as the uninterrupted world.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arbtable/table_manager.hpp"
+#include "control/churn_engine.hpp"
+#include "control/snapshot.hpp"
+#include "network/graph.hpp"
+#include "qos/admission.hpp"
+#include "qos/traffic_classes.hpp"
+#include "sim/simulator.hpp"
+#include "subnet/subnet_manager.hpp"
+#include "util/binary.hpp"
+
+namespace ibarb {
+namespace {
+
+// --------------------------------------------------------------------------
+// Binary stream primitives
+
+TEST(Binary, RoundTripAllTypes) {
+  util::BinWriter w;
+  w.put_u8(0xAB);
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_double(-1234.5678);
+  w.put_bytes(std::vector<std::uint8_t>{1, 2, 3});
+  w.put_string("hello");
+
+  util::BinReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.get_double(), -1234.5678);
+  EXPECT_EQ(r.get_bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Binary, UnderrunThrows) {
+  util::BinWriter w;
+  w.put_u16(7);
+  util::BinReader r(w.bytes());
+  (void)r.get_u8();
+  (void)r.get_u8();
+  EXPECT_THROW((void)r.get_u8(), std::runtime_error);
+}
+
+TEST(Binary, OversizedLengthPrefixThrows) {
+  util::BinWriter w;
+  w.put_u64(1ull << 40);  // length prefix far beyond the payload
+  util::BinReader r(w.bytes());
+  EXPECT_THROW((void)r.get_bytes(), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Snapshot envelope
+
+TEST(SnapshotEnvelope, SealOpenRoundTrip) {
+  const std::vector<std::uint8_t> payload{5, 4, 3, 2, 1};
+  const auto blob = control::seal_envelope(payload);
+  EXPECT_EQ(control::open_envelope(blob), payload);
+}
+
+TEST(SnapshotEnvelope, DetectsDamage) {
+  const std::vector<std::uint8_t> payload{9, 8, 7, 6};
+  auto blob = control::seal_envelope(payload);
+
+  auto flipped = blob;
+  flipped.back() ^= 0x01;  // payload bit damage -> CRC mismatch
+  EXPECT_THROW((void)control::open_envelope(flipped), std::runtime_error);
+
+  auto truncated = blob;
+  truncated.pop_back();
+  EXPECT_THROW((void)control::open_envelope(truncated), std::runtime_error);
+
+  auto wrong_magic = blob;
+  wrong_magic[0] ^= 0xFF;
+  EXPECT_THROW((void)control::open_envelope(wrong_magic), std::runtime_error);
+
+  EXPECT_THROW((void)control::open_envelope({}), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// TableManager save/load
+
+TEST(TableManagerSnapshot, RoundTripIsBitExact) {
+  arbtable::TableManager::Config cfg;
+  cfg.link_data_mbps = 2000.0;
+  cfg.seed = 5;
+  arbtable::TableManager m(cfg);
+  // Leave the manager mid-churn: live sequences, a recycled handle, stats.
+  const auto r8 = *arbtable::compute_requirement(10.0, 2000.0, 8);
+  const auto r16 = *arbtable::compute_requirement(4.0, 2000.0, 16);
+  const auto a = *m.allocate(3, r8, 10.0);
+  const auto b = *m.allocate(2, r16, 4.0);
+  (void)*m.allocate(2, r16, 4.0);  // shares with b
+  m.release(a, r8, 10.0);          // frees a handle, triggers defrag
+  (void)b;
+
+  util::BinWriter w;
+  m.save_state(w);
+
+  arbtable::TableManager loaded(cfg);
+  util::BinReader r(w.bytes());
+  loaded.load_state(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_TRUE(loaded.check_invariants());
+  EXPECT_TRUE(loaded.audit_free_set_optimality());
+  EXPECT_EQ(loaded.free_entries(), m.free_entries());
+  EXPECT_EQ(loaded.live_sequences(), m.live_sequences());
+  EXPECT_DOUBLE_EQ(loaded.reserved_mbps(), m.reserved_mbps());
+  EXPECT_EQ(loaded.stats().allocations, m.stats().allocations);
+  EXPECT_EQ(loaded.stats().shares, m.stats().shares);
+
+  util::BinWriter again;
+  loaded.save_state(again);
+  EXPECT_EQ(again.bytes(), w.bytes()) << "save/load must be a true inverse";
+}
+
+TEST(TableManagerSnapshot, ConfigMismatchThrows) {
+  arbtable::TableManager::Config cfg;
+  cfg.seed = 5;
+  arbtable::TableManager m(cfg);
+  util::BinWriter w;
+  m.save_state(w);
+
+  cfg.seed = 6;
+  arbtable::TableManager other(cfg);
+  util::BinReader r(w.bytes());
+  EXPECT_THROW(other.load_state(r), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Full-world harness
+
+/// One spine, two leaves, two hosts per leaf.
+network::FabricGraph make_small_fabric() {
+  network::FabricGraph g;
+  const iba::Link link{iba::LinkRate::k4x, 2};
+  const auto spine = g.add_switch(2);
+  const iba::NodeId leaf[2] = {g.add_switch(3), g.add_switch(3)};
+  for (unsigned l = 0; l < 2; ++l)
+    g.connect(leaf[l], 0, spine, static_cast<iba::PortIndex>(l), link);
+  for (const auto l : leaf)
+    for (unsigned h = 0; h < 2; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, l, static_cast<iba::PortIndex>(1 + h), link);
+    }
+  return g;
+}
+
+control::ChurnConfig quick_churn(std::uint64_t seed) {
+  control::ChurnConfig c;
+  c.tick = 1'000;
+  c.horizon = 150'000;
+  c.seed = seed;
+  return c;
+}
+
+struct TestWorld {
+  network::FabricGraph graph;
+  subnet::SubnetManager sm;
+  qos::AdmissionControl admission;
+  sim::Simulator sim;
+  std::optional<control::ChurnEngine> engine;
+
+  explicit TestWorld(std::uint64_t seed, const control::ChurnConfig& ccfg)
+      : graph(make_small_fabric()), sm(graph),
+        admission(graph, sm.routes(), qos::paper_catalogue(),
+                  [&] {
+                    qos::AdmissionControl::Config ac;
+                    ac.seed = seed;
+                    return ac;
+                  }()),
+        sim(graph, sm.routes(), [&] {
+          sim::SimConfig scfg;
+          scfg.seed = seed ^ 0x5117ull;
+          return scfg;
+        }()) {
+    admission.attach_telemetry(sim.telemetry());
+    engine.emplace(sim, admission, graph, nullptr, nullptr, ccfg);
+  }
+
+  control::World refs() {
+    return control::World{&admission, nullptr, nullptr, &*engine};
+  }
+
+  /// The deterministic control-plane families (ctl.*, tm.*) only: data-plane
+  /// counters legitimately differ between an uninterrupted world and one
+  /// rebuilt from a snapshot.
+  obs::Snapshot control_telemetry() {
+    obs::Snapshot out;
+    const auto full = sim.telemetry_snapshot();
+    for (const auto& [k, v] : full.counters)
+      if (k.starts_with("ctl.") || k.starts_with("tm."))
+        out.counters.emplace(k, v);
+    for (const auto& [k, v] : full.gauges)
+      if (k.starts_with("ctl.") || k.starts_with("tm."))
+        out.gauges.emplace(k, v);
+    return out;
+  }
+};
+
+// --------------------------------------------------------------------------
+// ChurnEngine behaviour
+
+TEST(ChurnEngine, RunsDeterministically) {
+  const auto run = [](std::uint64_t seed) {
+    TestWorld w(seed, quick_churn(seed));
+    w.engine->start();
+    w.sm.configure_fabric(w.sim, w.admission);
+    w.sim.run_until(150'000);
+    std::string why;
+    EXPECT_TRUE(w.admission.audit_full(&why)) << why;
+    return w.control_telemetry();
+  };
+  const auto a = run(11);
+  const auto b = run(11);
+  const auto c = run(12);
+  EXPECT_EQ(a, b) << "same seed must reproduce the identical run";
+  EXPECT_NE(a, c) << "different seeds must actually differ";
+  EXPECT_GT(a.counters.at("ctl.submitted"), 0u);
+  EXPECT_GT(a.counters.at("ctl.admitted_guaranteed"), 0u);
+  EXPECT_GT(a.counters.at("ctl.teardowns"), 0u);
+  EXPECT_EQ(a.counters.at("ctl.false_rejects"), 0u);
+}
+
+TEST(ChurnEngine, OverloadProtectionEngages) {
+  // Tiny queues + heavy arrivals + one-op service: guaranteed setups must
+  // be backpressured into retries and best-effort shed at the watermark,
+  // yet nothing may turn into a Theorem-1 false reject.
+  auto ccfg = quick_churn(31);
+  ccfg.arrivals_per_tick = 12;
+  ccfg.serve_budget = 1;
+  ccfg.queue_capacity = 4;
+  TestWorld w(31, ccfg);
+  w.engine->start();
+  w.sm.configure_fabric(w.sim, w.admission);
+  w.sim.run_until(150'000);
+  const auto& s = w.engine->stats();
+  EXPECT_GT(s.backpressured, 0u);
+  EXPECT_GT(s.retries, 0u);
+  EXPECT_GT(s.load_shed, 0u);
+  EXPECT_EQ(s.false_rejects, 0u);
+}
+
+TEST(ChurnEngine, SnapshotRestoreReplaysIdentically) {
+  const std::uint64_t seed = 77;
+  const iba::Cycle end = 150'000;
+
+  // World A: uninterrupted, with a snapshot taken mid-run.
+  TestWorld a(seed, quick_churn(seed));
+  std::vector<std::uint8_t> blob;
+  iba::Cycle snap_time = 0;
+  a.engine->arm_snapshot(end / 2, [&](iba::Cycle now) {
+    blob = control::save_world(now, seed, a.refs());
+    snap_time = now;
+  });
+  a.engine->start();
+  a.sm.configure_fabric(a.sim, a.admission);
+  a.sim.run_until(end);
+  ASSERT_FALSE(blob.empty());
+  ASSERT_GE(snap_time, end / 2);
+  EXPECT_EQ(control::peek_snapshot_time(blob), snap_time);
+
+  // World B: fresh build, restore, replay the tail.
+  TestWorld b(seed, quick_churn(seed));
+  EXPECT_EQ(control::restore_world(blob, seed, b.refs()), snap_time);
+  b.sm.configure_fabric(b.sim, b.admission);
+  b.sim.run_until(end);
+
+  EXPECT_EQ(a.control_telemetry(), b.control_telemetry())
+      << "restored world must finish byte-identical to the uninterrupted one";
+  EXPECT_EQ(a.admission.live_count(), b.admission.live_count());
+  EXPECT_EQ(a.admission.accepted(), b.admission.accepted());
+  EXPECT_EQ(a.admission.rejected(), b.admission.rejected());
+}
+
+TEST(ChurnEngine, RestoreGuardsRejectMismatches) {
+  const std::uint64_t seed = 99;
+  TestWorld a(seed, quick_churn(seed));
+  std::vector<std::uint8_t> blob;
+  a.engine->arm_snapshot(50'000, [&](iba::Cycle now) {
+    blob = control::save_world(now, seed, a.refs());
+  });
+  a.engine->start();
+  a.sm.configure_fabric(a.sim, a.admission);
+  a.sim.run_until(150'000);
+  ASSERT_FALSE(blob.empty());
+
+  {
+    // Wrong run seed.
+    TestWorld b(seed, quick_churn(seed));
+    EXPECT_THROW((void)control::restore_world(blob, seed + 1, b.refs()),
+                 std::runtime_error);
+  }
+  {
+    // Different engine config fingerprint.
+    auto other = quick_churn(seed);
+    other.arrivals_per_tick += 1;
+    TestWorld b(seed, other);
+    EXPECT_THROW((void)control::restore_world(blob, seed, b.refs()),
+                 std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace ibarb

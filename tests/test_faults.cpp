@@ -58,6 +58,34 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
   }
 }
 
+TEST(FaultPlan, ParseErrorsNameTokenAndOffset) {
+  const auto message_of = [](const char* spec) {
+    try {
+      (void)FaultPlan::parse(spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // Unknown kind: the kind token sits at offset 0.
+  auto msg = message_of("frobnicate@100:3.2");
+  EXPECT_NE(msg.find("unknown fault kind"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at offset 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'frobnicate'"), std::string::npos) << msg;
+  // Malformed number mid-spec: the offset points at the numeric token, not
+  // the start of the spec.
+  msg = message_of("linkflap@1x0:3.2");
+  EXPECT_NE(msg.find("expected an unsigned integer"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("at offset 9"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'1x0'"), std::string::npos) << msg;
+  // Out-of-range probability: the value token is named with its position.
+  msg = message_of("corrupt@100+5:3.2:1.5");
+  EXPECT_NE(msg.find("probability outside [0, 1]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at offset 18"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'1.5'"), std::string::npos) << msg;
+}
+
 TEST(FaultPlan, RandomStormIsDeterministicAndInBounds) {
   network::IrregularSpec ns;
   ns.switches = 8;

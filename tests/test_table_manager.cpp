@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace ibarb::arbtable {
 namespace {
@@ -195,6 +198,140 @@ TEST(TableManager, ScatteredPolicyAllocatesAnyFreeSlots) {
   EXPECT_EQ(m.sequence(*h).positions.size(), 8u);
   EXPECT_EQ(m.free_entries(), 56u);
   EXPECT_TRUE(m.check_invariants());
+}
+
+// Randomized churn property test: thousands of interleaved allocate /
+// share / release / defrag steps against a shadow model that predicts the
+// manager's exact behaviour — which handle an admission lands on, whether
+// it shares or allocates fresh, which rejection counter a refusal hits —
+// and revalidates the Theorem-1 free-set invariant plus the full stats
+// accounting after every single step.
+TEST(TableManagerProperty, RandomChurnPreservesInvariantsAndStats) {
+  TableManager m(cfg());  // bit-reversal fill, defrag-on-release
+  util::Xoshiro256 rng(20260808);
+
+  struct LiveConn {
+    SeqHandle handle = 0;
+    iba::VirtualLane vl = 0;
+    Requirement req;
+    double mbps = 0.0;
+  };
+  std::vector<LiveConn> live;
+  // Shadow of the manager's handle recycling: a LIFO free stack plus the
+  // append cursor. Predicts the exact handle of every fresh sequence.
+  std::vector<SeqHandle> shadow_free;
+  SeqHandle shadow_next = 0;
+  TableManager::Stats want{};
+
+  constexpr unsigned kDistances[] = {1, 2, 4, 8, 16, 32, 64};
+  for (int step = 0; step < 4000; ++step) {
+    std::string why;
+    if (!live.empty() && rng.below(10) < 4) {
+      // --- Release a random live connection --------------------------------
+      const auto idx = rng.below(live.size());
+      const LiveConn c = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      m.release(c.handle, c.req, c.mbps);
+      ++want.releases;
+      const bool was_last =
+          std::none_of(live.begin(), live.end(), [&](const LiveConn& o) {
+            return o.handle == c.handle;
+          });
+      if (was_last) {
+        // The sequence died: its handle is recycled and defrag runs.
+        shadow_free.push_back(c.handle);
+        ++want.defrag_runs;
+      }
+    } else {
+      // --- Admit a connection ----------------------------------------------
+      const auto vl = static_cast<iba::VirtualLane>(rng.below(6));
+      const unsigned dist = kDistances[rng.below(std::size(kDistances))];
+      const double mbps = 1.0 + static_cast<double>(rng.below(25));
+      const auto req = compute_requirement(mbps, 2000.0, dist);
+      ASSERT_TRUE(req.has_value()) << "step " << step;
+
+      // Predict the outcome from the shadow model before touching state.
+      const bool over_cap =
+          m.reserved_mbps() + mbps > m.reservable_mbps() * (1.0 + 1e-12);
+      std::optional<SeqHandle> predicted;
+      bool predicted_share = false;
+      if (!over_cap) {
+        // try_share scans handles in ascending order.
+        std::vector<SeqHandle> handles;
+        for (const auto& o : live)
+          if (std::find(handles.begin(), handles.end(), o.handle) ==
+              handles.end())
+            handles.push_back(o.handle);
+        std::sort(handles.begin(), handles.end());
+        for (const auto h : handles) {
+          const auto& seq = m.sequence(h);
+          if (seq.vl == vl && seq.distance == req->distance &&
+              seq.weight_per_entry + req->weight_per_entry <=
+                  iba::kMaxEntryWeight) {
+            predicted = h;
+            predicted_share = true;
+            break;
+          }
+        }
+        if (!predicted &&
+            m.free_entries() >= iba::kArbTableEntries / req->distance)
+          // Theorem 1: enough free entries guarantees a spaced free set.
+          predicted = shadow_free.empty() ? shadow_next : shadow_free.back();
+      }
+      ASSERT_EQ(m.can_admit(vl, *req, mbps), predicted.has_value())
+          << "step " << step << ": can_admit disagrees with the shadow model";
+
+      const auto got = m.allocate(vl, *req, mbps);
+      ASSERT_EQ(got, predicted) << "step " << step;
+      if (got) {
+        live.push_back({*got, vl, *req, mbps});
+        if (predicted_share) {
+          ++want.shares;
+        } else {
+          ++want.allocations;
+          if (shadow_free.empty())
+            ++shadow_next;
+          else
+            shadow_free.pop_back();
+        }
+      } else if (over_cap) {
+        ++want.reject_bandwidth;
+      } else {
+        ++want.reject_entries;
+      }
+    }
+
+    // --- Every step: invariants, Theorem 1, exact accounting ---------------
+    ASSERT_TRUE(m.check_invariants(&why)) << "step " << step << ": " << why;
+    ASSERT_TRUE(m.audit_free_set_optimality(&why))
+        << "step " << step << ": " << why;
+    const auto& s = m.stats();
+    ASSERT_EQ(s.allocations, want.allocations) << "step " << step;
+    ASSERT_EQ(s.shares, want.shares) << "step " << step;
+    ASSERT_EQ(s.reject_bandwidth, want.reject_bandwidth) << "step " << step;
+    ASSERT_EQ(s.reject_entries, want.reject_entries) << "step " << step;
+    ASSERT_EQ(s.releases, want.releases) << "step " << step;
+    ASSERT_EQ(s.defrag_runs, want.defrag_runs) << "step " << step;
+    ASSERT_EQ(m.live_sequences(),
+              static_cast<unsigned>([&] {
+                std::vector<SeqHandle> h;
+                for (const auto& o : live) h.push_back(o.handle);
+                std::sort(h.begin(), h.end());
+                return std::unique(h.begin(), h.end()) - h.begin();
+              }()))
+        << "step " << step;
+  }
+  // Drain everything: the table must return to pristine.
+  while (!live.empty()) {
+    const LiveConn c = live.back();
+    live.pop_back();
+    m.release(c.handle, c.req, c.mbps);
+  }
+  EXPECT_EQ(m.free_entries(), iba::kArbTableEntries);
+  EXPECT_EQ(m.live_sequences(), 0u);
+  EXPECT_DOUBLE_EQ(m.reserved_mbps(), 0.0);
+  EXPECT_TRUE(m.check_invariants());
+  EXPECT_TRUE(m.audit_free_set_optimality());
 }
 
 TEST(TableManager, InvariantCheckerCatchesCorruption) {
