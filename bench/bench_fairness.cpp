@@ -173,8 +173,8 @@ void add_pattern_flows(sim::Simulator& sim, const network::FabricGraph& g,
 }
 
 Row run_one(sched::CrossbarImpl impl, Pattern pattern, std::uint64_t seed) {
-  const auto g = network::make_single_switch(kHosts);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(kHosts);
+  const auto routes = network::compute_routes(g);
 
   sim::SimConfig sc;
   sc.seed = seed;

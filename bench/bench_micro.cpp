@@ -170,9 +170,9 @@ void BM_UpDownRoutes(benchmark::State& state) {
   network::IrregularSpec spec;
   spec.switches = static_cast<unsigned>(state.range(0));
   spec.seed = 5;
-  const auto g = network::make_irregular(spec);
+  const auto g = network::gen::irregular(spec);
   for (auto _ : state) {
-    auto routes = network::compute_updown_routes(g);
+    auto routes = network::compute_routes(g);
     benchmark::DoNotOptimize(routes);
   }
   state.SetLabel(std::to_string(g.hosts().size()) + " hosts");

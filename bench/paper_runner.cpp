@@ -1,5 +1,7 @@
 #include "paper_runner.hpp"
 
+#include "network/routing_engine.hpp"
+
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +45,38 @@ PaperRunConfig config_from_cli(const util::Cli& cli, PaperRunConfig base) {
         std::to_string(shards));
   }
   base.shards = static_cast<unsigned>(shards);
+  base.topo = cli.get("topo", base.topo);
+  if (!base.topo.empty()) {
+    try {
+      (void)network::TopologySpec::parse(base.topo);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("flag --topo: " + std::string(e.what()));
+    }
+  }
+  base.routing = cli.get("routing", base.routing);
+  if (!base.routing.empty() && !network::is_routing_engine(base.routing)) {
+    throw std::invalid_argument(
+        "flag --routing: unknown routing engine '" + base.routing +
+        "' (expected " + std::string(network::kRoutingEngineNames) + ")");
+  }
   return base;
+}
+
+network::TopologySpec resolve_topology(const PaperRunConfig& cfg) {
+  auto spec = cfg.topo.empty() ? network::topology_spec_from_env()
+                               : network::TopologySpec::parse(cfg.topo);
+  if (spec.family() == "irregular") {
+    // Keep the pre-registry knobs meaningful: an irregular spec that does
+    // not pin switches/seed itself inherits them from --switches/--seed.
+    if (!spec.has("switches")) spec.set("switches", cfg.switches);
+    if (!spec.has("seed")) spec.set("seed", cfg.seed);
+  }
+  return spec;
+}
+
+std::string resolve_routing(const PaperRunConfig& cfg) {
+  return cfg.routing.empty() ? network::routing_engine_from_env()
+                             : cfg.routing;
 }
 
 unsigned shards_from_env() {
@@ -70,11 +103,8 @@ sim::EventQueueImpl queue_impl_from_env() {
 PaperRun::PaperRun(PaperRunConfig c) : PaperRun(c, DeferSim{}) { run(); }
 
 PaperRun::PaperRun(PaperRunConfig c, DeferSim) : cfg(c) {
-  network::IrregularSpec spec;
-  spec.switches = cfg.switches;
-  spec.seed = cfg.seed;
-  graph = network::make_irregular(spec);
-  sm = std::make_unique<subnet::SubnetManager>(graph);
+  graph = resolve_topology(cfg).build();
+  sm = std::make_unique<subnet::SubnetManager>(graph, resolve_routing(cfg));
 
   qos::AdmissionControl::Config ac;
   ac.policy = cfg.policy;

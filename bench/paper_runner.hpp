@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "network/registry.hpp"
 #include "network/topology.hpp"
 #include "obs/series.hpp"
 #include "qos/admission.hpp"
@@ -52,6 +53,15 @@ struct PaperRunConfig {
   /// Parallel simulation shards (--shards); 0 defers to IBARB_SHARDS, then
   /// 1 (sequential). Output is byte-identical for any value.
   unsigned shards = 0;
+  /// Topology spec ("family:k=v,...", network/registry.hpp). Engaged by
+  /// --topo; empty defers to IBARB_TOPO, then the paper's irregular family.
+  /// For the irregular family, --switches/--seed still fill in any
+  /// parameter the spec leaves unset, so the pre-registry flags keep
+  /// working unchanged.
+  std::string topo;
+  /// Routing engine name (network/routing_engine.hpp). Engaged by
+  /// --routing; empty defers to IBARB_ROUTING, then updown.
+  std::string routing;
 };
 
 /// Applies the common bench flags (--switches --mtu --seed --packets
@@ -67,6 +77,15 @@ sim::EventQueueImpl queue_impl_from_env();
 /// unmodified bench binary (CI reruns the suite sharded); unset, empty, or
 /// unparsable means 1 (sequential).
 unsigned shards_from_env();
+
+/// The topology spec a config resolves to (flag beats IBARB_TOPO beats
+/// irregular), with --switches/--seed filled into an irregular spec's unset
+/// parameters. Every fabric a PaperRun builds comes from this.
+network::TopologySpec resolve_topology(const PaperRunConfig& cfg);
+
+/// The routing engine a config resolves to (flag beats IBARB_ROUTING beats
+/// updown).
+std::string resolve_routing(const PaperRunConfig& cfg);
 
 /// One complete simulated experiment. Members reference each other, so the
 /// struct is heap-pinned (no copies/moves).

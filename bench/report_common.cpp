@@ -66,6 +66,8 @@ std::vector<obs::CounterTrack> series_tracks(const PaperRun& run) {
 }
 
 void echo_config(obs::Report& report, const PaperRunConfig& cfg) {
+  report.config("topo", resolve_topology(cfg).canonical());
+  report.config("routing", resolve_routing(cfg));
   report.config("switches", static_cast<std::uint64_t>(cfg.switches));
   report.config("mtu_bytes",
                 static_cast<std::uint64_t>(iba::mtu_bytes(cfg.mtu)));

@@ -14,7 +14,7 @@ using namespace ibarb;
 
 int main() {
   // A 2-level fat tree: 2 spines, 4 leaves, 4 hosts per leaf.
-  const auto fabric = network::make_fat_tree(2, 4, 4);
+  const auto fabric = network::gen::fat_tree2(2, 4, 4);
   subnet::SubnetManager sm(fabric);
   std::printf("%s\n", sm.describe().c_str());
 

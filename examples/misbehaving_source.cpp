@@ -28,7 +28,7 @@ struct Result {
 };
 
 Result run_scheme(qos::Scheme scheme, double oversend) {
-  const auto fabric = network::make_single_switch(3);
+  const auto fabric = network::gen::single_switch(3);
   subnet::SubnetManager sm(fabric);
 
   qos::AdmissionControl::Config cfg;

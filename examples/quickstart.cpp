@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const bool json = cli.get_bool("json", false);
   // 1. Fabric.
-  const auto fabric = network::make_single_switch(/*hosts=*/4);
+  const auto fabric = network::gen::single_switch(/*hosts=*/4);
 
   // 2. Subnet management plane.
   subnet::SubnetManager sm(fabric);

@@ -15,7 +15,7 @@ int main() {
   network::IrregularSpec spec;
   spec.switches = 8;
   spec.seed = 99;
-  const auto fabric = network::make_irregular(spec);
+  const auto fabric = network::gen::irregular(spec);
   subnet::SubnetManager sm(fabric);
   std::printf("%s\n", sm.describe().c_str());
 

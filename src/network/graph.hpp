@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "iba/link.hpp"
@@ -12,6 +13,22 @@
 namespace ibarb::network {
 
 enum class NodeKind : std::uint8_t { kSwitch, kHost };
+
+/// Structural metadata a generator leaves on the graph it built, so routing
+/// engines that exploit regular structure (dimension-order, d-mod-k, group
+/// routing) can recover coordinates from switch indices instead of
+/// rediscovering them. `family` is the registry family name ("torus3d",
+/// "dragonfly", ...); `dims` is family-specific (see docs/TOPOLOGIES.md).
+/// A default-constructed hint (empty family) means "no known structure" —
+/// structured engines must refuse such graphs. Degraded copies built during
+/// fault re-sweeps deliberately carry no hint: a holey torus is not a torus,
+/// and dimension-order routing on one would blackhole traffic.
+struct TopologyHint {
+  std::string family;
+  std::vector<std::uint32_t> dims;
+
+  bool empty() const noexcept { return family.empty(); }
+};
 
 /// One end of a link: a (node, port) pair.
 struct PortRef {
@@ -70,8 +87,12 @@ class FabricGraph {
   /// True when every node can reach every other over wired links.
   bool connected() const;
 
+  void set_topology_hint(TopologyHint hint) { hint_ = std::move(hint); }
+  const TopologyHint& topology_hint() const noexcept { return hint_; }
+
  private:
   std::vector<Node> nodes_;
+  TopologyHint hint_;
 };
 
 }  // namespace ibarb::network

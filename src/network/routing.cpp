@@ -1,26 +1,71 @@
 #include "network/routing.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <limits>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace ibarb::network {
 
-namespace {
+RoutesBuilder::RoutesBuilder(const FabricGraph& g, std::string engine_name) {
+  r_.graph_ = &g;
+  r_.engine_ = std::move(engine_name);
+  r_.switch_ids_ = g.switches();
+  r_.host_ids_ = g.hosts();
+  if (r_.switch_ids_.empty())
+    throw std::runtime_error("no switches in fabric");
 
-constexpr unsigned kUnreached = std::numeric_limits<unsigned>::max();
-constexpr iba::PortIndex kNoPort = 0xFF;
+  r_.dense_.assign(g.node_count(), 0);
+  for (std::uint32_t i = 0; i < r_.switch_ids_.size(); ++i)
+    r_.dense_[r_.switch_ids_[i]] = i;
+  for (std::uint32_t i = 0; i < r_.host_ids_.size(); ++i)
+    r_.dense_[r_.host_ids_[i]] = i;
 
-}  // namespace
+  const std::uint64_t n_sw = r_.switch_ids_.size();
+  r_.row_off_.resize(n_sw + 1);
+  for (std::uint64_t s = 0; s <= n_sw; ++s) r_.row_off_[s] = s * n_sw;
+  r_.ports_.assign(n_sw * n_sw, kNoRoute);
 
-iba::PortIndex Routes::out_port(iba::NodeId sw, iba::NodeId dst_host) const {
-  const auto s = dense_.at(sw);
-  const auto h = dense_.at(dst_host);
-  const auto port = table_.at(s).at(h);
-  assert(port != kNoPort);
-  return port;
+  r_.host_sw_.resize(r_.host_ids_.size());
+  r_.host_port_.resize(r_.host_ids_.size());
+  for (std::uint32_t h = 0; h < r_.host_ids_.size(); ++h) {
+    const PortRef uplink = g.host_uplink(r_.host_ids_[h]);
+    r_.host_sw_[h] = r_.dense_[uplink.node];
+    r_.host_port_[h] = uplink.port;
+  }
+}
+
+void RoutesBuilder::set_vl(std::uint32_t s, std::uint32_t t,
+                             iba::VirtualLane vl) {
+  if (r_.vls_.empty()) r_.vls_.assign(r_.ports_.size(), 0);
+  r_.vls_[r_.row_off_[s] + t] = vl;
+}
+
+void RoutesBuilder::set_levels(std::vector<unsigned> levels,
+                                 iba::NodeId root) {
+  assert(levels.size() == r_.switch_ids_.size());
+  r_.switch_level_ = std::move(levels);
+  r_.root_ = root;
+}
+
+Routes RoutesBuilder::build() && {
+  // Every switch must route every *host-bearing* destination switch: that
+  // is what LFT programming and the data path consult. Columns for hostless
+  // destinations (e.g. spines) may stay kNoRoute.
+  std::vector<char> bearing(r_.switch_ids_.size(), 0);
+  for (const auto t : r_.host_sw_) bearing[t] = 1;
+  for (std::uint32_t t = 0; t < r_.switch_ids_.size(); ++t) {
+    if (!bearing[t]) continue;
+    for (std::uint32_t s = 0; s < r_.switch_ids_.size(); ++s) {
+      if (s == t) continue;
+      if (r_.ports_[r_.row_off_[s] + t] == kNoRoute)
+        throw std::runtime_error("routing engine '" + r_.engine_ +
+                                 "' left switch " +
+                                 std::to_string(r_.switch_ids_[s]) +
+                                 " without a route to switch " +
+                                 std::to_string(r_.switch_ids_[t]));
+    }
+  }
+  return std::move(r_);
 }
 
 std::vector<PortRef> Routes::path(iba::NodeId src_host,
@@ -43,10 +88,27 @@ std::vector<PortRef> Routes::path(iba::NodeId src_host,
 }
 
 unsigned Routes::hops(iba::NodeId src_host, iba::NodeId dst_host) const {
-  return static_cast<unsigned>(path(src_host, dst_host).size()) - 1;
+  assert(graph_ != nullptr);
+  const auto h = dense_[dst_host];
+  const auto sink = host_sw_[h];
+  std::uint32_t at = dense_[graph_->host_uplink(src_host).node];
+  unsigned n = 1;  // the delivery hop out of the sink switch
+  while (at != sink) {
+    const auto port = ports_[row_off_[at] + sink];
+    assert(port != kNoRoute);
+    const auto peer = graph_->peer(switch_ids_[at], port);
+    assert(peer.has_value() && graph_->is_switch(peer->node));
+    at = dense_[peer->node];
+    ++n;
+    assert(n <= graph_->node_count() && "routing loop");
+  }
+  return n;
 }
 
 unsigned Routes::level(iba::NodeId sw) const {
+  if (switch_level_.empty())
+    throw std::logic_error("engine '" + engine_ +
+                           "' defines no up*/down* levels");
   return switch_level_.at(dense_.at(sw));
 }
 
@@ -55,140 +117,6 @@ bool Routes::is_up_hop(iba::NodeId a, iba::NodeId b) const {
   const unsigned lb = level(b);
   if (lb != la) return lb < la;
   return b < a;
-}
-
-Routes compute_updown_routes(const FabricGraph& g) {
-  if (!g.connected()) throw std::runtime_error("fabric is disconnected");
-
-  Routes r;
-  r.graph_ = &g;
-  r.switch_ids_ = g.switches();
-  r.host_ids_ = g.hosts();
-  if (r.switch_ids_.empty()) throw std::runtime_error("no switches in fabric");
-
-  r.dense_.assign(g.node_count(), 0);
-  for (std::uint32_t i = 0; i < r.switch_ids_.size(); ++i)
-    r.dense_[r.switch_ids_[i]] = i;
-  for (std::uint32_t i = 0; i < r.host_ids_.size(); ++i)
-    r.dense_[r.host_ids_[i]] = i;
-
-  const auto n_sw = r.switch_ids_.size();
-  const auto n_host = r.host_ids_.size();
-
-  // Root: the highest-degree switch (ties -> lowest id) gives the shallowest
-  // tree, the usual up*/down* heuristic.
-  r.root_ = r.switch_ids_[0];
-  unsigned best_degree = 0;
-  for (const auto s : r.switch_ids_) {
-    unsigned deg = 0;
-    for (unsigned p = 0; p < g.port_count(s); ++p) {
-      const auto peer = g.peer(s, static_cast<iba::PortIndex>(p));
-      if (peer && g.is_switch(peer->node)) ++deg;
-    }
-    if (deg > best_degree) {
-      best_degree = deg;
-      r.root_ = s;
-    }
-  }
-
-  // BFS levels over the switch-only graph.
-  r.switch_level_.assign(n_sw, kUnreached);
-  {
-    std::queue<iba::NodeId> frontier;
-    r.switch_level_[r.dense_[r.root_]] = 0;
-    frontier.push(r.root_);
-    while (!frontier.empty()) {
-      const auto at = frontier.front();
-      frontier.pop();
-      for (unsigned p = 0; p < g.port_count(at); ++p) {
-        const auto peer = g.peer(at, static_cast<iba::PortIndex>(p));
-        if (!peer || !g.is_switch(peer->node)) continue;
-        auto& lvl = r.switch_level_[r.dense_[peer->node]];
-        if (lvl == kUnreached) {
-          lvl = r.switch_level_[r.dense_[at]] + 1;
-          frontier.push(peer->node);
-        }
-      }
-    }
-    for (const auto lvl : r.switch_level_)
-      if (lvl == kUnreached)
-        throw std::runtime_error("switch graph is disconnected");
-  }
-
-  r.table_.assign(n_sw, std::vector<iba::PortIndex>(n_host, kNoPort));
-
-  // Per destination host: its switch is the sink; build legal next hops.
-  for (std::uint32_t h = 0; h < n_host; ++h) {
-    const auto host = r.host_ids_[h];
-    const PortRef uplink = g.host_uplink(host);
-    const auto sink = uplink.node;
-    r.table_[r.dense_[sink]][h] = uplink.port;
-
-    // down_dist[s]: shortest all-down path s -> sink. BFS climbing from the
-    // sink: predecessor s reaches x via a down hop iff x -> s is an up hop.
-    std::vector<unsigned> down_dist(n_sw, kUnreached);
-    std::vector<iba::PortIndex> down_port(n_sw, kNoPort);
-    {
-      std::queue<iba::NodeId> frontier;
-      down_dist[r.dense_[sink]] = 0;
-      frontier.push(sink);
-      while (!frontier.empty()) {
-        const auto x = frontier.front();
-        frontier.pop();
-        for (unsigned p = 0; p < g.port_count(x); ++p) {
-          const auto peer = g.peer(x, static_cast<iba::PortIndex>(p));
-          if (!peer || !g.is_switch(peer->node)) continue;
-          const auto s = peer->node;
-          if (!r.is_up_hop(x, s)) continue;  // need hop s->x to be down
-          if (down_dist[r.dense_[s]] != kUnreached) continue;
-          down_dist[r.dense_[s]] = down_dist[r.dense_[x]] + 1;
-          down_port[r.dense_[s]] = peer->port;
-          frontier.push(s);
-        }
-      }
-    }
-
-    // dist[s]: shortest legal (up* then down*) path length. Multi-source
-    // uniform-weight Dijkstra seeded with the all-down distances, expanding
-    // backwards over up hops (s -> m up).
-    std::vector<unsigned> dist(down_dist);
-    std::vector<iba::PortIndex> up_port(n_sw, kNoPort);
-    using Item = std::pair<unsigned, iba::NodeId>;  // (dist, switch)
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    for (std::uint32_t s = 0; s < n_sw; ++s)
-      if (dist[s] != kUnreached) pq.emplace(dist[s], r.switch_ids_[s]);
-    while (!pq.empty()) {
-      const auto [d, m] = pq.top();
-      pq.pop();
-      if (d != dist[r.dense_[m]]) continue;  // stale
-      for (unsigned p = 0; p < g.port_count(m); ++p) {
-        const auto peer = g.peer(m, static_cast<iba::PortIndex>(p));
-        if (!peer || !g.is_switch(peer->node)) continue;
-        const auto s = peer->node;
-        if (!r.is_up_hop(s, m)) continue;  // expanding s -> m up hops only
-        if (dist[r.dense_[s]] <= d + 1) continue;
-        dist[r.dense_[s]] = d + 1;
-        up_port[r.dense_[s]] = peer->port;
-        pq.emplace(d + 1, s);
-      }
-    }
-
-    for (std::uint32_t s = 0; s < n_sw; ++s) {
-      const auto sw = r.switch_ids_[s];
-      if (sw == sink) continue;
-      if (dist[s] == kUnreached)
-        throw std::runtime_error("no legal up*/down* path to a destination");
-      // Prefer the all-down continuation when it is optimal; once a packet
-      // descends, every later switch also satisfies this and keeps
-      // descending, so chained paths stay legal.
-      if (down_dist[s] == dist[s]) {
-        r.table_[s][h] = down_port[s];
-      } else {
-        r.table_[s][h] = up_port[s];
-      }
-    }
-  }
-  return r;
 }
 
 }  // namespace ibarb::network

@@ -20,18 +20,48 @@ iba::PortIndex first_free_port(const FabricGraph& g, iba::NodeId id) {
   throw std::logic_error("no free port");
 }
 
+/// Keeps accidental 100M-node requests from silently eating the machine:
+/// every registry family stays comfortably inside a ~1M-node fabric.
+constexpr std::uint64_t kMaxNodes = 1u << 20;
+
+void check_node_budget(const char* family, std::uint64_t switches,
+                       std::uint64_t hosts) {
+  if (switches + hosts > kMaxNodes)
+    throw std::invalid_argument(
+        std::string(family) + ": " + std::to_string(switches) +
+        " switches + " + std::to_string(hosts) + " hosts exceeds the " +
+        std::to_string(kMaxNodes) + "-node cap");
+}
+
 }  // namespace
 
-FabricGraph make_irregular(const IrregularSpec& spec) {
-  if (spec.hosts_per_switch >= spec.ports_per_switch)
-    throw std::invalid_argument("need at least one inter-switch port");
+namespace gen {
+
+FabricGraph irregular(const IrregularSpec& spec) {
   if (spec.switches < 2)
-    throw std::invalid_argument("irregular networks need >= 2 switches");
+    throw std::invalid_argument(
+        "irregular: switches=" + std::to_string(spec.switches) +
+        " must be >= 2 (a one-switch fabric has no trunks to wire)");
+  if (spec.hosts_per_switch >= spec.ports_per_switch)
+    throw std::invalid_argument(
+        "irregular: hosts_per_switch=" +
+        std::to_string(spec.hosts_per_switch) + " must be < ports_per_switch=" +
+        std::to_string(spec.ports_per_switch) +
+        " (at least one port per switch must interconnect switches)");
   const unsigned trunk_ports = spec.ports_per_switch - spec.hosts_per_switch;
   if ((static_cast<std::uint64_t>(trunk_ports) * spec.switches) % 2 != 0)
-    throw std::invalid_argument("odd total trunk port count cannot be paired");
+    throw std::invalid_argument(
+        "irregular: " + std::to_string(trunk_ports) + " trunk ports x " +
+        std::to_string(spec.switches) +
+        " switches is odd and cannot be paired");
   if (trunk_ports * spec.switches < 2 * (spec.switches - 1))
-    throw std::invalid_argument("not enough trunk ports for a spanning tree");
+    throw std::invalid_argument(
+        "irregular: " + std::to_string(trunk_ports) + " trunk ports x " +
+        std::to_string(spec.switches) +
+        " switches cannot span a tree over all switches");
+  check_node_budget("irregular", spec.switches,
+                    static_cast<std::uint64_t>(spec.switches) *
+                        spec.hosts_per_switch);
 
   util::Xoshiro256 rng(spec.seed);
   const iba::Link link{spec.rate, spec.propagation_delay};
@@ -113,12 +143,16 @@ FabricGraph make_irregular(const IrregularSpec& spec) {
   }
 
   assert(g.connected());
+  g.set_topology_hint({"irregular", {spec.switches, spec.ports_per_switch,
+                                     spec.hosts_per_switch}});
   return g;
 }
 
-FabricGraph make_single_switch(unsigned hosts, unsigned ports,
-                               iba::LinkRate rate) {
-  if (hosts > ports) throw std::invalid_argument("more hosts than ports");
+FabricGraph single_switch(unsigned hosts, unsigned ports,
+                          iba::LinkRate rate) {
+  if (hosts > ports)
+    throw std::invalid_argument("single: hosts=" + std::to_string(hosts) +
+                                " exceeds ports=" + std::to_string(ports));
   FabricGraph g;
   const auto s = g.add_switch(ports);
   const iba::Link link{rate, 2};
@@ -126,12 +160,16 @@ FabricGraph make_single_switch(unsigned hosts, unsigned ports,
     const auto host = g.add_host();
     g.connect(host, 0, s, static_cast<iba::PortIndex>(h), link);
   }
+  g.set_topology_hint({"single", {hosts}});
   return g;
 }
 
-FabricGraph make_line(unsigned switches, unsigned hosts_per_switch,
-                      iba::LinkRate rate) {
-  if (switches == 0) throw std::invalid_argument("empty line");
+FabricGraph line(unsigned switches, unsigned hosts_per_switch,
+                 iba::LinkRate rate) {
+  if (switches == 0)
+    throw std::invalid_argument("line: switches=0 (need at least 1)");
+  check_node_budget("line", switches,
+                    static_cast<std::uint64_t>(switches) * hosts_per_switch);
   FabricGraph g;
   const unsigned ports = 2 + hosts_per_switch;
   const iba::Link link{rate, 2};
@@ -144,16 +182,19 @@ FabricGraph make_line(unsigned switches, unsigned hosts_per_switch,
       const auto host = g.add_host();
       g.connect(host, 0, s, static_cast<iba::PortIndex>(2 + h), link);
     }
+  g.set_topology_hint({"line", {switches, hosts_per_switch}});
   return g;
 }
 
-}  // namespace ibarb::network
-
-namespace ibarb::network {
-
-FabricGraph make_mesh2d(unsigned cols, unsigned rows,
-                        unsigned hosts_per_switch, iba::LinkRate rate) {
-  if (cols == 0 || rows == 0) throw std::invalid_argument("empty mesh");
+FabricGraph mesh2d(unsigned cols, unsigned rows, unsigned hosts_per_switch,
+                   iba::LinkRate rate) {
+  if (cols == 0 || rows == 0)
+    throw std::invalid_argument(
+        "mesh2d: " + std::string(cols == 0 ? "cols" : "rows") +
+        "=0 (both dimensions need at least 1 switch)");
+  check_node_budget("mesh2d", static_cast<std::uint64_t>(cols) * rows,
+                    static_cast<std::uint64_t>(cols) * rows *
+                        hosts_per_switch);
   FabricGraph g;
   const iba::Link link{rate, 2};
   const unsigned ports = 4 + hosts_per_switch;
@@ -172,13 +213,26 @@ FabricGraph make_mesh2d(unsigned cols, unsigned rows,
       const auto host = g.add_host();
       g.connect(host, 0, s, static_cast<iba::PortIndex>(4 + h), link);
     }
+  g.set_topology_hint({"mesh2d", {cols, rows}});
   return g;
 }
 
-FabricGraph make_torus2d(unsigned cols, unsigned rows,
-                         unsigned hosts_per_switch, iba::LinkRate rate) {
-  if (cols < 3 || rows < 3)
-    throw std::invalid_argument("torus needs at least 3x3 switches");
+FabricGraph torus2d(unsigned cols, unsigned rows, unsigned hosts_per_switch,
+                    iba::LinkRate rate) {
+  // Below 3 switches per ring the +dim and -dim wrap links land on the same
+  // peer port — the old failure mode was a silent double-wire error from
+  // FabricGraph::connect deep in the loop; reject it by name instead.
+  if (cols < 3)
+    throw std::invalid_argument(
+        "torus2d: cols=" + std::to_string(cols) +
+        " must be >= 3 (a shorter ring double-wires its wrap ports)");
+  if (rows < 3)
+    throw std::invalid_argument(
+        "torus2d: rows=" + std::to_string(rows) +
+        " must be >= 3 (a shorter ring double-wires its wrap ports)");
+  check_node_budget("torus2d", static_cast<std::uint64_t>(cols) * rows,
+                    static_cast<std::uint64_t>(cols) * rows *
+                        hosts_per_switch);
   FabricGraph g;
   const iba::Link link{rate, 2};
   const unsigned ports = 4 + hosts_per_switch;
@@ -196,13 +250,57 @@ FabricGraph make_torus2d(unsigned cols, unsigned rows,
       const auto host = g.add_host();
       g.connect(host, 0, s, static_cast<iba::PortIndex>(4 + h), link);
     }
+  g.set_topology_hint({"torus2d", {cols, rows}});
   return g;
 }
 
-FabricGraph make_fat_tree(unsigned spines, unsigned leaves,
-                          unsigned hosts_per_leaf, iba::LinkRate rate) {
+FabricGraph torus3d(unsigned x, unsigned y, unsigned z,
+                    unsigned hosts_per_switch, iba::LinkRate rate) {
+  const auto check_dim = [](const char* name, unsigned v) {
+    if (v < 3)
+      throw std::invalid_argument(
+          "torus3d: " + std::string(name) + "=" + std::to_string(v) +
+          " must be >= 3 (a shorter ring double-wires its wrap ports)");
+  };
+  check_dim("x", x);
+  check_dim("y", y);
+  check_dim("z", z);
+  const std::uint64_t n_sw = static_cast<std::uint64_t>(x) * y * z;
+  check_node_budget("torus3d", n_sw, n_sw * hosts_per_switch);
+
+  FabricGraph g;
+  const iba::Link link{rate, 2};
+  const unsigned ports = 6 + hosts_per_switch;
+  std::vector<iba::NodeId> sw(n_sw);
+  for (auto& s : sw) s = g.add_switch(ports);
+  const auto at = [&](unsigned cx, unsigned cy, unsigned cz) {
+    return sw[(static_cast<std::size_t>(cz) * y + cy) * x + cx];
+  };
+  // Ports: 0,1 = -x,+x; 2,3 = -y,+y; 4,5 = -z,+z.
+  for (unsigned cz = 0; cz < z; ++cz)
+    for (unsigned cy = 0; cy < y; ++cy)
+      for (unsigned cx = 0; cx < x; ++cx) {
+        g.connect(at(cx, cy, cz), 1, at((cx + 1) % x, cy, cz), 0, link);
+        g.connect(at(cx, cy, cz), 3, at(cx, (cy + 1) % y, cz), 2, link);
+        g.connect(at(cx, cy, cz), 5, at(cx, cy, (cz + 1) % z), 4, link);
+      }
+  for (const auto s : sw)
+    for (unsigned h = 0; h < hosts_per_switch; ++h) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s, static_cast<iba::PortIndex>(6 + h), link);
+    }
+  g.set_topology_hint({"torus3d", {x, y, z}});
+  return g;
+}
+
+FabricGraph fat_tree2(unsigned spines, unsigned leaves,
+                      unsigned hosts_per_leaf, iba::LinkRate rate) {
   if (spines == 0 || leaves == 0)
-    throw std::invalid_argument("fat tree needs spines and leaves");
+    throw std::invalid_argument(
+        "fattree2: " + std::string(spines == 0 ? "spines" : "leaves") +
+        "=0 (need at least one of each level)");
+  check_node_budget("fattree2", spines + leaves,
+                    static_cast<std::uint64_t>(leaves) * hosts_per_leaf);
   FabricGraph g;
   const iba::Link link{rate, 2};
   std::vector<iba::NodeId> spine(spines);
@@ -218,8 +316,121 @@ FabricGraph make_fat_tree(unsigned spines, unsigned leaves,
       const auto host = g.add_host();
       g.connect(host, 0, s, static_cast<iba::PortIndex>(spines + h), link);
     }
+  g.set_topology_hint({"fattree2", {spines, leaves}});
   return g;
 }
+
+FabricGraph kary_fattree(unsigned k, unsigned n, iba::LinkRate rate) {
+  if (k < 2)
+    throw std::invalid_argument("fattree: k=" + std::to_string(k) +
+                                " must be >= 2 (tree arity)");
+  if (n < 1)
+    throw std::invalid_argument("fattree: n=0 (need at least one level)");
+  std::uint64_t per_level = 1;  // k^(n-1) switches per level
+  for (unsigned i = 1; i < n; ++i) {
+    per_level *= k;
+    if (per_level > kMaxNodes)
+      throw std::invalid_argument("fattree: k=" + std::to_string(k) +
+                                  ", n=" + std::to_string(n) +
+                                  " overflows the node cap");
+  }
+  const std::uint64_t hosts = per_level * k;
+  check_node_budget("fattree", per_level * n, hosts);
+
+  FabricGraph g;
+  const iba::Link link{rate, 2};
+  // Level l switch <w, l> = id l*per_level + w. Down ports 0..k-1, up ports
+  // k..2k-1 (the top level has no up side).
+  std::vector<std::uint64_t> pow(n, 1);
+  for (unsigned i = 1; i < n; ++i) pow[i] = pow[i - 1] * k;
+  for (unsigned l = 0; l < n; ++l)
+    for (std::uint64_t w = 0; w < per_level; ++w)
+      g.add_switch(l + 1 == n ? k : 2 * k);
+  const auto sw_id = [&](unsigned l, std::uint64_t w) {
+    return static_cast<iba::NodeId>(l * per_level + w);
+  };
+  // Parent <v, l+1> and child <u, l> are wired iff their digits agree
+  // everywhere except digit l; the parent's down port is the child's digit
+  // l, the child's up port is k + the parent's digit l.
+  for (unsigned l = 0; l + 1 < n; ++l)
+    for (std::uint64_t v = 0; v < per_level; ++v) {
+      const auto vd = static_cast<unsigned>(v / pow[l] % k);
+      const std::uint64_t base = v - vd * pow[l];
+      for (unsigned c = 0; c < k; ++c)
+        g.connect(sw_id(l, base + c * pow[l]),
+                  static_cast<iba::PortIndex>(k + vd), sw_id(l + 1, v),
+                  static_cast<iba::PortIndex>(c), link);
+    }
+  // Host j on level-0 switch j/k, down port j%k.
+  for (std::uint64_t j = 0; j < hosts; ++j) {
+    const auto host = g.add_host();
+    g.connect(host, 0, sw_id(0, j / k),
+              static_cast<iba::PortIndex>(j % k), link);
+  }
+  g.set_topology_hint({"fattree", {k, n}});
+  return g;
+}
+
+FabricGraph dragonfly(unsigned a, unsigned h, unsigned groups,
+                      unsigned hosts_per_router, iba::LinkRate rate) {
+  if (a < 2)
+    throw std::invalid_argument("dragonfly: a=" + std::to_string(a) +
+                                " must be >= 2 (routers per group)");
+  if (h < 1)
+    throw std::invalid_argument(
+        "dragonfly: h=0 (each router needs a global port)");
+  if (groups < 2)
+    throw std::invalid_argument("dragonfly: g=" + std::to_string(groups) +
+                                " must be >= 2 (need a global level)");
+  if (groups - 1 > static_cast<std::uint64_t>(a) * h)
+    throw std::invalid_argument(
+        "dragonfly: g=" + std::to_string(groups) + " needs g-1 <= a*h=" +
+        std::to_string(static_cast<std::uint64_t>(a) * h) +
+        " global channels per group");
+  if (hosts_per_router == 0)
+    throw std::invalid_argument("dragonfly: p=0 (routers need hosts)");
+  const std::uint64_t n_sw = static_cast<std::uint64_t>(a) * groups;
+  check_node_budget("dragonfly", n_sw, n_sw * hosts_per_router);
+
+  FabricGraph g;
+  const iba::Link link{rate, 2};
+  // Router <group u, index i> = id u*a + i. Ports: 0..a-2 local (toward
+  // router j on port j, minus one when j > i), a-1..a+h-2 global, then
+  // hosts.
+  const unsigned ports = (a - 1) + h + hosts_per_router;
+  std::vector<iba::NodeId> sw(n_sw);
+  for (auto& s : sw) s = g.add_switch(ports);
+  const auto local_port = [](unsigned from, unsigned to) {
+    return static_cast<iba::PortIndex>(to < from ? to : to - 1);
+  };
+  for (unsigned u = 0; u < groups; ++u)
+    for (unsigned i = 0; i < a; ++i)
+      for (unsigned j = i + 1; j < a; ++j)
+        g.connect(sw[u * a + i], local_port(i, j), sw[u * a + j],
+                  local_port(j, i), link);
+  // Global channel k of group u lands in group v = (u+k+1) mod g; the
+  // return channel there is g-2-k. Wire each cable from its lower group.
+  for (unsigned u = 0; u < groups; ++u)
+    for (unsigned k = 0; k + 1 < groups; ++k) {
+      const unsigned v = (u + k + 1) % groups;
+      if (v < u) continue;  // the v-side iteration wires this cable
+      const unsigned back = groups - 2 - k;
+      g.connect(sw[u * a + k / h],
+                static_cast<iba::PortIndex>(a - 1 + k % h),
+                sw[v * a + back / h],
+                static_cast<iba::PortIndex>(a - 1 + back % h), link);
+    }
+  for (const auto s : sw)
+    for (unsigned p = 0; p < hosts_per_router; ++p) {
+      const auto host = g.add_host();
+      g.connect(host, 0, s,
+                static_cast<iba::PortIndex>(a - 1 + h + p), link);
+    }
+  g.set_topology_hint({"dragonfly", {a, h, groups, hosts_per_router}});
+  return g;
+}
+
+}  // namespace gen
 
 std::string to_dot(const FabricGraph& graph) {
   std::string out = "graph fabric {\n  node [fontsize=10];\n";

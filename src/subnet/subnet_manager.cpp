@@ -95,11 +95,12 @@ DiscoveryReport SubnetManager::discover(
   return report;
 }
 
-SubnetManager::SubnetManager(const network::FabricGraph& graph)
-    : graph_(graph) {
+SubnetManager::SubnetManager(const network::FabricGraph& graph,
+                             std::string routing_engine)
+    : graph_(graph), engine_(std::move(routing_engine)) {
   report_ = discover(graph_, sweep_order_, dr_paths_);
   if (graph_.node_count() == 0) return;
-  routes_ = network::compute_updown_routes(graph_);
+  routes_ = network::compute_routes(graph_, engine_);
 }
 
 ResweepReport SubnetManager::resweep(
@@ -147,13 +148,29 @@ ResweepReport SubnetManager::resweep(
   out.complete = report.complete;
   if (!out.complete) return out;  // partitioned: fail-static
 
+  // The degraded copy deliberately carries no topology hint: a torus with a
+  // dead ring link is not a torus, and a structure-aware engine routing it
+  // as one would blackhole traffic. Such engines throw; fall back to the
+  // always-applicable up*/down* pass before giving up (fail-static).
   network::Routes routes;
+  std::string engine = engine_;
+  bool routed = false;
   try {
-    routes = network::compute_updown_routes(*degraded);
+    routes = network::compute_routes(*degraded, engine);
+    routed = true;
   } catch (const std::runtime_error&) {
-    return out;  // no legal up*/down* assignment: keep old routes
   }
+  if (!routed && engine != "updown") {
+    engine = "updown";
+    try {
+      routes = network::compute_routes(*degraded, engine);
+      routed = true;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  if (!routed) return out;  // no legal assignment at all: keep old routes
 
+  engine_ = std::move(engine);
   report_ = report;
   sweep_order_ = std::move(order);
   dr_paths_ = std::move(paths);
@@ -213,7 +230,14 @@ std::string SubnetManager::describe() const {
      << (report_.complete ? "complete" : "INCOMPLETE") << " with "
      << report_.smps_sent << " directed-route SMPs (" << report_.sweep_hops
      << " hops walked)\n";
-  os << "up*/down* root: switch " << routes_.root() << "\n";
+  if (engine_ == "updown") {
+    os << "up*/down* root: switch " << routes_.root() << "\n";
+  } else {
+    os << "routing engine: " << engine_ << " ("
+       << routes_.vl_layers() << " VL layer"
+       << (routes_.vl_layers() == 1 ? "" : "s") << ", "
+       << routes_.table_bytes() << " table bytes)\n";
+  }
   os << "host LIDs: ";
   bool first = true;
   for (const auto h : graph_.hosts()) {

@@ -47,10 +47,20 @@ struct ResweepReport {
 
 class SubnetManager {
  public:
-  explicit SubnetManager(const network::FabricGraph& graph);
+  /// Sweeps and routes the fabric. `routing_engine` names the registered
+  /// engine (network/routing_engine.hpp) used to fill the forwarding
+  /// tables; the default is the paper's up*/down* pass.
+  explicit SubnetManager(const network::FabricGraph& graph,
+                         std::string routing_engine = "updown");
 
   const DiscoveryReport& discovery() const noexcept { return report_; }
   const network::Routes& routes() const noexcept { return routes_; }
+
+  /// The engine currently routing the fabric. May differ from the
+  /// constructor argument after a fault re-sweep: structure-aware engines
+  /// refuse degraded topologies (a holey torus has no safe dimension
+  /// order), and the manager then falls back to `updown`.
+  const std::string& routing_engine() const noexcept { return engine_; }
 
   iba::Lid lid(iba::NodeId node) const {
     return static_cast<iba::Lid>(node + 1);
@@ -74,11 +84,13 @@ class SubnetManager {
                         const qos::AdmissionControl& admission) const;
 
   /// Reaction to a link-state trap: re-sweeps the fabric with the given
-  /// ports (and their link partners) masked out, recomputes up*/down*
-  /// routes on the degraded topology, and reprograms every switch LFT
-  /// through wire MADs. With an empty mask this restores the full-fabric
-  /// routes (repair path). On partition/unroutability the previous routes
-  /// stay installed and routes_changed is false.
+  /// ports (and their link partners) masked out, recomputes routes on the
+  /// degraded topology (falling back to `updown` when the configured
+  /// structure-aware engine refuses the now-irregular wiring), and
+  /// reprograms every switch LFT through wire MADs. With an empty mask
+  /// this restores the full-fabric routes (repair path). On
+  /// partition/unroutability the previous routes stay installed and
+  /// routes_changed is false.
   ResweepReport resweep(sim::Simulator& sim,
                         const std::vector<network::PortRef>& down_ports);
 
@@ -92,6 +104,7 @@ class SubnetManager {
   void program_forwarding(sim::Simulator& sim) const;
 
   const network::FabricGraph& graph_;
+  std::string engine_;
   DiscoveryReport report_;
   std::vector<iba::NodeId> sweep_order_;
   std::vector<std::vector<std::uint8_t>> dr_paths_;

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "network/registry.hpp"
+#include "network/routing_engine.hpp"
 #include "sched/crossbar_impl.hpp"
 #include "util/thread_pool.hpp"
 
@@ -145,6 +147,20 @@ StdFlags Cli::std_flags(std::uint64_t default_seed) const {
         std::to_string(shards));
   }
   f.shards = static_cast<unsigned>(shards);
+  f.topo = get("topo", "");
+  if (!f.topo.empty()) {
+    try {
+      (void)network::TopologySpec::parse(f.topo);  // full grammar check
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("flag --topo: " + std::string(e.what()));
+    }
+  }
+  f.routing = get("routing", "");
+  if (!f.routing.empty() && !network::is_routing_engine(f.routing)) {
+    throw std::invalid_argument(
+        "flag --routing: unknown routing engine '" + f.routing +
+        "' (expected " + std::string(network::kRoutingEngineNames) + ")");
+  }
   return f;
 }
 

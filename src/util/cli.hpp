@@ -29,6 +29,13 @@ namespace ibarb::util {
 ///   --shards N          parallel simulation shards inside one experiment
 ///                       (0/absent defers to IBARB_SHARDS, then 1 =
 ///                       sequential); output is byte-identical for any N
+///   --topo SPEC         topology spec "family:k=v,..." (irregular|single|
+///                       line|mesh2d|torus2d|torus3d|fattree|fattree2|
+///                       dragonfly); absent defers to IBARB_TOPO, then
+///                       irregular
+///   --routing NAME      routing engine (updown|minimal-vl-escape|
+///                       fattree-dmodk); absent defers to IBARB_ROUTING,
+///                       then updown
 ///
 /// Output-path flags (--trace-out, --series-csv) and enum flags
 /// (--crossbar) are validated up front: a typo must fail at parse time
@@ -48,6 +55,12 @@ struct StdFlags {
   /// Simulation shard count, or 0 when the flag was absent (callers then
   /// fall back to bench::shards_from_env()).
   unsigned shards = 0;
+  /// Validated topology spec string, or empty when the flag was absent
+  /// (callers then fall back to network::topology_spec_from_env()).
+  std::string topo;
+  /// Validated routing engine name, or empty when the flag was absent
+  /// (callers then fall back to network::routing_engine_from_env()).
+  std::string routing;
 };
 
 class Cli {

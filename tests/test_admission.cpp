@@ -19,7 +19,7 @@ struct Fixture {
   network::Routes routes;
 
   explicit Fixture(network::FabricGraph g)
-      : graph(std::move(g)), routes(network::compute_updown_routes(graph)) {}
+      : graph(std::move(g)), routes(network::compute_routes(graph)) {}
 };
 
 ConnectionRequest req(iba::NodeId src, iba::NodeId dst, iba::ServiceLevel sl,
@@ -34,7 +34,7 @@ ConnectionRequest req(iba::NodeId src, iba::NodeId dst, iba::ServiceLevel sl,
 }
 
 TEST(Admission, ReservesOnEveryHop) {
-  Fixture f(network::make_line(3, 1));
+  Fixture f(network::gen::line(3, 1));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   const auto id = ac.request(req(hosts[0], hosts[2], 2, 8, 10.0));
@@ -51,7 +51,7 @@ TEST(Admission, ReservesOnEveryHop) {
 }
 
 TEST(Admission, DeadlineUsesPathLength) {
-  Fixture f(network::make_line(4, 1));
+  Fixture f(network::gen::line(4, 1));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   const auto near = ac.request(req(hosts[0], hosts[1], 3, 16, 4.0));
@@ -62,7 +62,7 @@ TEST(Admission, DeadlineUsesPathLength) {
 }
 
 TEST(Admission, RejectionRollsBackAllHops) {
-  Fixture f(network::make_line(2, 2));
+  Fixture f(network::gen::line(2, 2));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();  // h0,h1 on sw0; h2,h3 on sw1
   // Saturate the trunk: 1600 Mbps reservable on the sw0->sw1 port.
@@ -77,7 +77,7 @@ TEST(Admission, RejectionRollsBackAllHops) {
 }
 
 TEST(Admission, ReleaseFreesEveryHop) {
-  Fixture f(network::make_line(3, 1));
+  Fixture f(network::gen::line(3, 1));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   const auto id = ac.request(req(hosts[0], hosts[2], 4, 32, 6.0));
@@ -94,7 +94,7 @@ TEST(Admission, ReleaseFreesEveryHop) {
 }
 
 TEST(Admission, SameSlConnectionsShareEntriesAcrossTheFabric) {
-  Fixture f(network::make_single_switch(4));
+  Fixture f(network::gen::single_switch(4));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   // Two SL7 connections into the same destination share the switch port's
@@ -108,7 +108,7 @@ TEST(Admission, SameSlConnectionsShareEntriesAcrossTheFabric) {
 }
 
 TEST(Admission, DistanceGuaranteeHoldsOnEveryHopTable) {
-  Fixture f(network::make_line(3, 1));
+  Fixture f(network::gen::line(3, 1));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   const auto id = ac.request(req(hosts[0], hosts[2], 0, 2, 1.5));
@@ -121,7 +121,7 @@ TEST(Admission, DistanceGuaranteeHoldsOnEveryHopTable) {
 }
 
 TEST(Admission, ThrowsOnBestEffortSl) {
-  Fixture f(network::make_single_switch(2));
+  Fixture f(network::gen::single_switch(2));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   EXPECT_THROW(ac.request(req(hosts[0], hosts[1], 11, 64, 1.0)),
@@ -129,7 +129,7 @@ TEST(Admission, ThrowsOnBestEffortSl) {
 }
 
 TEST(Admission, LegacySchemePutsDbInLowTable) {
-  Fixture f(network::make_single_switch(3));
+  Fixture f(network::gen::single_switch(3));
   auto c = cfg();
   c.scheme = Scheme::kLegacy;
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), c);
@@ -151,7 +151,7 @@ TEST(Admission, LegacySchemePutsDbInLowTable) {
 }
 
 TEST(Admission, NewSchemePutsEverythingInHighTable) {
-  Fixture f(network::make_single_switch(3));
+  Fixture f(network::gen::single_switch(3));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   ASSERT_TRUE(ac.request(req(hosts[0], hosts[2], 7, 64, 5.0)).has_value());
@@ -163,7 +163,7 @@ TEST(Admission, NewSchemePutsEverythingInHighTable) {
 }
 
 TEST(Admission, ProgramConfiguresSimulatorPorts) {
-  Fixture f(network::make_single_switch(2));
+  Fixture f(network::gen::single_switch(2));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   ASSERT_TRUE(ac.request(req(hosts[0], hosts[1], 3, 16, 8.0)).has_value());
@@ -175,7 +175,7 @@ TEST(Admission, ProgramConfiguresSimulatorPorts) {
 }
 
 TEST(Admission, EightyPercentCapAcrossManyConnections) {
-  Fixture f(network::make_single_switch(2));
+  Fixture f(network::gen::single_switch(2));
   AdmissionControl ac(f.graph, f.routes, paper_catalogue(), cfg());
   const auto hosts = f.graph.hosts();
   double total = 0.0;

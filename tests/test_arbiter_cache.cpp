@@ -145,7 +145,7 @@ TEST(ArbiterAggregateCache, SurvivesFaultStyleAdmissionChurn) {
   // paths with graceful degradation shedding best-effort load in between.
   // audit_tables() — every port's invariants plus the aggregate-cache
   // cross-check — must hold after every single release-shaped step.
-  const auto graph = network::make_fat_tree(2, 3, 2);
+  const auto graph = network::gen::fat_tree2(2, 3, 2);
   subnet::SubnetManager sm(graph);
   qos::AdmissionControl::Config ac;
   ac.seed = 9;

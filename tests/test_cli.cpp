@@ -121,6 +121,40 @@ TEST(Cli, StdFlagsParsesFullBlock) {
   EXPECT_TRUE(sf.quiet);
 }
 
+TEST(Cli, StdFlagsValidatesTopoAtParseTime) {
+  EXPECT_EQ(make({}).std_flags().topo, "");
+  EXPECT_EQ(make({"--topo", "torus3d:x=3,y=3,z=3"}).std_flags().topo,
+            "torus3d:x=3,y=3,z=3");
+  // Unknown family, unknown key, and bad value all fail before any bench
+  // logic runs, naming the flag.
+  for (const char* bad :
+       {"hypercube", "torus3d:w=3", "torus3d:x=zero", "single:rate=3"}) {
+    try {
+      make({"--topo", bad}).std_flags();
+      FAIL() << bad << " accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--topo"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Cli, StdFlagsValidatesRoutingAtParseTime) {
+  EXPECT_EQ(make({}).std_flags().routing, "");
+  EXPECT_EQ(make({"--routing", "fattree-dmodk"}).std_flags().routing,
+            "fattree-dmodk");
+  try {
+    make({"--routing", "ecmp"}).std_flags();
+    FAIL() << "unknown engine accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--routing"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("updown|minimal-vl-escape|fattree-dmodk"),
+              std::string::npos)
+        << msg;
+  }
+}
+
 TEST(Cli, StdFlagsRejectsNegativeSampleEvery) {
   const auto cli = make({"--sample-every=-1"});
   EXPECT_THROW(cli.std_flags(), std::invalid_argument);

@@ -17,7 +17,7 @@ struct Fixture {
 
   explicit Fixture(network::FabricGraph g)
       : graph(std::move(g)),
-        routes(network::compute_updown_routes(graph)),
+        routes(network::compute_routes(graph)),
         admission(graph, routes, paper_catalogue(), {}),
         sim(graph, routes, sim::SimConfig{}),
         scenario(sim, admission) {}
@@ -38,7 +38,7 @@ ScheduledConnection conn(iba::Cycle arrive, iba::Cycle depart, iba::NodeId src,
 }
 
 TEST(DynamicScenario, AdmitsRunsAndReleases) {
-  Fixture f(network::make_single_switch(3));
+  Fixture f(network::gen::single_switch(3));
   const auto hosts = f.graph.hosts();
   const auto i = f.scenario.add(
       conn(1000, 2'000'000, hosts[0], hosts[1], 2, 8, 10.0));
@@ -60,7 +60,7 @@ TEST(DynamicScenario, AdmitsRunsAndReleases) {
 }
 
 TEST(DynamicScenario, GeneratorStopsAtDeparture) {
-  Fixture f(network::make_single_switch(3));
+  Fixture f(network::gen::single_switch(3));
   const auto hosts = f.graph.hosts();
   const auto i =
       f.scenario.add(conn(0, 500'000, hosts[0], hosts[1], 7, 64, 20.0));
@@ -75,7 +75,7 @@ TEST(DynamicScenario, GeneratorStopsAtDeparture) {
 }
 
 TEST(DynamicScenario, RejectedWhenFullThenAdmittedAfterDepartures) {
-  Fixture f(network::make_single_switch(3));
+  Fixture f(network::gen::single_switch(3));
   const auto hosts = f.graph.hosts();
   // Two fat connections saturate the 80% cap of host0's interface...
   f.scenario.add(conn(0, 900'000, hosts[0], hosts[1], 9, 64, 800.0));
@@ -97,7 +97,7 @@ TEST(DynamicScenario, RejectedWhenFullThenAdmittedAfterDepartures) {
 }
 
 TEST(DynamicScenario, DefragHappensLiveAndStrictRequestFitsAfterChurn) {
-  Fixture f(network::make_single_switch(3));
+  Fixture f(network::gen::single_switch(3));
   const auto hosts = f.graph.hosts();
   // Four distance-4 sequences (heavy enough not to share) fill the table of
   // host0's interface; free two of them, then a distance-2 request arrives.
@@ -126,7 +126,7 @@ TEST(DynamicScenario, DefragHappensLiveAndStrictRequestFitsAfterChurn) {
 }
 
 TEST(DynamicScenario, RejectsMalformedScript) {
-  Fixture f(network::make_single_switch(2));
+  Fixture f(network::gen::single_switch(2));
   const auto hosts = f.graph.hosts();
   EXPECT_THROW(
       f.scenario.add(conn(1000, 1000, hosts[0], hosts[1], 2, 8, 1.0)),
@@ -138,7 +138,7 @@ TEST(DynamicScenario, RejectsMalformedScript) {
 }
 
 TEST(DynamicScenario, GuaranteesHoldAcrossChurn) {
-  Fixture f(network::make_line(3, 2));
+  Fixture f(network::gen::line(3, 2));
   const auto hosts = f.graph.hosts();
   util::Xoshiro256 rng(4);
   const auto catalogue = paper_catalogue();

@@ -90,7 +90,7 @@ TEST(FaultPlan, RandomStormIsDeterministicAndInBounds) {
   network::IrregularSpec ns;
   ns.switches = 8;
   ns.seed = 21;
-  const auto graph = network::make_irregular(ns);
+  const auto graph = network::gen::irregular(ns);
 
   StormConfig cfg;
   cfg.seed = 7;
@@ -139,7 +139,7 @@ struct Rig {
   std::vector<std::uint32_t> be_flows;
 
   explicit Rig(std::uint64_t seed)
-      : graph(network::make_fat_tree(/*spines=*/2, /*leaves=*/4,
+      : graph(network::gen::fat_tree2(/*spines=*/2, /*leaves=*/4,
                                      /*hosts_per_leaf=*/2)),
         sm(graph),
         admission(graph, sm.routes(), qos::paper_catalogue(), acfg(seed)),
@@ -419,7 +419,7 @@ TEST(FaultRecovery, SameSeedStormReplaysBitIdentically) {
 // Graceful degradation at the admission level.
 
 TEST(GracefulDegradation, ShedsBestEffortFirstAndNeverGuaranteed) {
-  auto graph = network::make_single_switch(/*hosts=*/4);
+  auto graph = network::gen::single_switch(/*hosts=*/4);
   subnet::SubnetManager sm(graph);
   qos::AdmissionControl::Config ac;
   ac.seed = 3;

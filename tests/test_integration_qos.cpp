@@ -23,7 +23,7 @@ struct Scenario {
 
   explicit Scenario(iba::Mtu mtu, std::uint64_t seed = 21,
                     qos::Scheme scheme = qos::Scheme::kNewProposal)
-      : graph(network::make_irregular(spec(seed))),
+      : graph(network::gen::irregular(spec(seed))),
         sm(graph),
         admission(graph, sm.routes(), qos::paper_catalogue(),
                   acfg(scheme, mtu)),
@@ -130,8 +130,8 @@ TEST(QosIntegrationMisbehavior, OversendingOnlyHurtsItsOwnVl) {
     network::IrregularSpec ns;
     ns.switches = 8;
     ns.seed = 21;
-    auto graph = network::make_irregular(ns);
-    auto routes = network::compute_updown_routes(graph);
+    auto graph = network::gen::irregular(ns);
+    auto routes = network::compute_routes(graph);
     qos::AdmissionControl::Config ac;
     ac.seed = 2;
     auto admission = std::make_unique<qos::AdmissionControl>(

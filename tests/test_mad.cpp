@@ -69,7 +69,7 @@ TEST(NodeInfoPayload, RoundTrip) {
 }
 
 TEST(DirectedRouteWalker, ZeroHopsReachesOrigin) {
-  const auto g = network::make_line(3, 1);
+  const auto g = network::gen::line(3, 1);
   DirectedRouteWalker walker(g);
   DrSmp smp;
   smp.hop_count = 0;
@@ -84,7 +84,7 @@ TEST(DirectedRouteWalker, ZeroHopsReachesOrigin) {
 }
 
 TEST(DirectedRouteWalker, WalksMultiHopPath) {
-  const auto g = network::make_line(3, 1);  // sw0 -p1-> sw1 -p1-> sw2
+  const auto g = network::gen::line(3, 1);  // sw0 -p1-> sw1 -p1-> sw2
   DirectedRouteWalker walker(g);
   DrSmp smp;
   smp.hop_count = 2;
@@ -97,7 +97,7 @@ TEST(DirectedRouteWalker, WalksMultiHopPath) {
 }
 
 TEST(DirectedRouteWalker, UnwiredPortTimesOut) {
-  const auto g = network::make_single_switch(2, 8);  // ports 2..7 unwired
+  const auto g = network::gen::single_switch(2, 8);  // ports 2..7 unwired
   DirectedRouteWalker walker(g);
   DrSmp smp;
   smp.hop_count = 1;
@@ -106,7 +106,7 @@ TEST(DirectedRouteWalker, UnwiredPortTimesOut) {
 }
 
 TEST(DirectedRouteWalker, OutOfRangePortTimesOut) {
-  const auto g = network::make_single_switch(2, 4);
+  const auto g = network::gen::single_switch(2, 4);
   DirectedRouteWalker walker(g);
   DrSmp smp;
   smp.hop_count = 1;

@@ -32,8 +32,8 @@ std::vector<iba::NodeId> switch_chain_of_path(const FabricGraph& g,
 }
 
 TEST(Routing, SingleSwitchDirect) {
-  const auto g = make_single_switch(4);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::single_switch(4);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();
   const auto path = routes.path(hosts[0], hosts[1]);
   ASSERT_EQ(path.size(), 2u);  // host port + one switch port
@@ -42,8 +42,8 @@ TEST(Routing, SingleSwitchDirect) {
 }
 
 TEST(Routing, LineHopCounts) {
-  const auto g = make_line(4, 1);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::line(4, 1);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();  // one per switch, in switch order
   EXPECT_EQ(routes.hops(hosts[0], hosts[3]), 4u);
   EXPECT_EQ(routes.hops(hosts[0], hosts[1]), 2u);
@@ -54,8 +54,8 @@ TEST(Routing, PathEndsAtDestination) {
   IrregularSpec spec;
   spec.switches = 16;
   spec.seed = 4;
-  const auto g = make_irregular(spec);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::irregular(spec);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();
   for (std::size_t i = 0; i < 20; ++i) {
     const auto src = hosts[(i * 7) % hosts.size()];
@@ -75,8 +75,8 @@ TEST(Routing, AllPairsLegalOnPaperNetworks) {
     IrregularSpec spec;
     spec.switches = 16;
     spec.seed = seed;
-    const auto g = make_irregular(spec);
-    const auto routes = compute_updown_routes(g);
+    const auto g = gen::irregular(spec);
+    const auto routes = compute_routes(g);
     const auto hosts = g.hosts();
     for (const auto src : hosts)
       for (const auto dst : hosts) {
@@ -93,8 +93,8 @@ TEST(Routing, ChannelDependencyGraphIsAcyclic) {
   IrregularSpec spec;
   spec.switches = 16;
   spec.seed = 11;
-  const auto g = make_irregular(spec);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::irregular(spec);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();
 
   using Channel = std::pair<iba::NodeId, iba::NodeId>;  // directed sw->sw
@@ -145,8 +145,8 @@ TEST(Routing, HostsOnSameSwitchRouteLocally) {
   IrregularSpec spec;
   spec.switches = 8;
   spec.seed = 2;
-  const auto g = make_irregular(spec);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::irregular(spec);
+  const auto routes = compute_routes(g);
   // Find two hosts on the same switch.
   std::map<iba::NodeId, std::vector<iba::NodeId>> by_switch;
   for (const auto h : g.hosts())
@@ -161,14 +161,14 @@ TEST(Routing, DisconnectedFabricThrows) {
   FabricGraph g;
   g.add_switch(4);
   g.add_switch(4);
-  EXPECT_THROW(compute_updown_routes(g), std::runtime_error);
+  EXPECT_THROW(compute_routes(g), std::runtime_error);
 }
 
 TEST(Routing, PathsAreShortestAmongLegal) {
   // On a line, legal == physical shortest; verify hop counts equal BFS
   // distance + 1 (the host stage).
-  const auto g = make_line(6, 1);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::line(6, 1);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();
   for (std::size_t a = 0; a < hosts.size(); ++a)
     for (std::size_t b = 0; b < hosts.size(); ++b) {
@@ -186,8 +186,8 @@ namespace ibarb::network {
 namespace {
 
 TEST(Routing, TorusIsDeadlockFreeAndReachable) {
-  const auto g = make_torus2d(3, 3, 1);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::torus2d(3, 3, 1);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();
   for (const auto a : hosts)
     for (const auto b : hosts) {
@@ -204,8 +204,8 @@ TEST(Routing, TorusIsDeadlockFreeAndReachable) {
 }
 
 TEST(Routing, FatTreePathsAreTwoOrFourStages) {
-  const auto g = make_fat_tree(2, 4, 2);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::fat_tree2(2, 4, 2);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();
   for (const auto a : hosts)
     for (const auto b : hosts) {
@@ -217,8 +217,8 @@ TEST(Routing, FatTreePathsAreTwoOrFourStages) {
 }
 
 TEST(Routing, MeshPathsAreMinimalOnSmallMesh) {
-  const auto g = make_mesh2d(3, 3, 1);
-  const auto routes = compute_updown_routes(g);
+  const auto g = gen::mesh2d(3, 3, 1);
+  const auto routes = compute_routes(g);
   const auto hosts = g.hosts();  // host i on switch i (x=i%3, y=i/3)
   for (unsigned a = 0; a < hosts.size(); ++a)
     for (unsigned b = 0; b < hosts.size(); ++b) {

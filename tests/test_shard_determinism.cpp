@@ -137,7 +137,7 @@ TEST(ShardDeterminism, SeriesSamplingFallsBackAndStaysInvariant) {
 // coordinator statistics, per-connection outcomes) must not notice the flag.
 
 std::string storm_fingerprint(std::uint64_t seed, unsigned shards) {
-  auto graph = network::make_fat_tree(/*spines=*/2, /*leaves=*/4,
+  auto graph = network::gen::fat_tree2(/*spines=*/2, /*leaves=*/4,
                                       /*hosts_per_leaf=*/2);
   subnet::SubnetManager sm(graph);
   qos::AdmissionControl::Config acfg;

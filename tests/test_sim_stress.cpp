@@ -38,8 +38,8 @@ FlowSpec flow(iba::NodeId src, iba::NodeId dst, iba::ServiceLevel sl,
 }
 
 TEST(SimStress, SevenWayHotspotSaturatesOneLinkWithoutLosingPackets) {
-  const auto g = network::make_single_switch(8);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(8);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, rr_table(8, 100));
   const auto hosts = g.hosts();
@@ -78,8 +78,8 @@ TEST(SimStress, SevenWayHotspotSaturatesOneLinkWithoutLosingPackets) {
 }
 
 TEST(SimStress, UnlimitedHighPriorityStarvesLowTableUnderSaturation) {
-  const auto g = network::make_single_switch(3);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(3);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   iba::VlArbitrationTable t;
   t.high()[0] = iba::ArbTableEntry{0, 100};
@@ -101,8 +101,8 @@ TEST(SimStress, UnlimitedHighPriorityStarvesLowTableUnderSaturation) {
 }
 
 TEST(SimStress, BoundedLimitRescuesLowTable) {
-  const auto g = network::make_single_switch(3);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(3);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   iba::VlArbitrationTable t;
   t.high()[0] = iba::ArbTableEntry{0, 100};
@@ -124,8 +124,8 @@ TEST(SimStress, BoundedLimitRescuesLowTable) {
 }
 
 TEST(SimStress, ZeroWeightVlNeverTransmitsButOthersDo) {
-  const auto g = network::make_single_switch(3);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(3);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   iba::VlArbitrationTable t;
   t.high()[0] = iba::ArbTableEntry{0, 100};
@@ -141,8 +141,8 @@ TEST(SimStress, ZeroWeightVlNeverTransmitsButOthersDo) {
 }
 
 TEST(SimStress, BidirectionalFullDuplexDoesNotInterfere) {
-  const auto g = network::make_line(2, 1);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::line(2, 1);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, rr_table(2, 100));
   const auto hosts = g.hosts();
@@ -161,8 +161,8 @@ TEST(SimStress, BidirectionalFullDuplexDoesNotInterfere) {
 
 TEST(SimStress, LongRunDeterminismUnderSaturation) {
   const auto run = [] {
-    const auto g = network::make_single_switch(6);
-    const auto routes = network::compute_updown_routes(g);
+    const auto g = network::gen::single_switch(6);
+    const auto routes = network::compute_routes(g);
     Simulator sim(g, routes, SimConfig{});
     iba::VlArbitrationTable t;
     for (unsigned v = 0; v < 6; ++v)

@@ -41,8 +41,8 @@ FlowSpec cbr(iba::NodeId src, iba::NodeId dst, iba::ServiceLevel sl,
 }
 
 TEST(Simulator, DeliversCbrPackets) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}}));
   const auto hosts = g.hosts();
@@ -58,8 +58,8 @@ TEST(Simulator, DeliversCbrPackets) {
 }
 
 TEST(Simulator, PacketConservation) {
-  const auto g = network::make_line(3, 1);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::line(3, 1);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}, {1, 100}}));
   const auto hosts = g.hosts();
@@ -79,8 +79,8 @@ TEST(Simulator, PacketConservation) {
 }
 
 TEST(Simulator, MultiHopDelayGrowsWithDistance) {
-  const auto g = network::make_line(4, 1);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::line(4, 1);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}, {1, 100}}));
   const auto hosts = g.hosts();
@@ -98,8 +98,8 @@ TEST(Simulator, MultiHopDelayGrowsWithDistance) {
 TEST(Simulator, ArbitrationWeightsShapeContendedBandwidth) {
   // Two sources flood one destination; table weights 2:1 on their VLs must
   // shape the delivered bytes accordingly.
-  const auto g = network::make_single_switch(3);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(3);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 200}, {1, 100}}));
   const auto hosts = g.hosts();
@@ -116,8 +116,8 @@ TEST(Simulator, ArbitrationWeightsShapeContendedBandwidth) {
 }
 
 TEST(Simulator, ManagementTrafficPreemptsData) {
-  const auto g = network::make_single_switch(3);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(3);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}}));
   const auto hosts = g.hosts();
@@ -137,8 +137,8 @@ TEST(Simulator, ManagementTrafficPreemptsData) {
 
 TEST(Simulator, DeterministicAcrossRuns) {
   const auto run = [] {
-    const auto g = network::make_line(3, 2);
-    const auto routes = network::compute_updown_routes(g);
+    const auto g = network::gen::line(3, 2);
+    const auto routes = network::compute_routes(g);
     Simulator sim(g, routes, SimConfig{});
     iba::VlArbitrationTable t = iba::VlArbitrationTable();
     t.high()[0] = iba::ArbTableEntry{0, 50};
@@ -167,8 +167,8 @@ TEST(Simulator, DeterministicAcrossRuns) {
 }
 
 TEST(Simulator, PaperPhasesStopAtTargetPackets) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}}));
   const auto hosts = g.hosts();
@@ -184,8 +184,8 @@ TEST(Simulator, PaperPhasesStopAtTargetPackets) {
 }
 
 TEST(Simulator, HardLimitStopsStarvedRun) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   // No arbitration entries programmed: the flow's VL is never scheduled.
   const auto hosts = g.hosts();
@@ -195,8 +195,8 @@ TEST(Simulator, HardLimitStopsStarvedRun) {
 }
 
 TEST(Simulator, UtilizationMatchesOfferedLoad) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}}));
   const auto hosts = g.hosts();
@@ -212,8 +212,8 @@ TEST(Simulator, UtilizationMatchesOfferedLoad) {
 }
 
 TEST(Simulator, RejectsBadFlows) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   const auto hosts = g.hosts();
   auto self = cbr(hosts[0], hosts[0], 0, 256, 100);
@@ -226,8 +226,8 @@ TEST(Simulator, RejectsBadFlows) {
 }
 
 TEST(Simulator, PoissonFlowApproximatesRate) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}}));
   const auto hosts = g.hosts();
@@ -241,8 +241,8 @@ TEST(Simulator, PoissonFlowApproximatesRate) {
 }
 
 TEST(Simulator, VbrFlowKeepsLongRunMeanRate) {
-  const auto g = network::make_single_switch(2);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::single_switch(2);
+  const auto routes = network::compute_routes(g);
   Simulator sim(g, routes, SimConfig{});
   program_all(sim, g, table_for({{0, 100}}));
   const auto hosts = g.hosts();
@@ -268,8 +268,8 @@ TEST(Simulator, FourXLinksMoveFourTimesTheData) {
   // Same saturating workload on a 1x and a 4x single-switch fabric: the 4x
   // fabric must deliver ~4x the bytes in the same simulated time.
   const auto run = [](iba::LinkRate rate) {
-    const auto g = network::make_single_switch(2, 8, rate);
-    const auto routes = network::compute_updown_routes(g);
+    const auto g = network::gen::single_switch(2, 8, rate);
+    const auto routes = network::compute_routes(g);
     Simulator sim(g, routes, SimConfig{});
     program_all(sim, g, table_for({{0, 200}}));
     const auto hosts = g.hosts();

@@ -12,7 +12,7 @@ TEST(SubnetManager, DiscoveryCountsMatchFabric) {
   network::IrregularSpec spec;
   spec.switches = 16;
   spec.seed = 6;
-  const auto g = network::make_irregular(spec);
+  const auto g = network::gen::irregular(spec);
   SubnetManager sm(g);
   EXPECT_TRUE(sm.discovery().complete);
   EXPECT_EQ(sm.discovery().switches, 16u);
@@ -23,7 +23,7 @@ TEST(SubnetManager, DiscoveryCountsMatchFabric) {
 }
 
 TEST(SubnetManager, SweepVisitsEveryNodeOnce) {
-  const auto g = network::make_line(5, 2);
+  const auto g = network::gen::line(5, 2);
   SubnetManager sm(g);
   std::vector<bool> seen(g.node_count(), false);
   for (const auto n : sm.sweep_order()) {
@@ -34,33 +34,48 @@ TEST(SubnetManager, SweepVisitsEveryNodeOnce) {
 }
 
 TEST(SubnetManager, LidsFollowConvention) {
-  const auto g = network::make_single_switch(3);
+  const auto g = network::gen::single_switch(3);
   SubnetManager sm(g);
   for (const auto h : g.hosts())
     EXPECT_EQ(sm.lid(h), static_cast<iba::Lid>(h + 1));
 }
 
 TEST(SubnetManager, LinkCountExactOnLine) {
-  const auto g = network::make_line(4, 1);
+  const auto g = network::gen::line(4, 1);
   SubnetManager sm(g);
   // 3 trunk links + 4 host links.
   EXPECT_EQ(sm.discovery().links, 7u);
 }
 
 TEST(SubnetManager, DescribeMentionsShape) {
-  const auto g = network::make_line(2, 1);
+  const auto g = network::gen::line(2, 1);
   SubnetManager sm(g);
   const auto text = sm.describe();
   EXPECT_NE(text.find("2 switches"), std::string::npos);
   EXPECT_NE(text.find("2 hosts"), std::string::npos);
   EXPECT_NE(text.find("complete"), std::string::npos);
+  // The default engine keeps the historical up*/down* root line.
+  EXPECT_NE(text.find("up*/down* root: switch"), std::string::npos);
+}
+
+TEST(SubnetManager, AcceptsInjectedRoutingEngine) {
+  const auto g = network::gen::torus2d(4, 4, 1);
+  SubnetManager sm(g, "minimal-vl-escape");
+  EXPECT_EQ(sm.routing_engine(), "minimal-vl-escape");
+  EXPECT_EQ(sm.routes().engine(), "minimal-vl-escape");
+  EXPECT_EQ(sm.routes().vl_layers(), 2u);
+  const auto text = sm.describe();
+  EXPECT_NE(text.find("routing engine: minimal-vl-escape"),
+            std::string::npos)
+      << text;
+  EXPECT_THROW(SubnetManager(g, "bogus"), std::invalid_argument);
 }
 
 TEST(SubnetManager, RecordedDrPathsReplayToTheirNodes) {
   network::IrregularSpec spec;
   spec.switches = 8;
   spec.seed = 11;
-  const auto g = network::make_irregular(spec);
+  const auto g = network::gen::irregular(spec);
   SubnetManager sm(g);
   DirectedRouteWalker walker(g);
   for (iba::NodeId n = 0; n < g.node_count(); ++n) {
@@ -76,7 +91,7 @@ TEST(SubnetManager, RecordedDrPathsReplayToTheirNodes) {
 }
 
 TEST(SubnetManager, DiscoveryUsesSmps) {
-  const auto g = network::make_line(4, 1);
+  const auto g = network::gen::line(4, 1);
   SubnetManager sm(g);
   // One probe per (node, port) plus the origin probe; every probe of a
   // wired port contributes at least one hop except the origin's.
@@ -88,7 +103,7 @@ TEST(SubnetManager, RoutesAreUsable) {
   network::IrregularSpec spec;
   spec.switches = 8;
   spec.seed = 19;
-  const auto g = network::make_irregular(spec);
+  const auto g = network::gen::irregular(spec);
   SubnetManager sm(g);
   const auto hosts = g.hosts();
   EXPECT_GE(sm.routes().hops(hosts.front(), hosts.back()), 1u);
@@ -104,7 +119,7 @@ TEST(SubnetManager, ProgramsLftsThatRouteTraffic) {
   // configure_fabric installs per-switch LFTs via MAD round trips; traffic
   // must still reach every destination using them (the simulator consults
   // the LFT, not the Routes object, once programmed).
-  const auto g = network::make_line(3, 1);
+  const auto g = network::gen::line(3, 1);
   SubnetManager sm(g);
   qos::AdmissionControl admission(g, sm.routes(), qos::paper_catalogue(), {});
   sim::Simulator sim(g, sm.routes(), {});
@@ -141,7 +156,7 @@ TEST(SubnetManager, LftsAgreeWithRoutesEverywhere) {
   network::IrregularSpec spec;
   spec.switches = 16;
   spec.seed = 31;
-  const auto g = network::make_irregular(spec);
+  const auto g = network::gen::irregular(spec);
   SubnetManager sm(g);
   qos::AdmissionControl admission(g, sm.routes(), qos::paper_catalogue(), {});
   sim::Simulator sim(g, sm.routes(), {});

@@ -6,14 +6,14 @@ namespace ibarb::network {
 namespace {
 
 TEST(Topology, SingleSwitchShape) {
-  const auto g = make_single_switch(4);
+  const auto g = gen::single_switch(4);
   EXPECT_EQ(g.switches().size(), 1u);
   EXPECT_EQ(g.hosts().size(), 4u);
   EXPECT_TRUE(g.connected());
 }
 
 TEST(Topology, LineShape) {
-  const auto g = make_line(3, 2);
+  const auto g = gen::line(3, 2);
   EXPECT_EQ(g.switches().size(), 3u);
   EXPECT_EQ(g.hosts().size(), 6u);
   EXPECT_TRUE(g.connected());
@@ -23,7 +23,7 @@ TEST(Topology, IrregularPaperShape) {
   IrregularSpec spec;
   spec.switches = 16;
   spec.seed = 42;
-  const auto g = make_irregular(spec);
+  const auto g = gen::irregular(spec);
   EXPECT_EQ(g.switches().size(), 16u);
   EXPECT_EQ(g.hosts().size(), 64u);  // 4 hosts per switch
   EXPECT_TRUE(g.connected());
@@ -33,7 +33,7 @@ TEST(Topology, EverySwitchHasFourHostsAndFourTrunks) {
   IrregularSpec spec;
   spec.switches = 8;
   spec.seed = 9;
-  const auto g = make_irregular(spec);
+  const auto g = gen::irregular(spec);
   for (const auto s : g.switches()) {
     unsigned host_ports = 0;
     unsigned trunk_ports = 0;
@@ -52,8 +52,8 @@ TEST(Topology, DeterministicInSeed) {
   IrregularSpec spec;
   spec.switches = 12;
   spec.seed = 77;
-  const auto a = make_irregular(spec);
-  const auto b = make_irregular(spec);
+  const auto a = gen::irregular(spec);
+  const auto b = gen::irregular(spec);
   ASSERT_EQ(a.node_count(), b.node_count());
   for (iba::NodeId n = 0; n < a.node_count(); ++n) {
     ASSERT_EQ(a.port_count(n), b.port_count(n));
@@ -75,8 +75,8 @@ TEST(Topology, DifferentSeedsDiffer) {
   a.seed = 1;
   IrregularSpec b = a;
   b.seed = 2;
-  const auto ga = make_irregular(a);
-  const auto gb = make_irregular(b);
+  const auto ga = gen::irregular(a);
+  const auto gb = gen::irregular(b);
   bool differ = false;
   for (iba::NodeId n = 0; n < ga.node_count() && !differ; ++n)
     for (unsigned p = 0; p < ga.port_count(n) && !differ; ++p) {
@@ -95,7 +95,7 @@ TEST(Topology, PaperSizesAllConnected) {
       IrregularSpec spec;
       spec.switches = n;
       spec.seed = seed;
-      const auto g = make_irregular(spec);
+      const auto g = gen::irregular(spec);
       EXPECT_TRUE(g.connected()) << n << " switches, seed " << seed;
       EXPECT_EQ(g.hosts().size(), 4u * n);
     }
@@ -106,7 +106,7 @@ TEST(Topology, NoSelfLinks) {
   IrregularSpec spec;
   spec.switches = 16;
   spec.seed = 5;
-  const auto g = make_irregular(spec);
+  const auto g = gen::irregular(spec);
   for (iba::NodeId n = 0; n < g.node_count(); ++n)
     for (unsigned p = 0; p < g.port_count(n); ++p) {
       const auto peer = g.peer(n, static_cast<iba::PortIndex>(p));
@@ -117,12 +117,12 @@ TEST(Topology, NoSelfLinks) {
 TEST(Topology, RejectsBadSpecs) {
   IrregularSpec spec;
   spec.switches = 1;
-  EXPECT_THROW(make_irregular(spec), std::invalid_argument);
+  EXPECT_THROW(gen::irregular(spec), std::invalid_argument);
   spec.switches = 4;
   spec.hosts_per_switch = 8;  // no trunk ports left
-  EXPECT_THROW(make_irregular(spec), std::invalid_argument);
-  EXPECT_THROW(make_single_switch(9, 8), std::invalid_argument);
-  EXPECT_THROW(make_line(0), std::invalid_argument);
+  EXPECT_THROW(gen::irregular(spec), std::invalid_argument);
+  EXPECT_THROW(gen::single_switch(9, 8), std::invalid_argument);
+  EXPECT_THROW(gen::line(0), std::invalid_argument);
 }
 
 }  // namespace
@@ -132,7 +132,7 @@ namespace ibarb::network {
 namespace {
 
 TEST(Mesh2d, ShapeAndConnectivity) {
-  const auto g = make_mesh2d(4, 3, 2);
+  const auto g = gen::mesh2d(4, 3, 2);
   EXPECT_EQ(g.switches().size(), 12u);
   EXPECT_EQ(g.hosts().size(), 24u);
   EXPECT_TRUE(g.connected());
@@ -145,7 +145,7 @@ TEST(Mesh2d, ShapeAndConnectivity) {
 }
 
 TEST(Torus2d, EverySwitchHasFourTrunks) {
-  const auto g = make_torus2d(3, 3, 1);
+  const auto g = gen::torus2d(3, 3, 1);
   EXPECT_TRUE(g.connected());
   for (const auto s : g.switches()) {
     unsigned trunks = 0;
@@ -156,11 +156,11 @@ TEST(Torus2d, EverySwitchHasFourTrunks) {
 }
 
 TEST(Torus2d, RejectsTooSmall) {
-  EXPECT_THROW(make_torus2d(2, 3, 1), std::invalid_argument);
+  EXPECT_THROW(gen::torus2d(2, 3, 1), std::invalid_argument);
 }
 
 TEST(FatTree, FullBipartiteCore) {
-  const auto g = make_fat_tree(4, 6, 4);
+  const auto g = gen::fat_tree2(4, 6, 4);
   EXPECT_EQ(g.switches().size(), 10u);
   EXPECT_EQ(g.hosts().size(), 24u);
   EXPECT_TRUE(g.connected());
@@ -175,7 +175,7 @@ TEST(FatTree, FullBipartiteCore) {
 }
 
 TEST(Dot, ExportMentionsEveryNodeAndEachCableOnce) {
-  const auto g = make_line(2, 1);
+  const auto g = gen::line(2, 1);
   const auto dot = to_dot(g);
   EXPECT_NE(dot.find("graph fabric"), std::string::npos);
   EXPECT_NE(dot.find("n0"), std::string::npos);

@@ -69,8 +69,8 @@ TEST(PacketTrace, CsvDump) {
 }
 
 TEST(PacketTrace, SimulatorJourneyIsPhysicallyOrdered) {
-  const auto g = network::make_line(3, 1);
-  const auto routes = network::compute_updown_routes(g);
+  const auto g = network::gen::line(3, 1);
+  const auto routes = network::compute_routes(g);
   SimConfig cfg;
   cfg.trace_capacity = 4096;
   Simulator sim(g, routes, cfg);

@@ -57,8 +57,8 @@ TEST(MakeBestEffort, IsPoissonNonQos) {
 class WorkloadFixture : public ::testing::Test {
  protected:
   WorkloadFixture()
-      : graph_(network::make_irregular(spec())),
-        routes_(network::compute_updown_routes(graph_)),
+      : graph_(network::gen::irregular(spec())),
+        routes_(network::compute_routes(graph_)),
         admission_(graph_, routes_, qos::paper_catalogue(), acfg()),
         sim_(graph_, routes_, sim::SimConfig{}) {}
 

@@ -80,7 +80,7 @@ TEST(VlPlanning, GuaranteesHoldOnAFourLaneFabric) {
   network::IrregularSpec spec;
   spec.switches = 8;
   spec.seed = 5;
-  const auto graph = network::make_irregular(spec);
+  const auto graph = network::gen::irregular(spec);
   subnet::SubnetManager sm(graph);
 
   const auto plan = plan_vl_folding(paper_catalogue(), 4);
