@@ -99,8 +99,7 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, run.sim->trace(), {},
-                      bench::series_tracks(run));
+    bench::emit_run_trace(sf.trace_out, run);
   if (!bench::export_series_csv(run, sf)) rc = 1;
 
   cli.warn_unused(std::cerr);

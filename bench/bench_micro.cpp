@@ -29,6 +29,10 @@
 //                 and the promote step (sort by final (time, key), keyed
 //                 insert into the event queue) that merges a window's
 //                 cross-shard events.
+//  * shard_obs  — the per-shard observability planes (ISSUE 10): the
+//                 SeriesRecorder lane fold's per-delivery overhead at 4
+//                 lanes (target <2%), and the Snapshot::merge cost of
+//                 folding 4 per-shard telemetry parts.
 //  * snapshot_roundtrip — the crash-consistent control-plane snapshot
 //                 (control/snapshot.hpp): save_world / restore_world /
 //                 audit_full wall cost and blob size at small (1k) and
@@ -390,6 +394,100 @@ SeriesBenchResult measure_series(std::uint64_t deliveries,
   return res;
 }
 
+struct ShardObsBenchResult {
+  double single_lane_dps = 0.0;  ///< record_delivery+commit, one lane.
+  double multi_lane_dps = 0.0;   ///< Same stream scattered over 4 lanes.
+  double lane_fold_overhead_pct = 0.0;  ///< Multi-lane slowdown (target <2%).
+  double snapshot_folds_per_sec = 0.0;  ///< Snapshot::merge of 4 shard parts.
+  double snapshot_fold_us = 0.0;        ///< Mean wall cost of one fold.
+};
+
+/// The per-window series merge cost under shard lanes: the same delivery
+/// stream recorded on one lane versus scattered over `lanes` (the shard
+/// workers' pattern), committed every `sample_every` cycles. The committed
+/// bytes are identical either way (tests/test_shard_obs.cpp); this measures
+/// what the lane fold adds per delivery.
+double measure_lane_fold(std::uint64_t deliveries, std::uint64_t sample_every,
+                         std::uint64_t boundaries, std::size_t lanes) {
+  obs::TelemetryRegistry reg;
+  auto& injected = reg.counter("micro.injected");
+  obs::SeriesRecorder::Config sc;
+  sc.sample_every = sample_every;
+  obs::SeriesRecorder rec(reg, sc);
+  rec.set_lanes(lanes);
+  constexpr std::uint32_t kConns = 8;
+  for (std::uint32_t c = 0; c < kConns; ++c)
+    rec.note_connection(c, static_cast<iba::ServiceLevel>(c % 10),
+                        /*qos=*/true, /*deadline=*/5000);
+  const iba::Cycle end = sample_every * boundaries;
+  std::uint64_t ring = 0;
+  constexpr std::size_t kRing = 1u << 12;
+  std::vector<iba::Cycle> delays(kRing);
+  {
+    util::Xoshiro256 rng(29);
+    for (auto& d : delays) d = rng.between(100, 6000);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < deliveries; ++i) {
+    const iba::Cycle t = i * end / deliveries;
+    if (t > rec.next_due()) rec.advance_to(t);
+    injected.inc();
+    obs::t_series_lane = i % lanes;
+    rec.record_delivery(static_cast<std::uint32_t>(i % kConns),
+                        static_cast<iba::ServiceLevel>(i % 10),
+                        delays[ring++ & (kRing - 1)], /*contracted=*/5000);
+  }
+  obs::t_series_lane = 0;
+  (void)rec.finalize(end);
+  return static_cast<double>(deliveries) / seconds_since(t0);
+}
+
+/// The per-shard registry fold cost: Snapshot::merge over `parts` shard
+/// snapshots shaped like a real run's envelope (shared counter/gauge names,
+/// per-shard histogram bins) — the work the profile probe does once per
+/// telemetry_snapshot() call when the engine is engaged.
+ShardObsBenchResult measure_shard_obs(std::uint64_t deliveries,
+                                      std::uint64_t folds) {
+  ShardObsBenchResult res;
+  // 256 boundaries: the pure sampling regime, no decimation noise.
+  res.single_lane_dps =
+      measure_lane_fold(deliveries, /*sample_every=*/4096,
+                        /*boundaries=*/256, /*lanes=*/1);
+  res.multi_lane_dps =
+      measure_lane_fold(deliveries, /*sample_every=*/4096,
+                        /*boundaries=*/256, /*lanes=*/4);
+  if (res.multi_lane_dps > 0.0)
+    res.lane_fold_overhead_pct =
+        100.0 * (res.single_lane_dps / res.multi_lane_dps - 1.0);
+
+  constexpr unsigned kParts = 4;
+  std::vector<obs::Snapshot> parts(kParts);
+  for (unsigned s = 0; s < kParts; ++s) {
+    auto& p = parts[s];
+    for (unsigned c = 0; c < 32; ++c)
+      p.add_counter("queue.instrument_" + std::to_string(c), 1000 + c + s);
+    for (unsigned g = 0; g < 8; ++g)
+      p.merge_gauge("sim.gauge_" + std::to_string(g), double(g + s),
+                    obs::MergePolicy::kMax);
+    std::uint64_t bins[16] = {};
+    bins[s] = 100 + s;
+    for (unsigned h = 0; h < 4; ++h)
+      p.add_histogram("shard.hist_" + std::to_string(h), bins, 16);
+  }
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t f = 0; f < folds; ++f) {
+    const auto merged = obs::Snapshot::merge(parts);
+    sink += merged.counters.size();
+  }
+  const double secs = seconds_since(t0);
+  volatile std::uint64_t keep = sink;
+  (void)keep;
+  res.snapshot_folds_per_sec = static_cast<double>(folds) / secs;
+  res.snapshot_fold_us = secs * 1e6 / static_cast<double>(folds);
+  return res;
+}
+
 struct ChannelBenchResult {
   double thread_xfer_per_sec = 0.0;  ///< Raw SPSC ring, producer vs consumer.
   double burst_per_sec = 0.0;        ///< ShardChannel window bursts w/ spill.
@@ -588,6 +686,8 @@ int run_json_harness(int argc, const char* const* argv) {
       cli.get_int("series-deliveries", 2'000'000));
   const auto channel_items = static_cast<std::uint64_t>(
       cli.get_int("channel-items", 4'000'000));
+  const auto shard_obs_folds = static_cast<std::uint64_t>(
+      cli.get_int("shard-obs-folds", 50'000));
   const auto snapshot_small = static_cast<std::uint64_t>(
       cli.get_int("snapshot-small", 1'000));
   const auto snapshot_large = static_cast<std::uint64_t>(
@@ -652,6 +752,11 @@ int run_json_harness(int argc, const char* const* argv) {
   std::cerr << "[bench_micro] shard channel (" << channel_items
             << " items) x3 paths...\n";
   const ChannelBenchResult channel = measure_shard_channel(channel_items);
+
+  std::cerr << "[bench_micro] shard observability (lane fold + "
+            << shard_obs_folds << " snapshot folds)...\n";
+  const ShardObsBenchResult shard_obs =
+      measure_shard_obs(series_deliveries, shard_obs_folds);
 
   std::cerr << "[bench_micro] snapshot round-trip at " << snapshot_small
             << " and " << snapshot_large << " live connections...\n";
@@ -742,6 +847,20 @@ int run_json_harness(int argc, const char* const* argv) {
     w.kv("merge_per_sec", channel.merge_per_sec);
     w.end_object();
   });
+  report.figure("shard_obs", [&](util::JsonWriter& w) {
+    w.begin_object();
+    w.kv("deliveries", series_deliveries);
+    w.kv("single_lane_deliveries_per_sec", shard_obs.single_lane_dps);
+    w.kv("four_lane_deliveries_per_sec", shard_obs.multi_lane_dps);
+    // What the per-window lane fold adds per delivery; the acceptance
+    // target is <2% at 4 shards (wall clock, so report-only — not a gate).
+    w.kv("lane_fold_overhead_pct", shard_obs.lane_fold_overhead_pct);
+    w.kv("snapshot_parts", std::uint64_t{4});
+    w.kv("snapshot_folds", shard_obs_folds);
+    w.kv("snapshot_folds_per_sec", shard_obs.snapshot_folds_per_sec);
+    w.kv("snapshot_fold_us", shard_obs.snapshot_fold_us);
+    w.end_object();
+  });
   report.figure("snapshot_roundtrip", [&](util::JsonWriter& w) {
     const auto snap_obj = [&w](const SnapshotBenchResult& r) {
       w.begin_object();
@@ -790,6 +909,9 @@ int run_json_harness(int argc, const char* const* argv) {
   std::cout << "channel xfer " << channel.thread_xfer_per_sec / 1e6
             << " Mit/s, burst " << channel.burst_per_sec / 1e6
             << " Mit/s, merge " << channel.merge_per_sec / 1e6 << " Mit/s\n";
+  std::cout << "shardobs lane fold " << shard_obs.lane_fold_overhead_pct
+            << "% overhead at 4 lanes, snapshot fold "
+            << shard_obs.snapshot_fold_us << " us (4 parts)\n";
   std::cout << "snapshot " << snap_small.connections << " conns "
             << snap_small.bytes / 1024 << " KiB save " << snap_small.save_ms
             << " ms restore " << snap_small.restore_ms << " ms; "

@@ -82,8 +82,7 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
-                      bench::series_tracks(*sweep.runs[0]));
+    bench::emit_run_trace(sf.trace_out, *sweep.runs[0]);
   if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);

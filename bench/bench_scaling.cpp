@@ -100,7 +100,26 @@ struct SpeedupRow {
   unsigned effective = 0;  ///< What the run actually used (fallback = 1).
   double seconds = 0.0;    ///< Simulation phase only (setup excluded).
   std::uint64_t events = 0;
+  sim::ShardLoadStats load;  ///< Per-shard balance (empty when sequential).
 };
+
+/// Max/min per-shard event ratio: 1.0 is a perfect split, 0.0 when a shard
+/// processed nothing (or the run was sequential).
+double load_ratio(const sim::ShardLoadStats& load) {
+  if (load.events.size() < 2) return 0.0;
+  const auto [lo, hi] =
+      std::minmax_element(load.events.begin(), load.events.end());
+  return *lo > 0 ? double(*hi) / double(*lo) : 0.0;
+}
+
+/// Fraction of the workers' aggregate wall clock spent blocked on window
+/// barriers — the load-imbalance tax the shard_balance figure tracks.
+double barrier_wait_share(const sim::ShardLoadStats& load, double seconds) {
+  if (load.barrier_wait_ns.empty() || seconds <= 0.0) return 0.0;
+  double wait_ns = 0.0;
+  for (const auto ns : load.barrier_wait_ns) wait_ns += double(ns);
+  return wait_ns / (seconds * 1e9 * double(load.barrier_wait_ns.size()));
+}
 
 /// Times the simulation phase of one fig4-class run (16 switches, MTU 4096)
 /// at the given shard count, via the two-phase PaperRun form so fabric and
@@ -119,6 +138,7 @@ SpeedupRow time_sharded_run(bench::PaperRunConfig cfg, unsigned shards) {
   row.shards = shards;
   row.effective = run.sim->effective_shards();
   row.events = run.summary.events;
+  row.load = run.sim->shard_load();
   return row;
 }
 
@@ -414,6 +434,27 @@ int main(int argc, char** argv) {
         w.kv("events_identical", seq_row.events == par_row.events);
         w.end_object();
       });
+      report.figure("shard_balance", [&](util::JsonWriter& w) {
+        const auto& load = par_row.load;
+        w.begin_object();
+        w.kv("shards", static_cast<std::uint64_t>(par_row.shards));
+        w.kv("effective_shards",
+             static_cast<std::uint64_t>(par_row.effective));
+        w.kv("windows", load.windows);
+        w.key("events_per_shard").begin_array();
+        for (const auto e : load.events) w.value(e);
+        w.end_array();
+        w.key("barrier_wait_ns_per_shard").begin_array();
+        for (const auto ns : load.barrier_wait_ns) w.value(ns);
+        w.end_array();
+        // max/min per-shard events: 1.0 = perfect balance. Wall-clock-free,
+        // so it is stable across machines (the wait share below is not).
+        w.kv("load_ratio", load_ratio(load));
+        w.kv("barrier_wait_share",
+             barrier_wait_share(load, par_row.seconds));
+        w.kv("orchestrator_wait_ns", load.orchestrator_wait_ns);
+        w.end_object();
+      });
     }
     if (!skip_topo) {
       report.figure("topo_scaling", [&](util::JsonWriter& w) {
@@ -481,6 +522,17 @@ int main(int argc, char** argv) {
                 << "counts must match regardless: "
                 << (seq_row.events == par_row.events ? "OK" : "MISMATCH")
                 << ")\n";
+      if (!par_row.load.events.empty()) {
+        std::cout << "shard balance: load ratio (max/min events) "
+                  << util::TablePrinter::num(load_ratio(par_row.load), 2)
+                  << ", barrier-wait share "
+                  << util::TablePrinter::num(
+                         100.0 *
+                             barrier_wait_share(par_row.load, par_row.seconds),
+                         1)
+                  << "% of worker wall clock over " << par_row.load.windows
+                  << " windows\n";
+      }
     }
     if (!skip_topo) {
       std::cout << "\n=== Topology registry: structured families ===\n\n";
@@ -516,8 +568,7 @@ int main(int argc, char** argv) {
   }
 
   if (!sf.trace_out.empty())
-    bench::emit_trace(sf.trace_out, sweep.runs[0]->sim->trace(), {},
-                      bench::series_tracks(*sweep.runs[0]));
+    bench::emit_run_trace(sf.trace_out, *sweep.runs[0]);
   if (!bench::export_series_csv(*sweep.runs[0], sf)) rc = 1;
 
   cli.warn_unused(std::cerr);

@@ -147,4 +147,11 @@ bool emit_trace(const std::string& path, const sim::PacketTrace& trace,
   return true;
 }
 
+bool emit_run_trace(const std::string& path, const PaperRun& run) {
+  std::vector<obs::PhaseSpan> spans;
+  auto counters = series_tracks(run);
+  run.sim->export_shard_tracks(spans, counters);
+  return emit_trace(path, run.sim->trace(), spans, counters);
+}
+
 }  // namespace ibarb::bench

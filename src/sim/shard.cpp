@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/series.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 namespace ibarb::sim {
@@ -118,8 +122,12 @@ ShardEngine::ShardEngine(Simulator& sim, Partition part,
   for (unsigned s = 0; s < part_.shards; ++s) {
     auto ctx = std::make_unique<ShardCtx>(sim_.cfg_.queue_impl);
     ctx->id = s;
+    if (sim_.cfg_.profile) ctx->profiler = std::make_unique<obs::PhaseProfiler>();
     shards_.push_back(std::move(ctx));
   }
+  tracks_enabled_ = sim_.cfg_.profile;
+  if (tracks_enabled_) track_.resize(part_.shards);
+  prev_wait_ns_.resize(part_.shards, 0);
   channels_.resize(std::size_t{part_.shards} * part_.shards);
   for (unsigned from = 0; from < part_.shards; ++from)
     for (unsigned to = 0; to < part_.shards; ++to)
@@ -242,7 +250,7 @@ void ShardEngine::route_push(Event&& e, iba::NodeId home) {
     // journal pointer (keyed at barrier B, promoted after barrier C) is
     // enough.
     assert(c.journal[j].ev.time >= window_end_);
-    channel(c.id, target).push(&c.journal[j]);
+    if (channel(c.id, target).push(&c.journal[j])) ++c.spills;
   } else if (c.journal[j].ev.time < window_end_) {
     c.nursery.push_back(j);
     std::push_heap(c.nursery.begin(), c.nursery.end(), NurseryLater{c});
@@ -266,8 +274,9 @@ void ShardEngine::resolve_keys() {
   }
   std::make_heap(h.begin(), h.end(), later);
 
+  std::size_t processed = 0;
 #ifndef NDEBUG
-  std::size_t processed = 0, total = 0;
+  std::size_t total = 0;
   for (const auto& sc : shards_) total += sc->groups.size();
 #endif
   // Replay: handlers in (time, key) order, each handler's pushes in push
@@ -276,9 +285,7 @@ void ShardEngine::resolve_keys() {
     std::pop_heap(h.begin(), h.end(), later);
     const GroupRef r = h.back();
     h.pop_back();
-#ifndef NDEBUG
     ++processed;
-#endif
     ShardCtx& c = *shards_[r.shard];
     const Group& grp = c.groups[r.group];
     for (std::size_t j = grp.begin; j < grp.end; ++j) {
@@ -301,6 +308,7 @@ void ShardEngine::resolve_keys() {
     }
   }
   assert(processed == total && "unreachable handler group in key replay");
+  replay_groups_ += processed;
 }
 
 void ShardEngine::fold_stats(EventQueue::Stats& into) const {
@@ -331,6 +339,10 @@ void ShardEngine::barrier() {
   // Spinning only pays when every party has its own core; oversubscribed
   // (shards + orchestrator > hardware threads), the waiter must get off the
   // CPU immediately so the party it is waiting for can run at all.
+  // Wait time is charged to the waiter's shard.* instrument — wall clock,
+  // so quarantined — and feeds bench_scaling's shard_balance figure; the
+  // clock reads happen only on the wait path, never for the last arriver.
+  const auto wait_begin = std::chrono::steady_clock::now();
   const unsigned spin_limit = spin_waits_ ? 4096 : 0;
   unsigned spins = 0;
   while (generation_.load(std::memory_order_acquire) == gen) {
@@ -340,22 +352,38 @@ void ShardEngine::barrier() {
       std::this_thread::yield();
     }
   }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - wait_begin)
+                      .count();
+  if (ShardCtx* const c = t_shard; c != nullptr) {
+    c->barrier_wait_ns += static_cast<std::uint64_t>(ns);
+  } else {
+    orch_wait_ns_ += static_cast<std::uint64_t>(ns);
+  }
 }
 
 void ShardEngine::worker(unsigned s) {
   ShardCtx& ctx = *shards_[s];
   t_shard = &ctx;
+  // Each worker records per-SL series deliveries into its own lane; the
+  // recorder folds lanes at commit (which only the orchestrator performs,
+  // between windows), so the hot hook never shares a window map.
+  obs::t_series_lane = s;
   const unsigned n = part_.shards;
   for (;;) {
     barrier();  // A: the orchestrator published window_end_ / stop_.
     if (stop_) break;
     const iba::Cycle end = window_end_;
     // Last window's journal was fully consumed (keys assigned at its
-    // barrier B, events promoted after its barrier C); reuse the storage.
+    // barrier B, events promoted after its barrier C, trace records merged
+    // after barrier D); reuse the storage.
     ctx.journal.clear();
     ctx.groups.clear();
     ctx.nursery.clear();
     ctx.pending.clear();
+    ctx.trace_buf.clear();
+    ctx.window_channel_depth = 0;
+    ++ctx.windows;
 
     EventQueue& q = ctx.queue;
     for (;;) {
@@ -390,22 +418,36 @@ void ShardEngine::worker(unsigned s) {
         ctx.handler_known = false;
         ctx.handler_seq = 0;
         ctx.handler_self = static_cast<std::int64_t>(j);
+        ++ctx.nursery_events;
       }
       assert(e.time >= ctx.now && "time must not run backwards");
       ctx.now = e.time;
       ctx.cur_group = -1;
       if (e.type != EventType::kCreditRelease) ++ctx.events;
-      sim_.handle(e);
+      {
+        obs::ScopedTimer timer(ctx.profiler.get(),
+                               obs::PhaseProfiler::kDispatch);
+        sim_.handle(e);
+      }
     }
+    ctx.journal_entries += ctx.journal.size();
+    if (ctx.journal.size() > ctx.journal_peak)
+      ctx.journal_peak = ctx.journal.size();
     barrier();  // B: every producer finished pushing for this window.
     barrier();  // C: the orchestrator replayed the counter; keys final.
     ctx.inbox.clear();
     for (unsigned src = 0; src < n; ++src) {
       if (src == s) continue;
+      const std::size_t before = ctx.inbox.size();
       channels_[std::size_t{src} * n + s]->drain(ctx.inbox);
+      const auto depth = static_cast<std::uint64_t>(ctx.inbox.size() - before);
+      if (depth > ctx.window_channel_depth) ctx.window_channel_depth = depth;
     }
+    if (ctx.window_channel_depth > ctx.channel_depth_peak)
+      ctx.channel_depth_peak = ctx.window_channel_depth;
     for (const std::size_t j : ctx.pending)
       ctx.inbox.push_back(&ctx.journal[j]);
+    ctx.promotes += ctx.inbox.size();
     // Deterministic merge: global (time, key) order, independent of which
     // channel delivered what first. Near-sorted input, so the queue's
     // tail-append fast path dominates.
@@ -421,6 +463,7 @@ void ShardEngine::worker(unsigned s) {
     barrier();  // D: queues settled; the orchestrator may plan.
   }
   t_shard = nullptr;
+  obs::t_series_lane = 0;
 }
 
 void ShardEngine::run_until(iba::Cycle t) {
@@ -432,6 +475,7 @@ void ShardEngine::run_until(iba::Cycle t) {
   for (unsigned s = 0; s < part_.shards; ++s)
     futs.push_back(pool_.submit([this, s] { worker(s); }));
 
+  obs::SeriesRecorder* const series = sim_.series_.get();
   for (;;) {
     iba::Cycle min_next = iba::kNeverCycle;
     for (const auto& sc : shards_)
@@ -445,26 +489,178 @@ void ShardEngine::run_until(iba::Cycle t) {
     }
     if (min_next >= sim_.next_pending_mark_)
       sim_.sample_pending(pending_total(), min_next);
-    // Windows never span a sampling mark, so the barrier lands exactly on
-    // it and the pending-event census matches the sequential engine's.
-    const iba::Cycle end = std::min(
+    // Series boundaries commit here, between windows, in the exact position
+    // the sequential loop commits them: after the pending census (a commit's
+    // registry snapshot reads the census peak) and before the next event
+    // runs. The workers are parked in barrier A, so the orchestrator samples
+    // alone, and window ends never cross a boundary (clamp below) — every
+    // boundary < min_next reflects precisely the events at or before it.
+    if (series != nullptr && min_next > series->next_due()) {
+      obs::ScopedTimer timer(sim_.profiler_.get(), obs::PhaseProfiler::kSeries);
+      series->advance_to(min_next);
+    }
+    // Windows never span a sampling mark or a series boundary, so each
+    // barrier lands exactly on it and the census / sampled state matches
+    // the sequential engine's.
+    iba::Cycle end = std::min(
         {min_next + window_, t + 1, sim_.next_pending_mark_});
+    if (series != nullptr) end = std::min(end, series->next_due() + 1);
     window_end_ = end;
     barrier();  // A
     barrier();  // B
     resolve_keys();
     barrier();  // C
     barrier();  // D
+    end_window(min_next, end);
+    ++windows_total_;
   }
 
   stop_ = true;
   barrier();  // Release the workers into their exit branch.
   for (auto& f : futs) f.get();
+  if (sim_.now_ < t) sim_.now_ = t;
+  // Trailing boundary flush, as at the end of the sequential run_until.
+  if (series != nullptr && t + 1 > series->next_due()) {
+    obs::ScopedTimer timer(sim_.profiler_.get(), obs::PhaseProfiler::kSeries);
+    series->advance_to(t + 1);
+  }
+}
+
+void ShardEngine::end_window(iba::Cycle begin, iba::Cycle end) {
   for (auto& sc : shards_) {
+    // Fold each worker's window event count into the simulator's so a
+    // mid-run registry snapshot (series commit, probe) sees the same
+    // sim.events a sequential run would at this boundary.
     sim_.events_ += sc->events;
+    sc->lifetime_events += sc->events;
+    if (tracks_enabled_) {
+      auto& tp = track_[sc->id];
+      if (tp.size() < kMaxTrackWindows) {
+        tp.push_back(TrackPoint{begin, end, sc->events,
+                                sc->barrier_wait_ns - prev_wait_ns_[sc->id],
+                                sc->window_channel_depth});
+      } else {
+        ++track_dropped_;
+      }
+      prev_wait_ns_[sc->id] = sc->barrier_wait_ns;
+    }
     sc->events = 0;
   }
-  if (sim_.now_ < t) sim_.now_ = t;
+  if (sim_.trace_.enabled()) merge_window_traces();
+}
+
+void ShardEngine::merge_window_traces() {
+  trace_merge_.clear();
+  for (const auto& sc : shards_) {
+    for (const ShardCtx::PendingTrace& pt : sc->trace_buf) {
+      // A handler that came off the queue carried its final key; one that
+      // executed out of the nursery is a journal entry whose key the
+      // barrier-B replay has assigned by now.
+      const std::uint64_t key =
+          pt.known ? pt.seq
+                   : sc->journal[static_cast<std::size_t>(pt.self)].seq;
+      trace_merge_.push_back(TraceRef{pt.rec, key});
+    }
+  }
+  // Global (time, handler-key) order is exactly the order the sequential
+  // loop executed these handlers in; records within one handler keep their
+  // emission order through the sort's stability. Appending in that order
+  // reproduces the sequential ring byte for byte, overwrite behavior
+  // included.
+  std::stable_sort(trace_merge_.begin(), trace_merge_.end(),
+                   [](const TraceRef& a, const TraceRef& b) {
+                     return a.rec.time != b.rec.time ? a.rec.time < b.rec.time
+                                                     : a.key < b.key;
+                   });
+  for (const TraceRef& tr : trace_merge_) sim_.trace_.append(tr.rec);
+}
+
+void ShardEngine::fold_profile(obs::PhaseProfiler& into) const {
+  for (const auto& sc : shards_)
+    if (sc->profiler) into.merge(*sc->profiler);
+}
+
+void ShardEngine::publish_shard_stats(obs::Snapshot& snap) const {
+  const std::size_t n = shards_.size();
+  std::vector<std::uint64_t> events(n), wait(n), depth(n), jpeak(n);
+  std::uint64_t total_events = 0, journal_entries = 0, nursery = 0;
+  std::uint64_t promotes = 0, spills = 0, wait_total = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const ShardCtx& c = *shards_[s];
+    events[s] = c.lifetime_events;
+    wait[s] = c.barrier_wait_ns;
+    depth[s] = c.channel_depth_peak;
+    jpeak[s] = c.journal_peak;
+    total_events += c.lifetime_events;
+    journal_entries += c.journal_entries;
+    nursery += c.nursery_events;
+    promotes += c.promotes;
+    spills += c.spills;
+    wait_total += c.barrier_wait_ns;
+  }
+  snap.merge_gauge("shard.count", static_cast<double>(n),
+                   obs::MergePolicy::kMax);
+  snap.merge_gauge("shard.window_cycles", static_cast<double>(window_),
+                   obs::MergePolicy::kMax);
+  snap.merge_gauge("shard.events_per_window",
+                   windows_total_ == 0
+                       ? 0.0
+                       : static_cast<double>(total_events) /
+                             static_cast<double>(windows_total_),
+                   obs::MergePolicy::kMax);
+  snap.add_counter("shard.windows", windows_total_);
+  snap.add_counter("shard.events", total_events);
+  snap.add_counter("shard.journal_entries", journal_entries);
+  snap.add_counter("shard.nursery_events", nursery);
+  snap.add_counter("shard.promotes", promotes);
+  snap.add_counter("shard.spills", spills);
+  snap.add_counter("shard.replay_groups", replay_groups_);
+  snap.add_counter("shard.barrier_wait_ns", wait_total);
+  snap.add_counter("shard.orchestrator_wait_ns", orch_wait_ns_);
+  snap.add_counter("shard.track_windows_dropped", track_dropped_);
+  // Per-shard distributions as histograms, bin = shard id: load balance,
+  // wall-clock waits, and structural high-waters at a glance.
+  snap.add_histogram("shard.events_by_shard", events.data(), n);
+  snap.add_histogram("shard.barrier_wait_ns_by_shard", wait.data(), n);
+  snap.add_histogram("shard.channel_depth_peak_by_shard", depth.data(), n);
+  snap.add_histogram("shard.journal_peak_by_shard", jpeak.data(), n);
+}
+
+void ShardEngine::export_tracks(
+    std::vector<obs::PhaseSpan>& spans,
+    std::vector<obs::CounterTrack>& counters) const {
+  if (!tracks_enabled_) return;
+  for (std::size_t s = 0; s < track_.size(); ++s) {
+    const std::string track = "shard " + std::to_string(s);
+    obs::CounterTrack ev{"shard" + std::to_string(s) + ".events", {}};
+    obs::CounterTrack wait{"shard" + std::to_string(s) + ".barrier_wait_ns",
+                           {}};
+    obs::CounterTrack depth{"shard" + std::to_string(s) + ".channel_depth",
+                            {}};
+    for (const TrackPoint& tp : track_[s]) {
+      spans.push_back(obs::PhaseSpan{track, "window", tp.begin, tp.end});
+      ev.points.emplace_back(tp.end, static_cast<double>(tp.events));
+      // Barrier waits are wall-clock ns plotted against the simulated
+      // timeline (a span would misleadingly occupy simulated time), and
+      // channel depth is the deepest single-channel drain of the window.
+      wait.points.emplace_back(tp.end, static_cast<double>(tp.wait_ns));
+      depth.points.emplace_back(tp.end, static_cast<double>(tp.depth));
+    }
+    counters.push_back(std::move(ev));
+    counters.push_back(std::move(wait));
+    counters.push_back(std::move(depth));
+  }
+}
+
+void ShardEngine::fill_load(ShardLoadStats& out) const {
+  out.events.clear();
+  out.barrier_wait_ns.clear();
+  for (const auto& sc : shards_) {
+    out.events.push_back(sc->lifetime_events);
+    out.barrier_wait_ns.push_back(sc->barrier_wait_ns);
+  }
+  out.windows = windows_total_;
+  out.orchestrator_wait_ns = orch_wait_ns_;
 }
 
 }  // namespace ibarb::sim

@@ -68,14 +68,23 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/partition.hpp"
+#include "sim/trace.hpp"
 #include "util/spsc_queue.hpp"
 #include "util/thread_pool.hpp"
+
+namespace ibarb::obs {
+struct CounterTrack;
+struct PhaseSpan;
+struct Snapshot;
+}  // namespace ibarb::obs
 
 namespace ibarb::sim {
 
 class Simulator;
+struct ShardLoadStats;
 
 /// One journaled push: the event plus everything the replay needs to give
 /// it the sequential counter value — who pushed it (group = the handler's
@@ -119,8 +128,12 @@ struct ShardChannel {
 
   explicit ShardChannel(std::size_t capacity = 1024) : ring(capacity) {}
 
-  void push(Push* m) {
-    if (!ring.try_push(std::move(m))) spill.push_back(m);
+  /// Returns true when the ring was full and the push spilled — counted
+  /// into the shard.spills instrument by the producer.
+  bool push(Push* m) {
+    if (ring.try_push(std::move(m))) return false;
+    spill.push_back(m);
+    return true;
   }
 
   void drain(std::vector<Push*>& out) {
@@ -161,6 +174,41 @@ struct ShardCtx {
   /// pending-event census (the sequential run performs releases inline and
   /// never has one pending at a sampling mark).
   std::uint64_t pending_releases = 0;
+
+  // --- Per-shard observability plane (docs/OBSERVABILITY.md, shard.*) ------
+
+  /// This worker's wall-clock phase profiler; allocated only under
+  /// SimConfig::profile and folded into the profile.* probe with the
+  /// orchestrator's (ShardEngine::fold_profile).
+  std::unique_ptr<obs::PhaseProfiler> profiler;
+
+  /// A trace record emitted inside a parallel window, tagged with the
+  /// emitting handler's identity. Its final replay key is `seq` when the
+  /// handler came off the queue (`known`), else the key the barrier-B
+  /// replay assigns to the handler's own journal entry (`self`).
+  struct PendingTrace {
+    TraceRecord rec;
+    bool known = false;
+    std::uint64_t seq = 0;
+    std::int64_t self = -1;
+  };
+  /// Window-local trace buffer; merged into the shared PacketTrace ring in
+  /// final (time, key) order by the orchestrator after barrier D.
+  std::vector<PendingTrace> trace_buf;
+
+  // Lifetime shard-health counters, published as the quarantined shard.*
+  // telemetry family (never sampled into series columns, never part of a
+  // determinism byte-compare).
+  std::uint64_t lifetime_events = 0;   ///< Events folded across all windows.
+  std::uint64_t windows = 0;           ///< Windows this worker executed.
+  std::uint64_t journal_entries = 0;   ///< Journaled pushes, lifetime.
+  std::uint64_t journal_peak = 0;      ///< Longest single-window journal.
+  std::uint64_t nursery_events = 0;    ///< Same-window nursery executions.
+  std::uint64_t promotes = 0;          ///< Events promoted after barrier C.
+  std::uint64_t spills = 0;            ///< Channel pushes past ring capacity.
+  std::uint64_t channel_depth_peak = 0;  ///< Max one-channel drain, lifetime.
+  std::uint64_t window_channel_depth = 0;  ///< Same, this window only.
+  std::uint64_t barrier_wait_ns = 0;   ///< Wall-clock barrier waits.
 
   explicit ShardCtx(EventQueueImpl impl) : queue(impl) {}
 };
@@ -214,6 +262,29 @@ class ShardEngine {
   /// credit-release traffic), so telemetry equals the sequential run's.
   void fold_stats(EventQueue::Stats& into) const;
 
+  /// Folds every worker's wall-clock phase totals into `into` so the
+  /// profile.* probe publishes one fleet-wide total regardless of shard
+  /// count. No-op when profiling is off (workers carry no profiler).
+  void fold_profile(obs::PhaseProfiler& into) const;
+
+  /// Publishes the shard.* instrument family: per-shard load, window
+  /// utilization, barrier waits, channel/journal high-waters, promote and
+  /// spill counts. Quarantined (obs::is_quarantined_name) — registered only
+  /// under the profile.* probe so determinism byte-compares never see it.
+  void publish_shard_stats(obs::Snapshot& snap) const;
+
+  /// Per-worker Perfetto tracks recorded under SimConfig::profile: one
+  /// "shard N" track of window spans plus counter tracks for events,
+  /// barrier-wait ns, and channel drain depth per window (capped at
+  /// kMaxTrackWindows windows per shard, oldest kept).
+  void export_tracks(std::vector<obs::PhaseSpan>& spans,
+                     std::vector<obs::CounterTrack>& counters) const;
+
+  /// Copies the per-shard load counters into `out` (bench_scaling's
+  /// shard_balance figure). Valid whether or not profiling is on: events
+  /// and barrier waits are always measured.
+  void fill_load(ShardLoadStats& out) const;
+
   unsigned shards() const noexcept { return part_.shards; }
   iba::Cycle window() const noexcept { return window_; }
 
@@ -225,6 +296,12 @@ class ShardEngine {
   void resolve_keys();
   void barrier();
   void refresh_window();
+  /// Orchestrator, after barrier D: folds each worker's window event count
+  /// into the simulator's (so mid-run sampled counters match the sequential
+  /// run), records the per-shard track point, and merges the window's trace
+  /// buffers into the shared ring in final (time, key) order.
+  void end_window(iba::Cycle begin, iba::Cycle end);
+  void merge_window_traces();
   /// Pending events across all shard queues, minus queued credit releases —
   /// the exact census the sequential loop takes from queue_.size().
   std::uint64_t pending_total() const;
@@ -257,6 +334,34 @@ class ShardEngine {
   std::uint32_t min_wire_;       ///< Smallest admitted wire size (bytes).
   bool window_dirty_ = false;
   iba::Cycle window_;            ///< Safe window width (lookahead).
+
+  // --- Shard-health instrument state (shard.* family) -----------------------
+
+  std::uint64_t windows_total_ = 0;   ///< Windows the orchestrator planned.
+  std::uint64_t replay_groups_ = 0;   ///< Handler groups replayed (barrier B).
+  std::uint64_t orch_wait_ns_ = 0;    ///< Orchestrator barrier waits.
+
+  /// One per-shard sample per window, recorded only under SimConfig::profile
+  /// and exported as Perfetto tracks. Bounded: after kMaxTrackWindows the
+  /// newest windows are dropped (the cap is logged via shard.track_dropped).
+  struct TrackPoint {
+    iba::Cycle begin = 0, end = 0;
+    std::uint64_t events = 0;
+    std::uint64_t wait_ns = 0;
+    std::uint64_t depth = 0;
+  };
+  static constexpr std::size_t kMaxTrackWindows = 4096;
+  bool tracks_enabled_ = false;
+  std::vector<std::vector<TrackPoint>> track_;   ///< [shard][window].
+  std::vector<std::uint64_t> prev_wait_ns_;      ///< Wait delta baseline.
+  std::uint64_t track_dropped_ = 0;
+
+  /// Scratch for the per-window trace merge (orchestrator only).
+  struct TraceRef {
+    TraceRecord rec;
+    std::uint64_t key = 0;
+  };
+  std::vector<TraceRef> trace_merge_;
 
   // Window controls: written by the orchestrator between barriers D and A,
   // read by workers after A — the barrier's acquire/release chain orders

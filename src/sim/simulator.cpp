@@ -298,18 +298,23 @@ Simulator::Simulator(const network::FabricGraph& graph,
 
   if (cfg_.profile) {
     profiler_ = std::make_unique<obs::PhaseProfiler>();
-    // profile.* is the quarantined wall-clock family: published only when
-    // profiling is opted into, never sampled into the series, never part of
-    // a determinism byte-compare.
+    // profile.* and shard.* are the quarantined families: published only
+    // when profiling is opted into, never sampled into the series, never
+    // part of a determinism byte-compare. Under --shards the per-worker
+    // profilers fold into one fleet-wide total, and the shard engine
+    // publishes its health counters alongside.
     telemetry_.add_probe([this](obs::Snapshot& snap) {
+      obs::PhaseProfiler folded = *profiler_;
+      if (engine_) engine_->fold_profile(folded);
       for (int i = 0; i < obs::PhaseProfiler::kPhaseCount; ++i) {
         const auto p = static_cast<obs::PhaseProfiler::Phase>(i);
         const std::string base =
             std::string("profile.") + obs::PhaseProfiler::name(p);
-        snap.merge_gauge(base + "_ms", profiler_->total_ms(p),
+        snap.merge_gauge(base + "_ms", folded.total_ms(p),
                          obs::MergePolicy::kSum);
-        snap.add_counter(base + "_calls", profiler_->calls(p));
+        snap.add_counter(base + "_calls", folded.calls(p));
       }
+      if (engine_) engine_->publish_shard_stats(snap);
     });
   }
 }
@@ -350,13 +355,31 @@ void Simulator::sample_pending(std::uint64_t pending, iba::Cycle through) {
 bool Simulator::parallel_ready() {
   if (cfg_.shards <= 1) return false;
   // Hazards the parallel engine cannot reproduce byte-identically: inline
-  // observer callbacks with cross-shard visibility, tie-sensitive recorders,
-  // and barriers whose bookkeeping is shared mutable state.
-  const bool hazard = hooks_ != nullptr || delivery_listener_ != nullptr ||
-                      !controls_.empty() || series_ != nullptr ||
-                      profiler_ != nullptr || cfg_.trace_capacity > 0 ||
-                      !purged_flows_.empty();
-  if (hazard) {
+  // callbacks with cross-shard visibility (fault hooks, delivery listeners,
+  // call_at controls) and purge barriers whose bookkeeping is shared mutable
+  // state. Observers — tracing, series sampling, profiling — are NOT
+  // hazards: each shard records into its own plane and the orchestrator
+  // merges them deterministically at window barriers (docs/PARALLEL.md).
+  const char* hazard = nullptr;
+  if (hooks_ != nullptr) {
+    hazard = "fault-hooks";
+  } else if (delivery_listener_ != nullptr) {
+    hazard = "delivery-listener";
+  } else if (!controls_.empty()) {
+    hazard = "pending-controls";
+  } else if (!purged_flows_.empty()) {
+    hazard = "purge-barriers";
+  }
+  if (hazard != nullptr) {
+    fallback_reason_ = hazard;
+    if (!shard_fallback_warned_) {
+      shard_fallback_warned_ = true;
+      std::fprintf(stderr,
+                   "ibarb: --shards %u requested, but %s cannot be reproduced "
+                   "in parallel; using the sequential core (output is "
+                   "unchanged)\n",
+                   cfg_.shards, hazard);
+    }
     if (engine_ && engine_->active()) engine_->surrender(queue_);
     return false;
   }
@@ -364,6 +387,7 @@ bool Simulator::parallel_ready() {
     std::string error;
     engine_ = ShardEngine::create(*this, cfg_.shards, error);
     if (!engine_) {
+      fallback_reason_ = "unshardable-topology";
       if (!shard_fallback_warned_) {
         shard_fallback_warned_ = true;
         std::fprintf(stderr, "ibarb: %s\n", error.c_str());
@@ -372,8 +396,50 @@ bool Simulator::parallel_ready() {
       return false;
     }
   }
-  if (!engine_->active()) engine_->adopt(queue_);
+  if (!engine_->active()) {
+    engine_->adopt(queue_);
+    // Give every shard worker its own series delivery lane, folded at each
+    // commit — the one SeriesRecorder hot hook that is not already
+    // single-writer under the shard partition.
+    if (series_) series_->set_lanes(engine_->shards());
+  }
+  fallback_reason_.clear();
   return true;
+}
+
+ShardLoadStats Simulator::shard_load() const {
+  ShardLoadStats out;
+  if (engine_) engine_->fill_load(out);
+  return out;
+}
+
+void Simulator::export_shard_tracks(
+    std::vector<obs::PhaseSpan>& spans,
+    std::vector<obs::CounterTrack>& counters) const {
+  if (engine_) engine_->export_tracks(spans, counters);
+}
+
+obs::PhaseProfiler* Simulator::cur_profiler() const {
+  const ShardCtx* const c = t_shard;
+  return c != nullptr ? c->profiler.get() : profiler_.get();
+}
+
+void Simulator::record_trace(iba::Cycle time, TraceEvent event,
+                             iba::NodeId node, iba::PortIndex port,
+                             iba::VirtualLane vl, const iba::Packet& p) {
+  if (!trace_.enabled()) return;
+  ShardCtx* const c = t_shard;
+  if (c == nullptr) {
+    trace_.record(time, event, node, port, vl, p);
+    return;
+  }
+  // Parallel window: park the record in the shard's window-local buffer,
+  // tagged with the emitting handler's identity; the orchestrator merges
+  // every buffer into the shared ring in final (time, key) order after
+  // barrier D, reproducing the sequential ring byte for byte.
+  c->trace_buf.push_back(ShardCtx::PendingTrace{
+      TraceRecord{time, event, node, port, vl, p.id, p.connection},
+      c->handler_known, c->handler_seq, c->handler_self});
 }
 
 OutputPort& Simulator::output_port(iba::NodeId node, iba::PortIndex port) {
@@ -563,12 +629,14 @@ void Simulator::on_generate(std::uint32_t flow_index) {
   p.destination = lid_of(spec.dst_host);
   p.payload_bytes = spec.payload_bytes;
   p.sequence = f.next_sequence++;
-  // Packet ids feed only the trace and the transports, both of which force
-  // the sequential path — but a shared id counter would still race across
-  // shards, so parallel runs derive ids from (flow, sequence) instead.
-  p.id = in_parallel() ? ((static_cast<std::uint64_t>(flow_index) + 1) << 32) |
-                             (p.sequence + 1)
-                       : next_packet_id_++;
+  // Generated packets derive their id from (flow, sequence) — never from a
+  // shared counter — so ids are identical whether a window runs on the
+  // sequential core or on any shard worker, and trace files byte-compare
+  // across shard counts. External injections (inject_external) keep the
+  // monotone counter; those ids stay below 2^32, so the domains never
+  // collide.
+  p.id = ((static_cast<std::uint64_t>(flow_index) + 1) << 32) |
+         (p.sequence + 1);
   p.injected_at = now;
   p.management = spec.management;
   p.deadline = metrics_.connections[flow_index].deadline;
@@ -578,7 +646,7 @@ void Simulator::on_generate(std::uint32_t flow_index) {
   HostState& host = hosts_[index_[spec.src_host]];
   const iba::VirtualLane vl =
       spec.management ? iba::kManagementVl : host.out.sl_map.map(spec.sl);
-  trace_.record(now, TraceEvent::kInject, spec.src_host, 0, vl, p);
+  record_trace(now, TraceEvent::kInject, spec.src_host, 0, vl, p);
   host.out.queues.push(vl, std::move(p));
   try_transmit(spec.src_host, 0);
 
@@ -594,7 +662,7 @@ void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
 
   const auto ready = op.ready_bytes();
   const auto decision = [&] {
-    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kArbitration);
+    obs::ScopedTimer timer(cur_profiler(), obs::PhaseProfiler::kArbitration);
     return op.arbiter.arbitrate(ready);
   }();
   if (!decision) return;
@@ -604,7 +672,7 @@ void Simulator::try_transmit(iba::NodeId node, iba::PortIndex port) {
   op.credits.consume(decision->vl, wire);
   op.tx_busy = true;
   const iba::Cycle now = now_cur();
-  trace_.record(now, TraceEvent::kLinkTx, node, port, decision->vl, p);
+  record_trace(now, TraceEvent::kLinkTx, node, port, decision->vl, p);
 
   auto ser = iba::serialization_cycles(wire, op.link.rate);
   if (hooks_) ser = hooks_->stretch_serialization(node, port, ser);
@@ -636,14 +704,14 @@ void Simulator::on_link_deliver(const Event& e) {
   const iba::Cycle now = now_cur();
   auto verdict = FaultHooks::RxVerdict::kDeliver;
   if (hooks_ && !e.packet.management) {
-    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kFaultHooks);
+    obs::ScopedTimer timer(cur_profiler(), obs::PhaseProfiler::kFaultHooks);
     verdict = hooks_->on_link_rx(e.node, e.port, e.packet);
   }
   if (verdict == FaultHooks::RxVerdict::kDrop) {
     // Discarded on arrival (corrupted past the CRC, or a drop-fault window).
     // The receiver still frees the notional buffer, so upstream credits are
     // returned — a lost packet must not wedge the sender.
-    trace_.record(now, TraceEvent::kDrop, e.node, e.port, e.vl, e.packet);
+    record_trace(now, TraceEvent::kDrop, e.node, e.port, e.vl, e.packet);
     metrics_.record_drop(e.packet.connection);
     const auto up = graph_.peer(e.node, e.port);
     assert(up.has_value());
@@ -662,9 +730,9 @@ void Simulator::on_link_deliver(const Event& e) {
   // immediately (hosts drain their receive buffers at line rate). The
   // upstream port is the host's own uplink switch — same shard — so this
   // stays inline in parallel windows too.
-  trace_.record(now, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
+  record_trace(now, TraceEvent::kDeliver, e.node, e.port, e.vl, e.packet);
   {
-    obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kMetrics);
+    obs::ScopedTimer timer(cur_profiler(), obs::PhaseProfiler::kMetrics);
     metrics_.record_delivery(e.packet.connection, e.packet, now);
   }
   if (delivery_listener_) delivery_listener_(e.packet, now);
@@ -703,11 +771,11 @@ void Simulator::on_xfer_complete(const Event& e) {
       p.management ? iba::kManagementVl : op.sl_map.map(p.sl);
   if (!p.management && !purged_flows_.empty() &&
       purged_flows_.count({flat_port_id(e.node, e.port), p.connection}) > 0) {
-    trace_.record(now_cur(), TraceEvent::kDrop, e.node, e.port, out_vl, p);
+    record_trace(now_cur(), TraceEvent::kDrop, e.node, e.port, out_vl, p);
     metrics_.record_drop(p.connection);
     ++purged_late_;
   } else {
-    trace_.record(now_cur(), TraceEvent::kXbar, e.node, e.port, out_vl, p);
+    record_trace(now_cur(), TraceEvent::kXbar, e.node, e.port, out_vl, p);
     op.queues.push(out_vl, std::move(p));
   }
 
@@ -798,7 +866,7 @@ std::uint64_t Simulator::inject_external(std::uint32_t flow_index,
   HostState& host = hosts_[index_[spec.src_host]];
   const iba::VirtualLane vl =
       spec.management ? iba::kManagementVl : host.out.sl_map.map(spec.sl);
-  trace_.record(now_, TraceEvent::kInject, spec.src_host, 0, vl, p);
+  record_trace(now_, TraceEvent::kInject, spec.src_host, 0, vl, p);
   host.out.queues.push(vl, std::move(p));
   try_transmit(spec.src_host, 0);
   return id;
@@ -818,7 +886,7 @@ std::uint64_t Simulator::flush_output_queue(iba::NodeId node,
     const auto vl = static_cast<iba::VirtualLane>(
         std::countr_zero(op.queues.occupancy()));
     iba::Packet p = op.queues.pop(vl);
-    trace_.record(now_, TraceEvent::kDrop, node, port, vl, p);
+    record_trace(now_, TraceEvent::kDrop, node, port, vl, p);
     metrics_.record_drop(p.connection);
     ++flushed;
   }
@@ -835,7 +903,7 @@ std::uint64_t Simulator::purge_flow_from_output(iba::NodeId node,
   for (unsigned v = 0; v < iba::kMaxVirtualLanes; ++v) {
     const auto vl = static_cast<iba::VirtualLane>(v);
     for (auto& p : op.queues.extract_connection(vl, flow)) {
-      trace_.record(now_, TraceEvent::kDrop, node, port, vl, p);
+      record_trace(now_, TraceEvent::kDrop, node, port, vl, p);
       metrics_.record_drop(p.connection);
       ++purged;
     }
@@ -865,6 +933,15 @@ void Simulator::run_until(iba::Cycle t) {
     if (queue_.top().time >= next_pending_mark_)
       sample_pending(queue_.size() - serial_pending_releases_,
                      queue_.top().time);
+    // A series boundary B samples the state after every event with time
+    // <= B, so commit pending boundaries before popping the first event
+    // that crosses one — the pop itself belongs to the next window. This
+    // is the same commit point the parallel orchestrator uses between
+    // windows, which keeps sampled queue counters byte-identical.
+    if (series_ && queue_.top().time > series_->next_due()) {
+      obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kSeries);
+      series_->advance_to(queue_.top().time);
+    }
     const Event e = queue_.pop();
     assert(e.time >= now_ && "time must not run backwards");
     // A credit release handed back by ShardEngine::surrender: engine
@@ -873,13 +950,6 @@ void Simulator::run_until(iba::Cycle t) {
     if (e.type == EventType::kCreditRelease) {
       ++serial_release_pops_;
       --serial_pending_releases_;
-    }
-    // A series boundary B samples the state after every event with time
-    // <= B, so commit pending boundaries just before the first event that
-    // crosses one.
-    if (series_ && e.time > series_->next_due()) {
-      obs::ScopedTimer timer(profiler_.get(), obs::PhaseProfiler::kSeries);
-      series_->advance_to(e.time);
     }
     now_ = e.time;
     if (e.type != EventType::kCreditRelease) ++events_;

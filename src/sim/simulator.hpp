@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,11 @@
 #include "sim/metrics.hpp"
 #include "sim/switch.hpp"
 #include "sim/trace.hpp"
+
+namespace ibarb::obs {
+struct CounterTrack;
+struct PhaseSpan;
+}  // namespace ibarb::obs
 
 namespace ibarb::sim {
 
@@ -61,10 +67,14 @@ struct SimConfig {
   /// Number of switch-affine shard workers for the parallel engine
   /// (--shards / IBARB_SHARDS; see docs/PARALLEL.md). 1 keeps the classic
   /// sequential loop. Values > 1 engage src/sim/shard.hpp for runs the
-  /// engine can reproduce byte-identically; anything it cannot (fault
-  /// hooks, delivery listeners, pending call_at controls, tracing, series
-  /// sampling, profiling, active purge barriers, an unshardable topology)
-  /// falls back to the sequential path, so output is invariant in this
+  /// engine can reproduce byte-identically. Observers — tracing, series
+  /// sampling, profiling — ride the parallel path: each shard records into
+  /// its own plane and the orchestrator merges them deterministically at
+  /// window barriers. Anything the engine cannot reproduce (fault hooks,
+  /// delivery listeners, pending call_at controls, active purge barriers,
+  /// an unshardable topology) falls back to the sequential path — with a
+  /// one-shot stderr diagnostic and the reason exposed via
+  /// Simulator::shard_fallback_reason() — so output is invariant in this
   /// knob by construction.
   unsigned shards = 1;
 };
@@ -107,6 +117,17 @@ class FaultHooks {
 };
 
 class ShardEngine;
+
+/// Per-shard load counters for bench_scaling's shard_balance figure:
+/// parallel arrays indexed by shard id. Empty when the parallel engine
+/// never engaged. Events are deterministic; the wait fields are wall-clock
+/// and therefore quarantined from determinism compares.
+struct ShardLoadStats {
+  std::vector<std::uint64_t> events;
+  std::vector<std::uint64_t> barrier_wait_ns;
+  std::uint64_t windows = 0;
+  std::uint64_t orchestrator_wait_ns = 0;
+};
 
 class Simulator {
   friend class XbarView;  ///< sched::CrossbarPorts adapter (simulator.cpp).
@@ -255,6 +276,24 @@ class Simulator {
   /// instead of trusting the requested flag.
   unsigned effective_shards() const noexcept { return cfg_.shards; }
 
+  /// Why the last run_until took the sequential core although --shards > 1
+  /// was requested: one of "fault-hooks", "delivery-listener",
+  /// "pending-controls", "purge-barriers", "unshardable-topology". Empty
+  /// while the parallel engine is engaged — and always empty when only one
+  /// shard was requested in the first place.
+  const std::string& shard_fallback_reason() const noexcept {
+    return fallback_reason_;
+  }
+
+  /// Per-shard load/wait counters for the shard_balance figure; empty
+  /// vectors when the parallel engine never engaged.
+  ShardLoadStats shard_load() const;
+
+  /// Appends the per-worker Perfetto tracks (recorded under --profile with
+  /// shards > 1) for obs::write_chrome_trace; no-op otherwise.
+  void export_shard_tracks(std::vector<obs::PhaseSpan>& spans,
+                           std::vector<obs::CounterTrack>& counters) const;
+
   /// The time-series recorder, or null when SimConfig::sample_every == 0.
   /// The fault/recovery layer stamps state transitions through this; benches
   /// call finalize() on it after their last run_until.
@@ -289,6 +328,17 @@ class Simulator {
   /// Records a pending-event census (the queue.peak_size gauge) and advances
   /// the mark past `through`. Both engines call this at identical points.
   void sample_pending(std::uint64_t pending, iba::Cycle through);
+  /// Every trace emission goes through here: straight into the ring on the
+  /// sequential path; inside a parallel window, into the executing shard's
+  /// buffer (tagged with the handler identity) for the deterministic merge
+  /// after barrier D.
+  void record_trace(iba::Cycle time, TraceEvent event, iba::NodeId node,
+                    iba::PortIndex port, iba::VirtualLane vl,
+                    const iba::Packet& p);
+  /// The profiler a ScopedTimer must charge: the executing shard worker's
+  /// inside a parallel window, the simulator's otherwise. Null (timer
+  /// no-ops) unless SimConfig::profile.
+  obs::PhaseProfiler* cur_profiler() const;
 
   void try_transmit(iba::NodeId node, iba::PortIndex port);
   /// Runs the switch's crossbar scheduler (sched::CrossbarScheduler) over an
@@ -314,6 +364,8 @@ class Simulator {
   /// events whenever engine_->active().
   std::unique_ptr<ShardEngine> engine_;
   bool shard_fallback_warned_ = false;
+  /// See shard_fallback_reason().
+  std::string fallback_reason_;
   /// Pending-event census for the queue.peak_size gauge, sampled at fixed
   /// cycle marks so sequential and sharded runs publish the same value (a
   /// true per-push peak is tie-order-sensitive).

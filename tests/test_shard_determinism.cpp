@@ -2,9 +2,12 @@
 // running the same experiment with any --shards value yields byte-identical
 // results — same RunSummary, same per-SL aggregations, same telemetry
 // envelope (queue.*, xbar.*, credit.* counters included), under both event
-// queue implementations. Hazardous configurations (fault hooks, series
-// sampling) must fall back to the sequential core and stay invariant in the
-// flag; an unshardable topology must pin --shards 1 instead of crashing.
+// queue implementations. Observers (series sampling, packet tracing, the
+// profiler) ride the parallel path on per-shard planes and must stay
+// byte-invariant too. The remaining hazards (fault hooks, delivery
+// listeners, pending controls, purge barriers) fall back to the sequential
+// core with a named reason; an unshardable topology must pin --shards 1
+// instead of crashing.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -106,17 +109,27 @@ TEST(ShardDeterminism, HeapEventQueueMatchesToo) {
   expect_bit_identical(*s1, *s4);
 }
 
-TEST(ShardDeterminism, SeriesSamplingFallsBackAndStaysInvariant) {
-  // Time-series sampling is a declared hazard: the run must take the
-  // sequential path whatever --shards says, so the full series (windows,
-  // QoS audit, per-SL delay timelines) is invariant in the flag.
-  auto cfg1 = quick_cfg(1);
-  cfg1.sample_every = 50'000;
-  auto cfg4 = quick_cfg(4);
-  cfg4.sample_every = 50'000;
-  const auto s1 = run_paper_experiment(cfg1);
-  const auto s4 = run_paper_experiment(cfg4);
+TEST(ShardDeterminism, ObserversRideTheParallelPathAndStayInvariant) {
+  // Series sampling and packet tracing are no longer hazards: each shard
+  // records on its own telemetry plane and the orchestrator folds the
+  // planes at window barriers in serial-replay order, so the engine stays
+  // engaged and the full series (windows, QoS audit, per-SL delay
+  // timelines) and the trace ring are invariant in the flag.
+  const auto observed_cfg = [](unsigned shards) {
+    auto c = quick_cfg(shards);
+    c.sample_every = 50'000;
+    c.trace_capacity = 1u << 16;
+    return c;
+  };
+  const auto s1 = run_paper_experiment(observed_cfg(1));
+  const auto s2 = run_paper_experiment(observed_cfg(2));
+  const auto s4 = run_paper_experiment(observed_cfg(4));
+  EXPECT_EQ(s2->sim->effective_shards(), 2u);
+  EXPECT_EQ(s4->sim->effective_shards(), 4u);
+  EXPECT_TRUE(s4->sim->shard_fallback_reason().empty())
+      << s4->sim->shard_fallback_reason();
   ASSERT_TRUE(s1->series.has_value());
+  ASSERT_TRUE(s2->series.has_value());
   ASSERT_TRUE(s4->series.has_value());
   // Compare the serialized form: per-connection deadline margins are NaN
   // for windows without a delivery, which poisons operator== (NaN != NaN)
@@ -127,8 +140,51 @@ TEST(ShardDeterminism, SeriesSamplingFallsBackAndStaysInvariant) {
     s.write_json(w);
     return os.str();
   };
-  EXPECT_EQ(series_json(*s1->series), series_json(*s4->series));
-  expect_bit_identical(*s1, *s4);
+  const auto trace_csv = [](const PaperRun& r) {
+    std::ostringstream os;
+    r.sim->trace().dump_csv(os);
+    return os.str();
+  };
+  {
+    SCOPED_TRACE("shards 1 vs 2");
+    EXPECT_EQ(series_json(*s1->series), series_json(*s2->series));
+    EXPECT_EQ(trace_csv(*s1), trace_csv(*s2));
+    expect_bit_identical(*s1, *s2);
+  }
+  {
+    SCOPED_TRACE("shards 1 vs 4");
+    EXPECT_EQ(series_json(*s1->series), series_json(*s4->series));
+    EXPECT_EQ(trace_csv(*s1), trace_csv(*s4));
+    expect_bit_identical(*s1, *s4);
+  }
+}
+
+TEST(ShardDeterminism, FaultHooksFallBackWithNamedReason) {
+  // Fault hooks remain a genuine hazard (arbitrary callbacks observe
+  // mid-window state): the simulator must take the sequential path and
+  // name the hazard via shard_fallback_reason().
+  network::FabricGraph g;
+  const auto sw = g.add_switch(4);
+  const auto sw2 = g.add_switch(4);
+  g.connect(sw, 3, sw2, 3);
+  for (unsigned h = 0; h < 2; ++h) {
+    g.connect(g.add_host(), 0, sw, h);
+    g.connect(g.add_host(), 0, sw2, h);
+  }
+  subnet::SubnetManager sm(g);
+  sim::SimConfig cfg;
+  cfg.shards = 2;
+  sim::Simulator sim(g, sm.routes(), cfg);
+  sim::FaultHooks healthy;
+  sim.attach_fault_hooks(&healthy);
+  sim.run_until(10'000);
+  EXPECT_EQ(sim.shard_fallback_reason(), "fault-hooks");
+  // Detaching the hooks clears the hazard: the engine engages on the next
+  // run_until and the reason resets.
+  sim.attach_fault_hooks(nullptr);
+  sim.run_until(20'000);
+  EXPECT_TRUE(sim.shard_fallback_reason().empty())
+      << sim.shard_fallback_reason();
 }
 
 // --------------------------------------------------------------------------
@@ -232,6 +288,7 @@ TEST(ShardDeterminism, UnshardableTopologyPinsSequentialFallback) {
   EXPECT_EQ(sim.effective_shards(), 4u);
   sim.run_until(10'000);
   EXPECT_EQ(sim.effective_shards(), 1u);
+  EXPECT_EQ(sim.shard_fallback_reason(), "unshardable-topology");
 }
 
 }  // namespace

@@ -1,0 +1,172 @@
+// Per-shard observability planes (ISSUE 10, docs/OBSERVABILITY.md): the
+// building blocks that let --sample-every / --trace-out / --profile run
+// under --shards N. Snapshot::merge must fold per-shard parts in sorted key
+// order (disjoint keys interleave, histogram bins add, gauges follow their
+// policy); SeriesRecorder lanes must fold to the same bytes as a
+// single-lane recording; the shard.* and profile.* families must stay
+// quarantined out of series columns; PhaseProfiler::merge must sum totals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "obs/series.hpp"
+#include "obs/telemetry.hpp"
+#include "util/json_writer.hpp"
+
+namespace ibarb::obs {
+namespace {
+
+std::string to_json(const Snapshot& s) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  s.write_json(w);
+  return os.str();
+}
+
+TEST(SnapshotFold, DisjointKeysInterleaveInSortedOrder) {
+  Snapshot a;
+  a.add_counter("shard.windows", 3);
+  a.add_counter("xbar.grants", 10);
+  Snapshot b;
+  b.add_counter("credit.stalls", 7);
+  b.add_counter("queue.pops", 42);
+  const auto merged = Snapshot::merge({a, b});
+  ASSERT_EQ(merged.counters.size(), 4u);
+  // std::map keeps the fold order deterministic: lexicographic, regardless
+  // of which part contributed which key.
+  auto it = merged.counters.begin();
+  EXPECT_EQ(it->first, "credit.stalls");
+  EXPECT_EQ((++it)->first, "queue.pops");
+  EXPECT_EQ((++it)->first, "shard.windows");
+  EXPECT_EQ((++it)->first, "xbar.grants");
+  // Part order must not matter for the serialized bytes.
+  EXPECT_EQ(to_json(merged), to_json(Snapshot::merge({b, a})));
+}
+
+TEST(SnapshotFold, SharedKeysAddAndGaugesFollowPolicy) {
+  Snapshot a;
+  a.add_counter("shard.events", 100);
+  a.merge_gauge("shard.window_cycles", 4096, MergePolicy::kMax);
+  a.merge_gauge("sim.rate", 1.5, MergePolicy::kSum);
+  const std::uint64_t bins_a[4] = {1, 2, 0, 0};
+  a.add_histogram("shard.events_by_shard", bins_a, 4);
+  Snapshot b;
+  b.add_counter("shard.events", 50);
+  b.merge_gauge("shard.window_cycles", 8192, MergePolicy::kMax);
+  b.merge_gauge("sim.rate", 0.5, MergePolicy::kSum);
+  const std::uint64_t bins_b[4] = {0, 0, 3, 4};
+  b.add_histogram("shard.events_by_shard", bins_b, 4);
+
+  const auto m = Snapshot::merge({a, b});
+  EXPECT_EQ(m.counters.at("shard.events"), 150u);
+  EXPECT_EQ(m.gauges.at("shard.window_cycles").first, 8192.0);
+  EXPECT_EQ(m.gauges.at("sim.rate").first, 2.0);
+  const auto& h = m.histograms.at("shard.events_by_shard");
+  ASSERT_GE(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 3u);
+  EXPECT_EQ(h[3], 4u);
+}
+
+TEST(Quarantine, ShardAndProfileFamiliesAreQuarantined) {
+  EXPECT_TRUE(is_quarantined_name("profile.dispatch_ms"));
+  EXPECT_TRUE(is_quarantined_name("shard.windows"));
+  EXPECT_TRUE(is_quarantined_name("shard.barrier_wait_ns"));
+  EXPECT_FALSE(is_quarantined_name("queue.pops"));
+  EXPECT_FALSE(is_quarantined_name("xbar.grants"));
+  // Prefix match, not substring: families elsewhere in the name stay in.
+  EXPECT_FALSE(is_quarantined_name("queue.shard.depth"));
+}
+
+TEST(Quarantine, QuarantinedCountersStayOutOfSeriesColumns) {
+  TelemetryRegistry reg;
+  reg.counter("arb.decisions").inc(5);
+  reg.counter("shard.windows").inc(9);
+  reg.counter("profile.samples").inc(2);
+  SeriesRecorder::Config cfg;
+  cfg.sample_every = 100;
+  SeriesRecorder rec(reg, cfg);
+  rec.advance_to(201);
+  const auto data = rec.finalize(200);
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  data.write_json(w);
+  const auto json = os.str();
+  EXPECT_NE(json.find("arb.decisions"), std::string::npos);
+  EXPECT_EQ(json.find("shard.windows"), std::string::npos);
+  EXPECT_EQ(json.find("profile.samples"), std::string::npos);
+}
+
+TEST(SeriesLanes, MultiLaneFoldMatchesSingleLaneBytes) {
+  // The same 120 deliveries recorded on one lane versus scattered across
+  // four lanes (as four shard workers would) must serialize identically:
+  // the per-SL fold is commutative and associative.
+  const auto run = [](std::size_t lanes) {
+    TelemetryRegistry reg;
+    SeriesRecorder::Config cfg;
+    cfg.sample_every = 100;
+    SeriesRecorder rec(reg, cfg);
+    rec.set_lanes(lanes);
+    rec.note_connection(0, 1, true, 500);
+    rec.note_connection(1, 3, true, 700);
+    for (std::uint64_t t = 10; t <= 1200; t += 10) {
+      if (t > rec.next_due()) rec.advance_to(t);
+      t_series_lane = lanes > 1 ? (t / 10) % lanes : 0;
+      rec.record_delivery(t % 2, t % 2 ? 3 : 1, t % 97, t % 2 ? 700 : 500);
+    }
+    t_series_lane = 0;
+    const auto data = rec.finalize(1200);
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    data.write_json(w);
+    return os.str();
+  };
+  const auto single = run(1);
+  const auto sharded = run(4);
+  EXPECT_FALSE(single.empty());
+  EXPECT_EQ(single, sharded);
+}
+
+TEST(SeriesLanes, SetLanesGrowsOnlyAndLaneZeroIsDefault) {
+  TelemetryRegistry reg;
+  SeriesRecorder::Config cfg;
+  cfg.sample_every = 100;
+  SeriesRecorder rec(reg, cfg);
+  rec.note_connection(0, 2, false, 0);
+  rec.set_lanes(4);
+  rec.set_lanes(2);  // must not drop lanes 2..3
+  t_series_lane = 3;
+  rec.record_delivery(0, 2, 40, 0);
+  t_series_lane = 0;
+  rec.advance_to(101);
+  const auto data = rec.finalize(100);
+  // The lane-3 delivery survived the shrink request and folded into the
+  // committed window's SL-2 delay row.
+  ASSERT_FALSE(data.sl_delay.empty());
+  std::uint64_t rx = 0;
+  for (const auto& row : data.sl_delay)
+    for (const auto v : row.rx) rx += v;
+  EXPECT_EQ(rx, 1u);
+}
+
+TEST(ProfilerMerge, SumsNanosecondsAndCallsPerPhase) {
+  PhaseProfiler a;
+  a.add(PhaseProfiler::kDispatch, 100);
+  a.add(PhaseProfiler::kSeries, 50);
+  PhaseProfiler b;
+  b.add(PhaseProfiler::kDispatch, 200);
+  b.add(PhaseProfiler::kArbitration, 30);
+  a.merge(b);
+  EXPECT_EQ(a.calls(PhaseProfiler::kDispatch), 2u);
+  EXPECT_EQ(a.total_ms(PhaseProfiler::kDispatch), 300.0 / 1e6);
+  EXPECT_EQ(a.calls(PhaseProfiler::kArbitration), 1u);
+  EXPECT_EQ(a.calls(PhaseProfiler::kSeries), 1u);
+  EXPECT_EQ(a.calls(PhaseProfiler::kMetrics), 0u);
+}
+
+}  // namespace
+}  // namespace ibarb::obs

@@ -91,9 +91,10 @@ TEST(PacketTrace, SimulatorJourneyIsPhysicallyOrdered) {
   sim.add_flow(f);
   sim.run_until(250000);
 
-  // Packet 1's journey: inject, then alternating link-tx / xbar along three
-  // switches, ending with a delivery; times must be non-decreasing.
-  const auto j = sim.trace().journey(1);
+  // The first generated packet of flow 0 (id = (flow+1)<<32 | sequence+1):
+  // inject, then alternating link-tx / xbar along three switches, ending
+  // with a delivery; times must be non-decreasing.
+  const auto j = sim.trace().journey((1ull << 32) | 1u);
   ASSERT_GE(j.size(), 3u);
   EXPECT_EQ(j.front().event, TraceEvent::kInject);
   EXPECT_EQ(j.back().event, TraceEvent::kDeliver);
